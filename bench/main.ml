@@ -1,0 +1,111 @@
+(* Benchmark / reproduction harness.
+
+   `dune exec bench/main.exe` regenerates every table and figure of the
+   paper (plus a claims summary); individual experiments, ablations and
+   Bechamel micro-benchmarks are selectable from the command line. *)
+
+let experiments =
+  [
+    ("table1", "Table 1: default damping parameters", Experiments.table1);
+    ("fig3", "Figure 3: penalty curve under a few flaps", Experiments.fig3);
+    ("fig4", "Figure 4: four-state damping process", Experiments.fig4);
+    ("fig7", "Figure 7: penalty 7 hops from the origin", Experiments.fig7);
+    ("fig8", "Figure 8: convergence time vs pulses", Experiments.fig8);
+    ("fig9", "Figure 9: message count vs pulses", Experiments.fig9);
+    ("fig10", "Figure 10: update series and damped links (n=1,3,5)", Experiments.fig10);
+    ("fig13", "Figure 13: convergence time with RCN", Experiments.fig13);
+    ("fig14", "Figure 14: message count with RCN", Experiments.fig14);
+    ("fig15", "Figure 15: impact of the no-valley policy", Experiments.fig15);
+    ("critical", "Section 4.4 critical point (RT_h vs RT_net)", Experiments.critical);
+    ("summary", "paper claims vs reproduction verdicts", Experiments.summary);
+  ]
+
+let ablations =
+  [
+    ("ablation-mrai", "MRAI sensitivity", Experiments.ablation_mrai);
+    ("ablation-params", "Cisco vs Juniper presets", Experiments.ablation_params);
+    ("ablation-partial", "partial damping deployment", Experiments.ablation_partial);
+    ("ablation-selective", "plain vs selective vs RCN", Experiments.ablation_selective);
+    ("ablation-diverse", "diverse damping parameters", Experiments.ablation_diverse);
+    ("ablation-interval", "flap-interval sensitivity", Experiments.ablation_interval);
+    ("ablation-size", "topology-size sensitivity", Experiments.ablation_size);
+    ("ablation-mechanism", "origin-update vs link-state flaps", Experiments.ablation_mechanism);
+  ]
+
+let all = experiments @ ablations
+
+let lookup name =
+  match List.find_opt (fun (n, _, _) -> n = name) all with
+  | Some (_, _, f) -> Ok f
+  | None -> (
+      match name with
+      | "paper" -> Ok (fun ctx -> List.iter (fun (_, _, f) -> f ctx) experiments)
+      | "ablations" -> Ok (fun ctx -> List.iter (fun (_, _, f) -> f ctx) ablations)
+      | "all" -> Ok (fun ctx -> List.iter (fun (_, _, f) -> f ctx) all)
+      | "micro" -> Ok (fun _ -> Micro.run ())
+      | _ -> Error (Printf.sprintf "unknown experiment %S" name))
+
+open Cmdliner
+
+let names_arg =
+  let doc =
+    "Experiments to run: table1, fig3, fig4, fig7, fig8, fig9, fig10, fig13, fig14, \
+     fig15, summary, ablation-{mrai,params,partial,selective,interval}, micro, paper \
+     (all tables and figures), ablations, all. Default: paper."
+  in
+  Arg.(value & pos_all string [ "paper" ] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let quick_arg =
+  let doc = "Run at reduced scale (6x6 mesh, smaller Internet graphs) for a fast smoke run." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let seed_arg =
+  let doc = "Master random seed (topology, MRAI jitter, isp choice)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let csv_arg =
+  let doc = "Also write each experiment's data as CSV files into $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+let plots_arg =
+  let doc = "Also write gnuplot scripts and data files into $(docv)." in
+  Arg.(value & opt (some string) None & info [ "plots" ] ~docv:"DIR" ~doc)
+
+let micro_arg =
+  let doc = "Additionally run the Bechamel micro-benchmarks." in
+  Arg.(value & flag & info [ "micro" ] ~doc)
+
+let run names quick seed csv_dir plot_dir micro =
+  let opts = { Context.quick; seed; csv_dir; plot_dir } in
+  let ctx = Context.create opts in
+  Printf.printf "Route Flap Damping reproduction harness (scale: %s, seed %d)\n"
+    (if quick then "quick" else "paper")
+    seed;
+  let outcome =
+    List.fold_left
+      (fun acc name ->
+        match acc with
+        | Error _ -> acc
+        | Ok () -> (
+            match lookup name with
+            | Ok f ->
+                f ctx;
+                Ok ()
+            | Error e -> Error e))
+      (Ok ()) names
+  in
+  match outcome with
+  | Error e ->
+      prerr_endline e;
+      exit 2
+  | Ok () ->
+      if micro then Micro.run ();
+      print_newline ()
+
+let cmd =
+  let doc = "reproduce the tables and figures of 'Timer Interaction in Route Flap Damping'" in
+  let info = Cmd.info "rfd-bench" ~doc in
+  Cmd.v info
+    Term.(const run $ names_arg $ quick_arg $ seed_arg $ csv_arg $ plots_arg $ micro_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,321 @@
+(* rfd-sim: command-line driver for the route-flap-damping simulator.
+
+   Subcommands:
+     run       — one flap scenario, full metrics and phases
+     sweep     — convergence/messages across pulse counts
+     intended  — the analytic (Section 3) calculation only
+     topo      — generate a topology and print it as an edge list *)
+
+open Cmdliner
+module Scenario = Rfd.Scenario
+module Config = Rfd.Config
+module Params = Rfd.Params
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsing                                             *)
+
+let topology_conv =
+  let parse s =
+    let fail () =
+      Error
+        (`Msg
+          (Printf.sprintf
+             "bad topology %S (expected mesh:RxC, internet:N[,M], line:N, ring:N, \
+              clique:N, or a file path)"
+             s))
+    in
+    match String.index_opt s ':' with
+    | Some i -> (
+        let kind = String.sub s 0 i in
+        let rest = String.sub s (i + 1) (String.length s - i - 1) in
+        match kind with
+        | "mesh" -> (
+            match String.split_on_char 'x' rest with
+            | [ r; c ] -> (
+                match (int_of_string_opt r, int_of_string_opt c) with
+                | Some rows, Some cols -> Ok (Scenario.Mesh { rows; cols })
+                | _ -> fail ())
+            | _ -> fail ())
+        | "internet" -> (
+            match String.split_on_char ',' rest with
+            | [ n ] -> (
+                match int_of_string_opt n with
+                | Some nodes -> Ok (Scenario.Internet { nodes; m = 2 })
+                | None -> fail ())
+            | [ n; m ] -> (
+                match (int_of_string_opt n, int_of_string_opt m) with
+                | Some nodes, Some m -> Ok (Scenario.Internet { nodes; m })
+                | _ -> fail ())
+            | _ -> fail ())
+        | "line" | "ring" | "clique" -> (
+            match int_of_string_opt rest with
+            | Some n ->
+                let g =
+                  match kind with
+                  | "line" -> Rfd.Builders.line n
+                  | "ring" -> Rfd.Builders.ring n
+                  | _ -> Rfd.Builders.clique n
+                in
+                Ok (Scenario.Custom g)
+            | None -> fail ())
+        | _ -> fail ())
+    | None ->
+        if Sys.file_exists s then begin
+          let ic = open_in s in
+          let len = in_channel_length ic in
+          let doc = really_input_string ic len in
+          close_in ic;
+          match Rfd.Edge_list.parse_graph doc with
+          | Ok g -> Ok (Scenario.Custom g)
+          | Error e -> Error (`Msg ("parse error in " ^ s ^ ": " ^ e))
+        end
+        else fail ()
+  in
+  let print ppf = function
+    | Scenario.Mesh { rows; cols } -> Format.fprintf ppf "mesh:%dx%d" rows cols
+    | Scenario.Internet { nodes; m } -> Format.fprintf ppf "internet:%d,%d" nodes m
+    | Scenario.Custom g -> Format.fprintf ppf "custom(%a)" Rfd.Graph.pp g
+  in
+  Arg.conv (parse, print)
+
+let params_conv =
+  let parse = function
+    | "cisco" -> Ok (Some Params.cisco)
+    | "juniper" -> Ok (Some Params.juniper)
+    | "none" | "off" -> Ok None
+    | s -> Error (`Msg (Printf.sprintf "unknown damping preset %S" s))
+  in
+  let print ppf = function
+    | Some (p : Params.t) -> Format.pp_print_string ppf p.Params.name
+    | None -> Format.pp_print_string ppf "none"
+  in
+  Arg.conv (parse, print)
+
+let mode_conv =
+  Arg.enum [ ("plain", Config.Plain); ("rcn", Config.Rcn); ("selective", Config.Selective) ]
+
+let policy_conv =
+  Arg.enum [ ("shortest", Scenario.Announce_all); ("no-valley", Scenario.No_valley) ]
+
+let topology_arg =
+  let doc =
+    "Topology: mesh:RxC, internet:N[,M] (Barabasi-Albert), line:N, ring:N, clique:N, or \
+     an edge-list file."
+  in
+  Arg.(value & opt topology_conv Scenario.paper_mesh & info [ "t"; "topology" ] ~doc)
+
+let damping_arg =
+  let doc = "Damping parameters: cisco, juniper or none." in
+  Arg.(value & opt params_conv (Some Params.cisco) & info [ "d"; "damping" ] ~doc)
+
+let mode_arg =
+  let doc = "Damping mode: plain, rcn or selective." in
+  Arg.(value & opt mode_conv Config.Plain & info [ "m"; "mode" ] ~doc)
+
+let policy_arg =
+  let doc = "Routing policy: shortest or no-valley." in
+  Arg.(value & opt policy_conv Scenario.Announce_all & info [ "p"; "policy" ] ~doc)
+
+let pulses_arg =
+  let doc = "Number of withdrawal/announcement pulses." in
+  Arg.(value & opt int 1 & info [ "n"; "pulses" ] ~doc)
+
+let interval_arg =
+  let doc = "Flap interval in seconds." in
+  Arg.(value & opt float 60. & info [ "i"; "interval" ] ~doc)
+
+let mrai_arg =
+  let doc = "MRAI in seconds (0 disables)." in
+  Arg.(value & opt float 30. & info [ "mrai" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 42 & info [ "s"; "seed" ] ~doc)
+
+let isp_arg =
+  let doc = "Node the flapping origin attaches to (-1 = random)." in
+  Arg.(value & opt int 0 & info [ "isp" ] ~doc)
+
+let probe_arg =
+  let doc = "Trace penalties at the first router at this hop distance from the origin." in
+  Arg.(value & opt (some int) None & info [ "probe-distance" ] ~doc)
+
+let build_scenario topology damping mode policy pulses interval mrai seed isp probe =
+  let base = { Config.default with Config.mrai; seed } in
+  let config =
+    match damping with None -> base | Some params -> Config.with_damping ~mode params base
+  in
+  let probe =
+    match probe with None -> Scenario.No_probe | Some d -> Scenario.At_distance d
+  in
+  Scenario.make ~name:"cli" ~policy ~config
+    ~isp:(if isp < 0 then `Random else `Node isp)
+    ~pulses ~flap_interval:interval ~probe topology
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+
+let transcript_arg =
+  let doc = "Print the first $(docv) protocol-trace lines of the flap phase." in
+  Arg.(value & opt (some int) None & info [ "transcript" ] ~docv:"N" ~doc)
+
+let run_cmd =
+  let action topology damping mode policy pulses interval mrai seed isp probe transcript =
+    let scenario =
+      build_scenario topology damping mode policy pulses interval mrai seed isp probe
+    in
+    let trace = Rfd.Trace.create ~enabled:(transcript <> None) () in
+    let observe net = Rfd.Tracing.attach trace (Rfd.Network.hooks net) in
+    let r = Rfd.Runner.run ~observe scenario in
+    Format.printf "%a@.@." Rfd.Runner.pp_result r;
+    Format.printf "phases:@.";
+    List.iter (fun s -> Format.printf "  %a@." Rfd.Phases.pp_span s) r.Rfd.Runner.spans;
+    (match Rfd.Collector.probed_pairs r.Rfd.Runner.collector with
+    | [] -> ()
+    | pairs ->
+        List.iter
+          (fun (router, peer) ->
+            match Rfd.Collector.penalty_trace r.Rfd.Runner.collector ~router ~peer with
+            | Some ts when Rfd.Timeseries.length ts > 0 ->
+                Format.printf "penalty trace r%d <- peer %d:@." router peer;
+                Rfd.Timeseries.iter ts (fun ~time ~value ->
+                    Format.printf "  %10.2f  %8.1f@." time value)
+            | _ -> ())
+          pairs);
+    let intended =
+      match damping with
+      | Some params ->
+          Rfd.Intended.convergence_time params ~pulses ~interval ~tup:r.Rfd.Runner.tup
+      | None -> r.Rfd.Runner.tup
+    in
+    Format.printf "@.intended convergence for this flap pattern: %.0f s@." intended;
+    match transcript with
+    | None -> ()
+    | Some n ->
+        Format.printf "@.protocol transcript (first %d events):@." n;
+        List.iteri
+          (fun i e -> if i < n then Format.printf "%a@." Rfd.Trace.pp_entry e)
+          (Rfd.Trace.entries trace)
+  in
+  let doc = "run one flap scenario and report metrics" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const action $ topology_arg $ damping_arg $ mode_arg $ policy_arg $ pulses_arg
+      $ interval_arg $ mrai_arg $ seed_arg $ isp_arg $ probe_arg $ transcript_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+
+let max_pulses_arg =
+  let doc = "Sweep pulse counts 1..$(docv)." in
+  Arg.(value & opt int 10 & info [ "max-pulses" ] ~docv:"N" ~doc)
+
+let sweep_cmd =
+  let action topology damping mode policy interval mrai seed isp max_pulses =
+    let scenario =
+      build_scenario topology damping mode policy 1 interval mrai seed isp None
+    in
+    let pulses = List.init max_pulses (fun i -> i + 1) in
+    let sweep = Rfd.Sweep.run ~label:"cli" ~pulses scenario in
+    let tup =
+      match sweep.Rfd.Sweep.points with
+      | p :: _ -> p.Rfd.Sweep.result.Rfd.Runner.tup
+      | [] -> 30.
+    in
+    let columns =
+      [
+        ("convergence(s)", Rfd.Sweep.convergence_series sweep);
+        ("messages", Rfd.Sweep.message_series sweep);
+      ]
+      @
+      match damping with
+      | Some params ->
+          [ ("intended(s)", Rfd.Sweep.intended_series params ~interval ~tup ~pulses) ]
+      | None -> []
+    in
+    print_string (Rfd.Report.series ~x_label:"pulses" ~columns ())
+  in
+  let doc = "sweep pulse counts and print convergence/message series" in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      const action $ topology_arg $ damping_arg $ mode_arg $ policy_arg $ interval_arg
+      $ mrai_arg $ seed_arg $ isp_arg $ max_pulses_arg)
+
+(* ------------------------------------------------------------------ *)
+(* intended                                                            *)
+
+let intended_cmd =
+  let action damping pulses interval tup =
+    let params = match damping with Some p -> p | None -> Params.cisco in
+    let s = Rfd.Intended.final_state params ~pulses ~interval in
+    Format.printf "parameters: %a@." Params.pp params;
+    Format.printf "penalty right after the final announcement: %.1f@."
+      s.Rfd.Intended.penalty;
+    Format.printf "suppressed at that moment: %b@." s.Rfd.Intended.suppressed;
+    Format.printf "suppression onset: %d pulses@."
+      (Rfd.Intended.suppression_onset params ~interval);
+    Format.printf "intended convergence time: %.1f s@."
+      (Rfd.Intended.convergence_time params ~pulses ~interval ~tup)
+  in
+  let tup_arg =
+    let doc = "Assumed plain BGP up-convergence time (seconds)." in
+    Arg.(value & opt float 30. & info [ "tup" ] ~doc)
+  in
+  let doc = "print the Section 3 analytic (intended) damping behaviour" in
+  Cmd.v (Cmd.info "intended" ~doc)
+    Term.(const action $ damping_arg $ pulses_arg $ interval_arg $ tup_arg)
+
+(* ------------------------------------------------------------------ *)
+(* topo                                                                *)
+
+let topo_cmd =
+  let action topology seed relations =
+    let rng = Rfd.Rng.create seed in
+    let graph =
+      match topology with
+      | Scenario.Mesh { rows; cols } -> Rfd.Builders.mesh ~rows ~cols
+      | Scenario.Internet { nodes; m } -> Rfd.Random_graphs.barabasi_albert rng ~n:nodes ~m
+      | Scenario.Custom g -> g
+    in
+    if relations then
+      print_string (Rfd.Edge_list.print (Rfd.Relations.infer_by_degree graph))
+    else print_string (Rfd.Edge_list.print_graph graph)
+  in
+  let relations_arg =
+    let doc = "Annotate edges with degree-inferred AS relationships." in
+    Arg.(value & flag & info [ "relations" ] ~doc)
+  in
+  let doc = "generate a topology and print it as an edge list" in
+  Cmd.v (Cmd.info "topo" ~doc) Term.(const action $ topology_arg $ seed_arg $ relations_arg)
+
+(* ------------------------------------------------------------------ *)
+(* metrics                                                             *)
+
+let metrics_cmd =
+  let action topology seed =
+    let rng = Rfd.Rng.create seed in
+    let graph =
+      match topology with
+      | Scenario.Mesh { rows; cols } -> Rfd.Builders.mesh ~rows ~cols
+      | Scenario.Internet { nodes; m } -> Rfd.Random_graphs.barabasi_albert rng ~n:nodes ~m
+      | Scenario.Custom g -> g
+    in
+    let s = Rfd.Topo_metrics.summarize graph in
+    Format.printf "%a@." Rfd.Topo_metrics.pp_summary s;
+    (match Rfd.Topo_metrics.power_law_alpha graph with
+    | Some alpha -> Format.printf "power-law tail exponent (MLE): %.2f@." alpha
+    | None -> Format.printf "power-law tail exponent: n/a (tail too small)@.");
+    Format.printf "degree histogram:@.";
+    List.iter
+      (fun (degree, count) -> Format.printf "  degree %3d: %d node(s)@." degree count)
+      (Rfd.Graph.degree_histogram graph)
+  in
+  let doc = "print structural metrics of a topology" in
+  Cmd.v (Cmd.info "metrics" ~doc) Term.(const action $ topology_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "route flap damping simulator (ICDCS 2005 reproduction)" in
+  let info = Cmd.info "rfd-sim" ~version:Rfd.version ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; intended_cmd; topo_cmd; metrics_cmd ]))

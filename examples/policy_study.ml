@@ -1,0 +1,37 @@
+(* Section 7 of the paper: commercial (no-valley) routing policies reduce
+   the number of alternate paths, hence path exploration, hence false
+   suppression — moving damping closer to its intended behaviour without
+   fixing the root problem.
+
+   Run with: dune exec examples/policy_study.exe *)
+
+let () =
+  let topology = Rfd.Scenario.Internet { nodes = 208; m = 2 } in
+  let run policy =
+    Rfd.Runner.run
+      (Rfd.Scenario.make ~name:"policy" ~policy ~config:Rfd.cisco_damping_config ~pulses:1
+         ~isp:`Random topology)
+  in
+  let no_policy = run Rfd.Scenario.Announce_all in
+  let with_policy = run Rfd.Scenario.No_valley in
+  let report label (r : Rfd.Runner.result) =
+    Format.printf "%-32s convergence %6.0f s, %5d updates, %3d false suppressions@." label
+      r.Rfd.Runner.convergence_time r.Rfd.Runner.message_count
+      (Rfd.Collector.suppress_events r.Rfd.Runner.collector)
+  in
+  Format.printf "Single flap on a 208-node Internet-derived topology:@.@.";
+  report "shortest-path (no policy):" no_policy;
+  report "no-valley (with policy):" with_policy;
+  Format.printf
+    "@.The valley-free policy prunes alternate paths: fewer exploration updates reach@.";
+  Format.printf
+    "each router, fewer RIB-In entries cross the cut-off, and reuse-timer interaction@.";
+  Format.printf "weakens — but does not disappear (the paper's Figure 15).@.";
+
+  (* Show the relationship mix the degree heuristic inferred. *)
+  let rng = Rfd.Rng.create 42 in
+  let g = Rfd.Random_graphs.barabasi_albert rng ~n:208 ~m:2 in
+  let rel = Rfd.Relations.infer_by_degree g in
+  let c2p, p2p = Rfd.Relations.counts rel in
+  Format.printf "@.Inferred AS relationships: %d customer-provider, %d peer-peer edges@." c2p
+    p2p

@@ -1,0 +1,34 @@
+(* Quickstart: build a small network, let it converge, inspect routes,
+   then watch a link failure reroute traffic.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* A 4x4 grid of routers (16 ASes), no damping. *)
+  let graph = Rfd.Builders.grid ~rows:4 ~cols:4 in
+  let sim, net = Rfd.quick_network graph in
+
+  (* Router 0 originates a prefix; run the simulator to quiescence. *)
+  let prefix = Rfd.Prefix.v 0 in
+  Rfd.Network.originate net ~node:0 prefix;
+  Rfd.Network.run net;
+
+  Format.printf "After initial convergence (t = %.2fs):@." (Rfd.Sim.now sim);
+  for node = 0 to Rfd.Graph.num_nodes graph - 1 do
+    match Rfd.Router.best (Rfd.Network.router net node) prefix with
+    | Some route -> Format.printf "  router %2d -> %a@." node Rfd.Route.pp route
+    | None -> Format.printf "  router %2d -> unreachable@." node
+  done;
+
+  (* Fail the link between 0 and 1: router 1 must find a detour. *)
+  Rfd.Network.fail_link net 0 1;
+  Rfd.Network.run net;
+  Format.printf "@.After failing link (0, 1):@.";
+  (match Rfd.Router.best (Rfd.Network.router net 1) prefix with
+  | Some route -> Format.printf "  router 1 now uses %a@." Rfd.Route.pp route
+  | None -> Format.printf "  router 1 lost the route@.");
+
+  Rfd.Network.restore_link net 0 1;
+  Rfd.Network.run net;
+  Format.printf "@.After restoring the link, converged: %b@."
+    (Rfd.Network.converged net prefix)

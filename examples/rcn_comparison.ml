@@ -1,0 +1,31 @@
+(* Compare plain RFC 2439 damping against RCN-enhanced damping (the paper's
+   proposed fix) across a few flap counts: RCN removes false suppression
+   and timer interaction, so convergence matches the intended calculation.
+
+   Run with: dune exec examples/rcn_comparison.exe *)
+
+let () =
+  let mesh = Rfd.Scenario.paper_mesh in
+  let run config pulses =
+    Rfd.Runner.run (Rfd.Scenario.make ~name:"cmp" ~config ~pulses mesh)
+  in
+  Format.printf "Plain damping vs RCN-enhanced damping (100-node mesh, Cisco defaults)@.@.";
+  Format.printf "%6s  %14s  %14s  %14s@." "pulses" "plain conv (s)" "rcn conv (s)"
+    "intended (s)";
+  let tup = ref 30. in
+  List.iter
+    (fun pulses ->
+      let plain = run Rfd.cisco_damping_config pulses in
+      let rcn = run Rfd.rcn_damping_config pulses in
+      tup := plain.Rfd.Runner.tup;
+      let intended =
+        Rfd.Intended.convergence_time Rfd.Params.cisco ~pulses ~interval:60. ~tup:!tup
+      in
+      Format.printf "%6d  %14.0f  %14.0f  %14.0f@." pulses plain.Rfd.Runner.convergence_time
+        rcn.Rfd.Runner.convergence_time intended)
+    [ 1; 2; 3; 4; 5 ];
+  Format.printf
+    "@.With RCN every update carries its root cause; a router charges the damping@.";
+  Format.printf
+    "penalty once per root cause, so path exploration and route reuse no longer@.";
+  Format.printf "trigger false suppression — convergence follows the intended curve.@."

@@ -1,0 +1,17 @@
+type t = int list
+
+let empty = []
+let of_list l = l
+let to_list t = t
+let prepend asn t = asn :: t
+let length = List.length
+let contains t asn = List.mem asn t
+
+let origin t =
+  match List.rev t with [] -> None | last :: _ -> Some last
+
+let equal = List.equal Int.equal
+let compare = List.compare Int.compare
+
+let pp ppf t =
+  Format.fprintf ppf "[%a]" (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f " ") Format.pp_print_int) t

@@ -1,0 +1,27 @@
+(** AS paths.
+
+    A sequence of AS numbers, most recently prepended first (the neighbour
+    that sent the route is the head; the originator is the last element).
+    Each simulated router is its own AS, so AS numbers are node ids. *)
+
+type t
+
+val empty : t
+(** The path of a locally originated route before any prepending. *)
+
+val of_list : int list -> t
+val to_list : t -> int list
+
+val prepend : int -> t -> t
+(** [prepend asn p] — done by each router as it propagates a route. *)
+
+val length : t -> int
+val contains : t -> int -> bool
+(** Loop detection. *)
+
+val origin : t -> int option
+(** The originating AS (last element), if the path is non-empty. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+type damping_mode = Plain | Rcn | Selective
+
+type deployment = Everywhere | Nowhere | Fraction of float | Only of int list
+
+type t = {
+  mrai : float;
+  mrai_jitter : float * float;
+  mrai_per_peer : bool;
+  withdrawal_rate_limiting : bool;
+  link_delay : float;
+  link_jitter : float;
+  damping : Rfd_damping.Params.t option;
+  damping_overrides : (int * Rfd_damping.Params.t) list;
+  damping_mode : damping_mode;
+  deployment : deployment;
+  rcn_history : int;
+  seed : int;
+}
+
+let default =
+  {
+    mrai = 30.;
+    mrai_jitter = (0.75, 1.0);
+    mrai_per_peer = false;
+    withdrawal_rate_limiting = false;
+    link_delay = 0.05;
+    link_jitter = 0.05;
+    damping = None;
+    damping_overrides = [];
+    damping_mode = Plain;
+    deployment = Everywhere;
+    rcn_history = 128;
+    seed = 42;
+  }
+
+let with_damping ?(mode = Plain) ?(deployment = Everywhere) params t =
+  { t with damping = Some params; damping_mode = mode; deployment }
+
+let validate t =
+  let lo, hi = t.mrai_jitter in
+  if t.mrai < 0. then Error "mrai must be non-negative"
+  else if lo <= 0. || hi < lo then Error "mrai_jitter must satisfy 0 < lo <= hi"
+  else if t.link_delay <= 0. then Error "link_delay must be positive"
+  else if t.link_jitter < 0. then Error "link_jitter must be non-negative"
+  else if t.rcn_history <= 0 then Error "rcn_history must be positive"
+  else
+    let override_error =
+      List.fold_left
+        (fun acc (node, params) ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+              if node < 0 then Some "damping override for negative router id"
+              else
+                match Rfd_damping.Params.validate params with
+                | Error e -> Some ("damping override params: " ^ e)
+                | Ok () -> None))
+        None t.damping_overrides
+    in
+    match override_error with
+    | Some e -> Error e
+    | None -> (
+        match (t.damping, t.deployment) with
+        | Some params, _ -> (
+            match Rfd_damping.Params.validate params with
+            | Error e -> Error ("damping params: " ^ e)
+            | Ok () -> (
+                match t.deployment with
+                | Fraction f when f < 0. || f > 1. -> Error "deployment fraction outside [0,1]"
+                | _ -> Ok ()))
+        | None, _ -> Ok ())

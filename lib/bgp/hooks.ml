@@ -1,0 +1,21 @@
+type t = {
+  mutable on_send : time:float -> src:int -> dst:int -> Update.t -> unit;
+  mutable on_deliver : time:float -> src:int -> dst:int -> Update.t -> unit;
+  mutable on_suppress : time:float -> router:int -> peer:int -> prefix:Prefix.t -> unit;
+  mutable on_reuse :
+    time:float -> router:int -> peer:int -> prefix:Prefix.t -> noisy:bool -> unit;
+  mutable on_penalty :
+    time:float -> router:int -> peer:int -> prefix:Prefix.t -> penalty:float -> unit;
+  mutable on_best_change :
+    time:float -> router:int -> prefix:Prefix.t -> best:Route.t option -> unit;
+}
+
+let create () =
+  {
+    on_send = (fun ~time:_ ~src:_ ~dst:_ _ -> ());
+    on_deliver = (fun ~time:_ ~src:_ ~dst:_ _ -> ());
+    on_suppress = (fun ~time:_ ~router:_ ~peer:_ ~prefix:_ -> ());
+    on_reuse = (fun ~time:_ ~router:_ ~peer:_ ~prefix:_ ~noisy:_ -> ());
+    on_penalty = (fun ~time:_ ~router:_ ~peer:_ ~prefix:_ ~penalty:_ -> ());
+    on_best_change = (fun ~time:_ ~router:_ ~prefix:_ ~best:_ -> ());
+  }

@@ -1,0 +1,27 @@
+(** Instrumentation callbacks.
+
+    The experiment harness observes a running network exclusively through
+    these hooks, keeping protocol code free of metrics concerns. All hooks
+    default to no-ops; assign the fields you need. *)
+
+type t = {
+  mutable on_send : time:float -> src:int -> dst:int -> Update.t -> unit;
+      (** an update leaves a router *)
+  mutable on_deliver : time:float -> src:int -> dst:int -> Update.t -> unit;
+      (** an update reaches its neighbour (the paper's "updates observed in
+          the network" counts these) *)
+  mutable on_suppress : time:float -> router:int -> peer:int -> prefix:Prefix.t -> unit;
+      (** a RIB-In entry crossed the cut-off threshold *)
+  mutable on_reuse :
+    time:float -> router:int -> peer:int -> prefix:Prefix.t -> noisy:bool -> unit;
+      (** a reuse timer fired and the entry was released; [noisy] when the
+          release changed the best path and propagated updates *)
+  mutable on_penalty :
+    time:float -> router:int -> peer:int -> prefix:Prefix.t -> penalty:float -> unit;
+      (** the penalty was incremented (fires after the increment) *)
+  mutable on_best_change :
+    time:float -> router:int -> prefix:Prefix.t -> best:Route.t option -> unit;
+}
+
+val create : unit -> t
+(** All no-ops. *)

@@ -1,0 +1,194 @@
+module Sim = Rfd_engine.Sim
+module Rng = Rfd_engine.Rng
+module Graph = Rfd_topology.Graph
+
+type directed_link = {
+  mutable last_delivery : float; (* FIFO floor for this direction *)
+}
+
+type link_state = {
+  mutable up : bool;
+  mutable epoch : int; (* bumped on failure to void in-flight messages *)
+}
+
+type t = {
+  sim : Sim.t;
+  graph : Graph.t;
+  config : Config.t;
+  hooks : Hooks.t;
+  routers : Router.t array;
+  damping_deployed : bool array;
+  links : (int * int, link_state) Hashtbl.t; (* canonical (min, max) key *)
+  directed : (int * int, directed_link) Hashtbl.t;
+  delay_rng : Rng.t;
+  mutable in_flight : int;
+}
+
+let canonical u v = if u < v then (u, v) else (v, u)
+
+let link_state_exn t u v =
+  match Hashtbl.find_opt t.links (canonical u v) with
+  | Some ls -> ls
+  | None -> invalid_arg (Printf.sprintf "Network: (%d,%d) is not a link" u v)
+
+let deployment_flags config rng n =
+  let flags = Array.make n false in
+  (match config.Config.damping with
+  | None -> ()
+  | Some _ -> (
+      match config.Config.deployment with
+      | Config.Everywhere -> Array.fill flags 0 n true
+      | Config.Nowhere -> ()
+      | Config.Fraction f ->
+          for i = 0 to n - 1 do
+            flags.(i) <- Rng.float rng 1.0 < f
+          done
+      | Config.Only nodes ->
+          List.iter
+            (fun node ->
+              if node < 0 || node >= n then
+                invalid_arg (Printf.sprintf "Network: deployment node %d out of range" node);
+              flags.(node) <- true)
+            nodes));
+  flags
+
+(* The transport for direction src -> dst: sample a delay, keep per-direction
+   FIFO order, and drop the message if the link failed either before sending
+   or while in flight (epoch check). *)
+let make_sender t src dst =
+  let ls = Hashtbl.find t.links (canonical src dst) in
+  let dl = Hashtbl.find t.directed (src, dst) in
+  fun update ->
+    if ls.up then begin
+      let now = Sim.now t.sim in
+      let delay =
+        t.config.Config.link_delay
+        +.
+        if t.config.Config.link_jitter > 0. then Rng.float t.delay_rng t.config.Config.link_jitter
+        else 0.
+      in
+      let at = Float.max (now +. delay) (dl.last_delivery +. 1e-9) in
+      dl.last_delivery <- at;
+      let epoch = ls.epoch in
+      t.in_flight <- t.in_flight + 1;
+      ignore
+        (Sim.schedule_at t.sim ~time:at (fun _ ->
+             t.in_flight <- t.in_flight - 1;
+             if ls.up && ls.epoch = epoch then begin
+               t.hooks.Hooks.on_deliver ~time:(Sim.now t.sim) ~src ~dst update;
+               Router.receive t.routers.(dst) ~from_peer:src update
+             end))
+    end
+
+let create ?policy ~config sim graph =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Network.create: " ^ msg));
+  let policy = match policy with Some p -> p | None -> Policy.announce_all in
+  let n = Graph.num_nodes graph in
+  let master = Rng.create config.Config.seed in
+  let deploy_rng = Rng.split master in
+  let delay_rng = Rng.split master in
+  let hooks = Hooks.create () in
+  let damping_deployed = deployment_flags config deploy_rng n in
+  let params_at node =
+    if not damping_deployed.(node) then None
+    else
+      match List.assoc_opt node config.Config.damping_overrides with
+      | Some params -> Some params
+      | None -> config.Config.damping
+  in
+  let routers =
+    Array.init n (fun node ->
+        Router.create ~sim ~id:node ~policy ~config ~damping:(params_at node)
+          ~rng:(Rng.split master) ~hooks)
+  in
+  let t =
+    {
+      sim;
+      graph;
+      config;
+      hooks;
+      routers;
+      damping_deployed;
+      links = Hashtbl.create (max 16 (Graph.num_edges graph));
+      directed = Hashtbl.create (max 16 (2 * Graph.num_edges graph));
+      delay_rng;
+      in_flight = 0;
+    }
+  in
+  Array.iter
+    (fun (u, v) ->
+      Hashtbl.replace t.links (u, v) { up = true; epoch = 0 };
+      Hashtbl.replace t.directed (u, v) { last_delivery = 0. };
+      Hashtbl.replace t.directed (v, u) { last_delivery = 0. })
+    (Graph.edges graph);
+  Array.iter
+    (fun (u, v) ->
+      Router.connect t.routers.(u) ~peer:v ~send:(make_sender t u v);
+      Router.connect t.routers.(v) ~peer:u ~send:(make_sender t v u))
+    (Graph.edges graph);
+  t
+
+let sim t = t.sim
+let graph t = t.graph
+let hooks t = t.hooks
+
+let router t node =
+  if node < 0 || node >= Array.length t.routers then
+    invalid_arg (Printf.sprintf "Network.router: node %d out of range" node);
+  t.routers.(node)
+
+let num_routers t = Array.length t.routers
+let damping_at t node = t.damping_deployed.(node)
+
+let originate t ~node prefix = Router.originate (router t node) prefix
+let withdraw t ~node prefix = Router.withdraw_prefix (router t node) prefix
+
+let schedule_originate t ~at ~node prefix =
+  ignore (Sim.schedule_at t.sim ~time:at (fun _ -> originate t ~node prefix))
+
+let schedule_withdraw t ~at ~node prefix =
+  ignore (Sim.schedule_at t.sim ~time:at (fun _ -> withdraw t ~node prefix))
+
+let fail_link t u v =
+  let ls = link_state_exn t u v in
+  if ls.up then begin
+    ls.up <- false;
+    ls.epoch <- ls.epoch + 1;
+    Router.peer_down t.routers.(u) ~peer:v;
+    Router.peer_down t.routers.(v) ~peer:u
+  end
+
+let restore_link t u v =
+  let ls = link_state_exn t u v in
+  if not ls.up then begin
+    ls.up <- true;
+    Router.peer_up t.routers.(u) ~peer:v;
+    Router.peer_up t.routers.(v) ~peer:u
+  end
+
+let link_up t u v = (link_state_exn t u v).up
+
+let schedule_fail_link t ~at u v =
+  ignore (Sim.schedule_at t.sim ~time:at (fun _ -> fail_link t u v))
+
+let schedule_restore_link t ~at u v =
+  ignore (Sim.schedule_at t.sim ~time:at (fun _ -> restore_link t u v))
+
+let run ?until t = Sim.run ?until t.sim
+
+let converged t prefix =
+  t.in_flight = 0
+  && Array.for_all
+       (fun r ->
+         match (Router.best r prefix, Router.recompute_best r prefix) with
+         | None, None -> true
+         | Some a, Some b -> Route.equal a b
+         | Some _, None | None, Some _ -> false)
+       t.routers
+
+let reachable_count t prefix =
+  Array.fold_left
+    (fun acc r -> if Router.best r prefix <> None then acc + 1 else acc)
+    0 t.routers

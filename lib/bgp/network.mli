@@ -1,0 +1,63 @@
+(** A simulated network: one router per graph node, one bidirectional link
+    per edge, with delayed FIFO message delivery.
+
+    Per-message delay is [link_delay + U(0, link_jitter)], and deliveries on
+    a directed link never reorder. Failing a link drops in-flight messages
+    on it and signals both endpoint routers; restoring it triggers full-table
+    re-advertisement (BGP session restart semantics). *)
+
+type t
+
+val create :
+  ?policy:Policy.t ->
+  config:Config.t ->
+  Rfd_engine.Sim.t ->
+  Rfd_topology.Graph.t ->
+  t
+(** One router per node. [policy] defaults to {!Policy.announce_all}; pass
+    [Policy.no_valley relations] for valley-free routing. Damping deployment
+    follows [config]. Raises [Invalid_argument] on invalid config. *)
+
+val sim : t -> Rfd_engine.Sim.t
+val graph : t -> Rfd_topology.Graph.t
+val hooks : t -> Hooks.t
+(** Shared by every router; assign fields to observe the run. *)
+
+val router : t -> int -> Router.t
+val num_routers : t -> int
+val damping_at : t -> int -> bool
+(** Whether damping is deployed at a node (per [config.deployment]). *)
+
+(** {1 Driving the simulation} *)
+
+val originate : t -> node:int -> Prefix.t -> unit
+(** Immediately (at current simulation time). *)
+
+val withdraw : t -> node:int -> Prefix.t -> unit
+
+val schedule_originate : t -> at:float -> node:int -> Prefix.t -> unit
+val schedule_withdraw : t -> at:float -> node:int -> Prefix.t -> unit
+
+val fail_link : t -> int -> int -> unit
+(** Raises [Invalid_argument] when the nodes are not adjacent. Idempotent. *)
+
+val restore_link : t -> int -> int -> unit
+val link_up : t -> int -> int -> bool
+
+val schedule_fail_link : t -> at:float -> int -> int -> unit
+val schedule_restore_link : t -> at:float -> int -> int -> unit
+
+val run : ?until:float -> t -> unit
+(** Run the simulator to quiescence (or to [until]). *)
+
+(** {1 Whole-network checks} *)
+
+val converged : t -> Prefix.t -> bool
+(** Every router's Loc-RIB entry equals what its decision process would
+    select right now, and no messages or MRAI flushes are in flight. (Reuse
+    timers may still be pending; like the paper, a network is converged when
+    remaining timers are silent — which this check does not prove; it checks
+    the Loc-RIB fixpoint only.) *)
+
+val reachable_count : t -> Prefix.t -> int
+(** Routers with a best route to the prefix (including the originator). *)

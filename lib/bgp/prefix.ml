@@ -1,0 +1,11 @@
+type t = int
+
+let v n =
+  if n < 0 then invalid_arg "Prefix.v: negative prefix id";
+  n
+
+let to_int t = t
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let pp ppf t = Format.fprintf ppf "p%d" t

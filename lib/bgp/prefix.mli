@@ -1,0 +1,16 @@
+(** Destination prefixes.
+
+    In this model a prefix is an opaque small integer naming a destination
+    (the paper only ever needs the one prefix originated by [originAS], but
+    the protocol engine is multi-prefix throughout). *)
+
+type t
+
+val v : int -> t
+(** [v n] is prefix number [n]. Raises [Invalid_argument] when negative. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+type status = Link_down | Link_up
+
+type t = { link : int * int; status : status; seq : int }
+
+let make ~link ~status ~seq = { link; status; seq }
+let origin_event ~node ~status ~seq = { link = (node, node); status; seq }
+let equal a b = a = b
+let compare = Stdlib.compare
+let hash = Hashtbl.hash
+
+let pp ppf t =
+  let u, v = t.link in
+  Format.fprintf ppf "{[%d %d] %s #%d}" u v
+    (match t.status with Link_down -> "down" | Link_up -> "up")
+    t.seq

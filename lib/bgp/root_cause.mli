@@ -1,0 +1,25 @@
+(** Root Cause Notification attributes (Section 6 of the paper).
+
+    A root cause is [{link = (u, v); status; seq}]: the link whose status
+    change ultimately triggered an update, whether it went down or up, and a
+    sequence number ordering the events of that link. Updates triggered by
+    the same event carry structurally equal root causes, which is what the
+    damping filter relies on.
+
+    A router that flaps its own originated prefix (the paper's [originAS]
+    pulse model, where the link stays usable as transport) stamps the event
+    with the degenerate link [(self, self)] — only identity matters. *)
+
+type status = Link_down | Link_up
+
+type t = { link : int * int; status : status; seq : int }
+
+val make : link:int * int -> status:status -> seq:int -> t
+
+val origin_event : node:int -> status:status -> seq:int -> t
+(** Root cause for an explicit originate/withdraw at [node]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+type t = { prefix : Prefix.t; path : As_path.t }
+
+let make ~prefix ~path = { prefix; path }
+let prefix t = t.prefix
+let path t = t.path
+let path_length t = As_path.length t.path
+let prepend asn t = { t with path = As_path.prepend asn t.path }
+let equal a b = Prefix.equal a.prefix b.prefix && As_path.equal a.path b.path
+
+let compare a b =
+  let c = Prefix.compare a.prefix b.prefix in
+  if c <> 0 then c else As_path.compare a.path b.path
+
+let pp ppf t = Format.fprintf ppf "%a via %a" Prefix.pp t.prefix As_path.pp t.path

@@ -1,0 +1,20 @@
+(** A route: a destination prefix plus path attributes.
+
+    The next hop is implicit — a route stored in a RIB-In belongs to the
+    peer it was received from. Attribute equality ({!equal}) is what the
+    damping code uses to distinguish duplicate announcements from
+    attribute changes. *)
+
+type t = { prefix : Prefix.t; path : As_path.t }
+
+val make : prefix:Prefix.t -> path:As_path.t -> t
+val prefix : t -> Prefix.t
+val path : t -> As_path.t
+val path_length : t -> int
+
+val prepend : int -> t -> t
+(** Prepend an AS to the path, keeping the prefix. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

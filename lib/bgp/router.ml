@@ -1,0 +1,544 @@
+module Sim = Rfd_engine.Sim
+module Rng = Rfd_engine.Rng
+module Damper = Rfd_damping.Damper
+module History = Rfd_damping.History
+
+type desired = D_announce of Route.t | D_withdraw
+
+type entry = {
+  mutable route : Route.t option;
+  damper : Damper.t option;
+  mutable reuse_pending : bool; (* a reuse timer is outstanding for this entry *)
+  mutable last_rc : Root_cause.t option;
+}
+
+type pending_out = { desired : desired; rc : Root_cause.t option }
+
+type peer_state = {
+  peer_id : int;
+  mutable send : (Update.t -> unit) option;
+  mrai_interval : float; (* jittered once per session *)
+  rib_in : (Prefix.t, entry) Hashtbl.t;
+  rib_out : (Prefix.t, Route.t) Hashtbl.t; (* absent = withdrawn / never sent *)
+  mrai_deadline : (Prefix.t, float) Hashtbl.t;
+  pending : (Prefix.t, pending_out) Hashtbl.t;
+  flush_scheduled : (Prefix.t, unit) Hashtbl.t;
+  rcn_history : Root_cause.t History.t;
+  mutable peer_deadline : float; (* shared MRAI deadline in per-peer mode *)
+  mutable up : bool;
+}
+
+type t = {
+  sim : Sim.t;
+  id : int;
+  policy : Policy.t;
+  config : Config.t;
+  damping : Rfd_damping.Params.t option;
+  hooks : Hooks.t;
+  rng : Rng.t;
+  peers : (int, peer_state) Hashtbl.t;
+  mutable peer_order : int list; (* ascending *)
+  loc_rib : (Prefix.t, int option * Route.t) Hashtbl.t; (* learned-from peer, route *)
+  originated : (Prefix.t, unit) Hashtbl.t;
+  mutable rc_seq : int;
+}
+
+let create ~sim ~id ~policy ~config ~damping ~rng ~hooks =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Router.create: " ^ msg));
+  (match damping with
+  | Some params -> (
+      match Rfd_damping.Params.validate params with
+      | Ok () -> ()
+      | Error msg -> invalid_arg ("Router.create: damping params: " ^ msg))
+  | None -> ());
+  {
+    sim;
+    id;
+    policy;
+    config;
+    damping;
+    hooks;
+    rng;
+    peers = Hashtbl.create 8;
+    peer_order = [];
+    loc_rib = Hashtbl.create 8;
+    originated = Hashtbl.create 4;
+    rc_seq = 0;
+  }
+
+let id t = t.id
+let damping_params t = t.damping
+
+let connect t ~peer ~send =
+  if peer = t.id then invalid_arg "Router.connect: cannot peer with self";
+  if Hashtbl.mem t.peers peer then
+    invalid_arg (Printf.sprintf "Router.connect: duplicate peer %d" peer);
+  let lo, hi = t.config.Config.mrai_jitter in
+  let ps =
+    {
+      peer_id = peer;
+      send = Some send;
+      mrai_interval = t.config.Config.mrai *. Rng.uniform t.rng ~lo ~hi;
+      rib_in = Hashtbl.create 8;
+      rib_out = Hashtbl.create 8;
+      mrai_deadline = Hashtbl.create 8;
+      pending = Hashtbl.create 8;
+      flush_scheduled = Hashtbl.create 8;
+      rcn_history = History.create ~capacity:t.config.Config.rcn_history ();
+      peer_deadline = 0.;
+      up = true;
+    }
+  in
+  Hashtbl.replace t.peers peer ps;
+  t.peer_order <- List.sort Int.compare (peer :: t.peer_order)
+
+let peer_ids t = t.peer_order
+
+let peer_state t peer =
+  match Hashtbl.find_opt t.peers peer with
+  | Some ps -> ps
+  | None -> invalid_arg (Printf.sprintf "Router %d: unknown peer %d" t.id peer)
+
+let fresh_rc t ~status = (
+  t.rc_seq <- t.rc_seq + 1;
+  Root_cause.origin_event ~node:t.id ~status ~seq:t.rc_seq)
+
+let fresh_link_rc t ~peer ~status =
+  t.rc_seq <- t.rc_seq + 1;
+  Root_cause.make ~link:(t.id, peer) ~status ~seq:t.rc_seq
+
+(* ------------------------------------------------------------------ *)
+(* Decision process                                                    *)
+
+let self_route prefix = Route.make ~prefix ~path:As_path.empty
+
+(* (preference, path length, peer id) — bigger pref wins, then shorter
+   path, then lower peer id. Ascending peer iteration makes the id
+   tie-break implicit via strict improvement. *)
+let better_candidate ~pref_a ~len_a ~peer_a ~pref_b ~len_b ~peer_b =
+  pref_a > pref_b
+  || (pref_a = pref_b && (len_a < len_b || (len_a = len_b && peer_a < peer_b)))
+
+let compute_best t prefix =
+  if Hashtbl.mem t.originated prefix then Some (None, self_route prefix)
+  else begin
+    let best = ref None in
+    List.iter
+      (fun peer ->
+        let ps = Hashtbl.find t.peers peer in
+        if ps.up then
+          match Hashtbl.find_opt ps.rib_in prefix with
+          | Some ({ route = Some route; _ } as entry) ->
+              let usable =
+                match entry.damper with
+                | Some damper -> not (Damper.suppressed damper)
+                | None -> true
+              in
+              if usable then begin
+                let pref =
+                  Policy.import_preference t.policy ~me:t.id ~from_peer:peer ~route
+                in
+                let len = Route.path_length route in
+                match !best with
+                | None -> best := Some (peer, route, pref, len)
+                | Some (bp, _, bpref, blen) ->
+                    if
+                      better_candidate ~pref_a:pref ~len_a:len ~peer_a:peer ~pref_b:bpref
+                        ~len_b:blen ~peer_b:bp
+                    then best := Some (peer, route, pref, len)
+              end
+          | Some { route = None; _ } | None -> ())
+      t.peer_order;
+    match !best with None -> None | Some (peer, route, _, _) -> Some (Some peer, route)
+  end
+
+let best_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some (pa, ra), Some (pb, rb) -> pa = pb && Route.equal ra rb
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Output path: RIB-Out diffing + MRAI                                 *)
+
+let dispatch t ps msg =
+  let now = Sim.now t.sim in
+  t.hooks.Hooks.on_send ~time:now ~src:t.id ~dst:ps.peer_id msg;
+  match ps.send with
+  | Some send -> send msg
+  | None -> invalid_arg (Printf.sprintf "Router %d: peer %d has no transport" t.id ps.peer_id)
+
+let send_now t ps prefix desired rc =
+  let now = Sim.now t.sim in
+  Hashtbl.remove ps.pending prefix;
+  match desired with
+  | D_withdraw ->
+      Hashtbl.remove ps.rib_out prefix;
+      dispatch t ps (Update.withdraw ?rc prefix)
+      (* withdrawals do not restart the MRAI *)
+  | D_announce route ->
+      let rel_pref =
+        match Hashtbl.find_opt ps.rib_out prefix with
+        | Some prev ->
+            let c = Int.compare (Route.path_length route) (Route.path_length prev) in
+            Some
+              (if c < 0 then Update.Better
+               else if c > 0 then Update.Worse
+               else Update.Same_pref)
+        | None -> None
+      in
+      Hashtbl.replace ps.rib_out prefix route;
+      dispatch t ps (Update.announce ?rc ?rel_pref route);
+      if t.config.Config.mrai > 0. then begin
+        let deadline = now +. ps.mrai_interval in
+        if t.config.Config.mrai_per_peer then ps.peer_deadline <- deadline
+        else Hashtbl.replace ps.mrai_deadline prefix deadline
+      end
+
+(* [emit] reconciles the desired advertisement for (peer, prefix) with what
+   was last sent, honouring the MRAI. Returns 1 when a message was sent or
+   queued, 0 when the peer is already up to date. *)
+let rec emit t ps prefix desired rc =
+  let same =
+    match (desired, Hashtbl.find_opt ps.rib_out prefix) with
+    | D_withdraw, None -> true
+    | D_announce r, Some r' -> Route.equal r r'
+    | D_withdraw, Some _ | D_announce _, None -> false
+  in
+  if same then begin
+    (* A pending older update is superseded by "nothing to do". *)
+    Hashtbl.remove ps.pending prefix;
+    0
+  end
+  else begin
+    let now = Sim.now t.sim in
+    let deadline =
+      if t.config.Config.mrai_per_peer then ps.peer_deadline
+      else
+        match Hashtbl.find_opt ps.mrai_deadline prefix with Some d -> d | None -> 0.
+    in
+    let rate_limited =
+      match desired with
+      | D_withdraw -> t.config.Config.withdrawal_rate_limiting
+      | D_announce _ -> true
+    in
+    if t.config.Config.mrai = 0. || (not rate_limited) || now >= deadline then begin
+      send_now t ps prefix desired rc;
+      1
+    end
+    else begin
+      Hashtbl.replace ps.pending prefix { desired; rc };
+      if not (Hashtbl.mem ps.flush_scheduled prefix) then begin
+        Hashtbl.replace ps.flush_scheduled prefix ();
+        ignore (Sim.schedule_at t.sim ~time:deadline (fun _ -> flush t ps prefix))
+      end;
+      1
+    end
+  end
+
+and flush t ps prefix =
+  Hashtbl.remove ps.flush_scheduled prefix;
+  if ps.up then
+    match Hashtbl.find_opt ps.pending prefix with
+    | None -> ()
+    | Some { desired; rc } ->
+        Hashtbl.remove ps.pending prefix;
+        ignore (emit t ps prefix desired rc)
+
+(* Run the decision process for [prefix]; on a best-path change, reconcile
+   every peer. Returns the number of updates sent or queued. *)
+let decision t prefix ~trigger_rc =
+  let old_best = Hashtbl.find_opt t.loc_rib prefix in
+  let new_best = compute_best t prefix in
+  if best_equal old_best new_best then 0
+  else begin
+    (match new_best with
+    | Some b -> Hashtbl.replace t.loc_rib prefix b
+    | None -> Hashtbl.remove t.loc_rib prefix);
+    t.hooks.Hooks.on_best_change ~time:(Sim.now t.sim) ~router:t.id ~prefix
+      ~best:(Option.map snd new_best);
+    let emitted = ref 0 in
+    List.iter
+      (fun peer ->
+        let ps = Hashtbl.find t.peers peer in
+        if ps.up then begin
+          let desired =
+            match new_best with
+            | None -> D_withdraw
+            | Some (learned_from, route) ->
+                if
+                  Policy.export_allowed t.policy ~me:t.id ~learned_from ~to_peer:peer ~route
+                  && not (As_path.contains (Route.path route) peer)
+                then D_announce (Route.prepend t.id route)
+                else D_withdraw
+          in
+          emitted := !emitted + emit t ps prefix desired trigger_rc
+        end)
+      t.peer_order;
+    !emitted
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Damping                                                             *)
+
+let rec reuse_fire t ps prefix entry =
+  entry.reuse_pending <- false;
+  match entry.damper with
+  | Some damper when Damper.suppressed damper -> (
+      let now = Sim.now t.sim in
+      match Damper.try_reuse damper ~now with
+      | `Not_yet time ->
+          entry.reuse_pending <- true;
+          ignore
+            (Sim.schedule_at t.sim ~time:(time +. 1e-6) (fun _ -> reuse_fire t ps prefix entry))
+      | `Reused ->
+          let emitted = decision t prefix ~trigger_rc:entry.last_rc in
+          t.hooks.Hooks.on_reuse ~time:now ~router:t.id ~peer:ps.peer_id ~prefix
+            ~noisy:(emitted > 0))
+  | Some _ | None -> ()
+
+let schedule_reuse t ps prefix entry =
+  if not entry.reuse_pending then begin
+    match entry.damper with
+    | None -> ()
+    | Some damper ->
+        entry.reuse_pending <- true;
+        let time = Damper.reuse_time damper ~now:(Sim.now t.sim) +. 1e-6 in
+        ignore (Sim.schedule_at t.sim ~time (fun _ -> reuse_fire t ps prefix entry))
+  end
+
+(* Apply a damping event to an entry. [count] is false when the RCN or
+   selective filter decided this update must not charge the penalty. *)
+let apply_damping t ps prefix entry event ~count =
+  if t.damping <> None && count then
+    match entry.damper with
+    | None -> ()
+    | Some damper ->
+        let now = Sim.now t.sim in
+        let transition = Damper.record damper ~now event in
+        t.hooks.Hooks.on_penalty ~time:now ~router:t.id ~peer:ps.peer_id ~prefix
+          ~penalty:(Damper.penalty damper ~now);
+        (match transition with
+        | `Suppressed ->
+            t.hooks.Hooks.on_suppress ~time:now ~router:t.id ~peer:ps.peer_id ~prefix;
+            schedule_reuse t ps prefix entry
+        | `Ok ->
+            (* Charging an already-suppressed entry postpones its reuse; the
+               outstanding timer re-checks and re-schedules itself. *)
+            ())
+
+let new_entry t =
+  let damper = Option.map Damper.create t.damping in
+  { route = None; damper; reuse_pending = false; last_rc = None }
+
+let find_or_create_entry t ps prefix =
+  match Hashtbl.find_opt ps.rib_in prefix with
+  | Some entry -> (entry, false)
+  | None ->
+      let entry = new_entry t in
+      Hashtbl.replace ps.rib_in prefix entry;
+      (entry, true)
+
+(* ------------------------------------------------------------------ *)
+(* Input path                                                          *)
+
+(* In RCN mode every received update runs through the per-peer root-cause
+   history; the result decides whether the damping penalty is charged. *)
+let rc_filter t ps rc =
+  match t.config.Config.damping_mode with
+  | Config.Rcn when t.damping <> None -> (
+      match rc with
+      | Some rc -> History.observe ps.rcn_history rc = `New
+      | None -> true)
+  | Config.Rcn | Config.Plain | Config.Selective -> true
+
+(* In RCN mode the penalty models the root-cause flap itself, not the local
+   update type ("each route flap — not each update — increases the damping
+   penalty"): a down event charges the withdrawal penalty, an up event the
+   re-announcement penalty, whatever shape the locally received update
+   takes. *)
+let damping_event t ~rc ~local =
+  match (t.config.Config.damping_mode, rc) with
+  | Config.Rcn, Some { Root_cause.status = Root_cause.Link_down; _ } -> Damper.Withdrawal
+  | Config.Rcn, Some { Root_cause.status = Root_cause.Link_up; _ } -> Damper.Reannouncement
+  | (Config.Rcn | Config.Plain | Config.Selective), _ -> local
+
+let handle_withdraw t ps prefix ~rc ~count =
+  match Hashtbl.find_opt ps.rib_in prefix with
+  | Some ({ route = Some _; _ } as entry) ->
+      entry.route <- None;
+      entry.last_rc <- rc;
+      apply_damping t ps prefix entry (damping_event t ~rc ~local:Damper.Withdrawal) ~count;
+      ignore (decision t prefix ~trigger_rc:rc)
+  | Some { route = None; _ } | None ->
+      (* Spurious withdrawal: no state change, no penalty (RFC 2439). *)
+      ()
+
+let handle_announce t ps route ~rc ~rel_pref ~count =
+  let prefix = Route.prefix route in
+  let entry, created = find_or_create_entry t ps prefix in
+  let classification =
+    if created then `First
+    else
+      match entry.route with
+      | None -> `Event Damper.Reannouncement
+      | Some prev when Route.equal prev route -> `Duplicate
+      | Some _ -> `Event Damper.Attribute_change
+  in
+  match classification with
+  | `Duplicate -> ()
+  | `First ->
+      entry.route <- Some route;
+      entry.last_rc <- rc;
+      ignore (decision t prefix ~trigger_rc:rc)
+  | `Event event ->
+      entry.route <- Some route;
+      entry.last_rc <- rc;
+      let count =
+        count
+        &&
+        match (t.config.Config.damping_mode, event, rel_pref) with
+        | Config.Selective, Damper.Attribute_change, Some Update.Worse ->
+            (* The sender flagged this as a monotonically worse exploration
+               step; the selective-damping baseline skips the penalty. *)
+            false
+        | _ -> true
+      in
+      apply_damping t ps prefix entry (damping_event t ~rc ~local:event) ~count;
+      ignore (decision t prefix ~trigger_rc:rc)
+
+let receive t ~from_peer update =
+  let ps = peer_state t from_peer in
+  if ps.up then begin
+    let rc = Update.rc update in
+    let count = rc_filter t ps rc in
+    match update with
+    | Update.Withdraw { prefix; rc } -> handle_withdraw t ps prefix ~rc ~count
+    | Update.Announce { route; rc; rel_pref } ->
+        if As_path.contains (Route.path route) t.id then
+          (* Receiver-side loop detection: treat as withdrawal. *)
+          handle_withdraw t ps (Route.prefix route) ~rc ~count
+        else handle_announce t ps route ~rc ~rel_pref ~count
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Local origination                                                   *)
+
+let originate t prefix =
+  if not (Hashtbl.mem t.originated prefix) then begin
+    Hashtbl.replace t.originated prefix ();
+    let rc = fresh_rc t ~status:Root_cause.Link_up in
+    ignore (decision t prefix ~trigger_rc:(Some rc))
+  end
+
+let withdraw_prefix t prefix =
+  if Hashtbl.mem t.originated prefix then begin
+    Hashtbl.remove t.originated prefix;
+    let rc = fresh_rc t ~status:Root_cause.Link_down in
+    ignore (decision t prefix ~trigger_rc:(Some rc))
+  end
+
+let originates t prefix = Hashtbl.mem t.originated prefix
+
+(* ------------------------------------------------------------------ *)
+(* Session flaps                                                       *)
+
+let peer_down t ~peer =
+  let ps = peer_state t peer in
+  if ps.up then begin
+    ps.up <- false;
+    Hashtbl.reset ps.pending;
+    Hashtbl.reset ps.rib_out;
+    Hashtbl.reset ps.mrai_deadline;
+    let rc = fresh_link_rc t ~peer ~status:Root_cause.Link_down in
+    let affected =
+      Hashtbl.fold
+        (fun prefix entry acc -> if entry.route <> None then prefix :: acc else acc)
+        ps.rib_in []
+    in
+    List.iter
+      (fun prefix ->
+        let entry = Hashtbl.find ps.rib_in prefix in
+        entry.route <- None;
+        entry.last_rc <- Some rc;
+        apply_damping t ps prefix entry Damper.Withdrawal ~count:true;
+        ignore (decision t prefix ~trigger_rc:(Some rc)))
+      (List.sort Prefix.compare affected)
+  end
+
+let peer_up t ~peer =
+  let ps = peer_state t peer in
+  if not ps.up then begin
+    ps.up <- true;
+    let rc = fresh_link_rc t ~peer ~status:Root_cause.Link_up in
+    (* Re-advertise the full table to the restored session. *)
+    let prefixes = Hashtbl.fold (fun prefix _ acc -> prefix :: acc) t.loc_rib [] in
+    List.iter
+      (fun prefix ->
+        match Hashtbl.find_opt t.loc_rib prefix with
+        | None -> ()
+        | Some (learned_from, route) ->
+            let desired =
+              if
+                Policy.export_allowed t.policy ~me:t.id ~learned_from ~to_peer:peer ~route
+                && not (As_path.contains (Route.path route) peer)
+              then D_announce (Route.prepend t.id route)
+              else D_withdraw
+            in
+            ignore (emit t ps prefix desired (Some rc)))
+      (List.sort Prefix.compare prefixes)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Inspection                                                          *)
+
+let best t prefix = Option.map snd (Hashtbl.find_opt t.loc_rib prefix)
+
+let best_peer t prefix =
+  match Hashtbl.find_opt t.loc_rib prefix with
+  | Some (peer, _) -> peer
+  | None -> None
+
+let rib_in_route t ~peer prefix =
+  let ps = peer_state t peer in
+  match Hashtbl.find_opt ps.rib_in prefix with Some { route; _ } -> route | None -> None
+
+let entry_damper t ~peer prefix =
+  let ps = peer_state t peer in
+  match Hashtbl.find_opt ps.rib_in prefix with
+  | Some { damper; _ } -> damper
+  | None -> None
+
+let is_suppressed t ~peer prefix =
+  match entry_damper t ~peer prefix with
+  | Some damper -> Damper.suppressed damper
+  | None -> false
+
+let penalty t ~peer prefix =
+  match entry_damper t ~peer prefix with
+  | Some damper -> Damper.penalty damper ~now:(Sim.now t.sim)
+  | None -> 0.
+
+let suppressed_count t =
+  Hashtbl.fold
+    (fun _ ps acc ->
+      Hashtbl.fold
+        (fun _ entry acc ->
+          match entry.damper with
+          | Some damper when Damper.suppressed damper -> acc + 1
+          | Some _ | None -> acc)
+        ps.rib_in acc)
+    t.peers 0
+
+let known_prefixes t =
+  let set = Hashtbl.create 16 in
+  Hashtbl.iter (fun prefix _ -> Hashtbl.replace set prefix ()) t.loc_rib;
+  Hashtbl.iter (fun prefix _ -> Hashtbl.replace set prefix ()) t.originated;
+  Hashtbl.iter
+    (fun _ ps -> Hashtbl.iter (fun prefix _ -> Hashtbl.replace set prefix ()) ps.rib_in)
+    t.peers;
+  Hashtbl.fold (fun prefix _ acc -> prefix :: acc) set [] |> List.sort Prefix.compare
+
+let recompute_best t prefix = Option.map snd (compute_best t prefix)

@@ -1,0 +1,67 @@
+type event = Withdrawal | Reannouncement | Attribute_change
+
+type t = {
+  params : Params.t;
+  mutable value : float; (* penalty as of [at] *)
+  mutable at : float;
+  mutable suppressed : bool;
+  mutable recorded : int;
+}
+
+let create params =
+  (match Params.validate params with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Damper.create: " ^ msg));
+  { params; value = 0.; at = 0.; suppressed = false; recorded = 0 }
+
+let params t = t.params
+
+let settle t ~now =
+  (* Fold the decay since the last touch into [value]. *)
+  if now < t.at -. 1e-9 then invalid_arg "Damper: clock moved backwards";
+  let dt = Float.max 0. (now -. t.at) in
+  if dt > 0. then begin
+    t.value <- Params.decay t.params ~penalty:t.value ~dt;
+    t.at <- now
+  end
+
+let penalty t ~now =
+  settle t ~now;
+  t.value
+
+let suppressed t = t.suppressed
+
+let increment t = function
+  | Withdrawal -> t.params.Params.withdrawal_penalty
+  | Reannouncement -> t.params.Params.reannouncement_penalty
+  | Attribute_change -> t.params.Params.attribute_change_penalty
+
+let record t ~now event =
+  settle t ~now;
+  t.value <- Float.min (t.value +. increment t event) (Params.max_penalty t.params);
+  t.recorded <- t.recorded + 1;
+  if (not t.suppressed) && t.value > t.params.Params.cutoff then begin
+    t.suppressed <- true;
+    `Suppressed
+  end
+  else `Ok
+
+let reuse_time t ~now =
+  settle t ~now;
+  now +. Params.reuse_delay t.params ~penalty:t.value
+
+let try_reuse t ~now =
+  if not t.suppressed then invalid_arg "Damper.try_reuse: entry is not suppressed";
+  settle t ~now;
+  if t.value <= t.params.Params.reuse then begin
+    t.suppressed <- false;
+    `Reused
+  end
+  else `Not_yet (reuse_time t ~now)
+
+let events_recorded t = t.recorded
+
+let pp ppf t =
+  Format.fprintf ppf "penalty=%.1f@%.1f%s (%d events)" t.value t.at
+    (if t.suppressed then " SUPPRESSED" else "")
+    t.recorded

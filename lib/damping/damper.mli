@@ -1,0 +1,49 @@
+(** Per-(peer, prefix) damping state machine.
+
+    Holds the decaying penalty and the suppressed flag for one RIB-In entry.
+    The penalty is stored lazily: a value plus the time it was last touched;
+    {!penalty} applies the exponential decay on read.
+
+    The owner (the router) is responsible for scheduling a timer at
+    {!reuse_time} when {!record} reports [`Suppressed], and for calling
+    {!try_reuse} when that timer fires (re-scheduling if it returns
+    [`Not_yet]). *)
+
+type event =
+  | Withdrawal
+  | Reannouncement  (** announcement of a previously withdrawn route *)
+  | Attribute_change  (** announcement changing the route's attributes *)
+
+type t
+
+val create : Params.t -> t
+(** Fresh state: zero penalty, not suppressed. Raises [Invalid_argument]
+    when the parameters fail {!Params.validate}. *)
+
+val params : t -> Params.t
+
+val penalty : t -> now:float -> float
+(** Current decayed penalty. [now] must not precede the last event. *)
+
+val suppressed : t -> bool
+
+val record : t -> now:float -> event -> [ `Ok | `Suppressed ]
+(** Apply the increment for an update event, clamping at
+    {!Params.max_penalty}. Returns [`Suppressed] when this event pushed the
+    entry over the cut-off (transition only — recording onto an
+    already-suppressed entry returns [`Ok]). *)
+
+val reuse_time : t -> now:float -> float
+(** Absolute time at which the penalty will have decayed to the reuse
+    threshold ([now] if it already has). Meaningful whether or not the entry
+    is suppressed. *)
+
+val try_reuse : t -> now:float -> [ `Reused | `Not_yet of float ]
+(** If the penalty has decayed below the reuse threshold, clear the
+    suppressed flag and return [`Reused]; otherwise return the new earliest
+    reuse time. Raises [Invalid_argument] if not suppressed. *)
+
+val events_recorded : t -> int
+(** Number of {!record} calls that actually incremented the penalty. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+type 'a t = {
+  capacity : int;
+  table : ('a, unit) Hashtbl.t;
+  order : 'a Queue.t; (* insertion order, oldest at the front *)
+}
+
+let create ?(capacity = 128) () =
+  if capacity <= 0 then invalid_arg "History.create: capacity must be positive";
+  { capacity; table = Hashtbl.create capacity; order = Queue.create () }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+let mem t x = Hashtbl.mem t.table x
+
+let add t x =
+  if Hashtbl.mem t.table x then `Already_present
+  else begin
+    if Hashtbl.length t.table >= t.capacity then begin
+      let oldest = Queue.pop t.order in
+      Hashtbl.remove t.table oldest
+    end;
+    Hashtbl.replace t.table x ();
+    Queue.add x t.order;
+    `Added
+  end
+
+let observe t x = match add t x with `Added -> `New | `Already_present -> `Seen
+
+let clear t =
+  Hashtbl.reset t.table;
+  Queue.clear t.order
+
+let to_list t = List.of_seq (Queue.to_seq t.order)

@@ -1,0 +1,63 @@
+type t = {
+  name : string;
+  withdrawal_penalty : float;
+  reannouncement_penalty : float;
+  attribute_change_penalty : float;
+  cutoff : float;
+  reuse : float;
+  half_life : float;
+  max_suppress : float;
+}
+
+let minutes m = m *. 60.
+
+let cisco =
+  {
+    name = "cisco";
+    withdrawal_penalty = 1000.;
+    reannouncement_penalty = 0.;
+    attribute_change_penalty = 500.;
+    cutoff = 2000.;
+    reuse = 750.;
+    half_life = minutes 15.;
+    max_suppress = minutes 60.;
+  }
+
+let juniper =
+  {
+    name = "juniper";
+    withdrawal_penalty = 1000.;
+    reannouncement_penalty = 1000.;
+    attribute_change_penalty = 500.;
+    cutoff = 3000.;
+    reuse = 750.;
+    half_life = minutes 15.;
+    max_suppress = minutes 60.;
+  }
+
+let lambda t = Float.log 2. /. t.half_life
+let max_penalty t = t.reuse *. Float.exp2 (t.max_suppress /. t.half_life)
+
+let decay t ~penalty ~dt =
+  if dt < 0. then invalid_arg "Params.decay: negative dt";
+  penalty *. exp (-.lambda t *. dt)
+
+let reuse_delay t ~penalty =
+  if penalty <= t.reuse then 0. else log (penalty /. t.reuse) /. lambda t
+
+let validate t =
+  if t.half_life <= 0. then Error "half_life must be positive"
+  else if t.max_suppress <= 0. then Error "max_suppress must be positive"
+  else if t.reuse <= 0. then Error "reuse threshold must be positive"
+  else if t.cutoff <= t.reuse then Error "cutoff must exceed reuse threshold"
+  else if t.withdrawal_penalty < 0. || t.reannouncement_penalty < 0.
+          || t.attribute_change_penalty < 0. then Error "penalties must be non-negative"
+  else Ok ()
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: PW=%g PA=%g Pattr=%g cutoff=%g reuse=%g half-life=%gmin max-suppress=%gmin" t.name
+    t.withdrawal_penalty t.reannouncement_penalty t.attribute_change_penalty t.cutoff t.reuse
+    (t.half_life /. 60.) (t.max_suppress /. 60.)
+
+let table1 = [ cisco; juniper ]

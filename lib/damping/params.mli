@@ -1,0 +1,54 @@
+(** Route-flap-damping configuration (RFC 2439 style).
+
+    Matches Table 1 of the paper: per-update penalty increments, cut-off and
+    reuse thresholds, the exponential-decay half-life and the maximum
+    hold-down (suppression) time. Time is in seconds; the vendor defaults
+    quote minutes and are converted. *)
+
+type t = {
+  name : string;  (** preset label, e.g. "cisco" *)
+  withdrawal_penalty : float;  (** added when the route is withdrawn *)
+  reannouncement_penalty : float;
+      (** added when a previously withdrawn route is announced again *)
+  attribute_change_penalty : float;
+      (** added when an announcement changes the route's attributes *)
+  cutoff : float;  (** suppress when the penalty exceeds this *)
+  reuse : float;  (** reuse when the penalty decays below this *)
+  half_life : float;  (** seconds for the penalty to halve *)
+  max_suppress : float;  (** seconds; cap on suppression duration *)
+}
+
+val cisco : t
+(** Cisco defaults (Table 1): withdrawal 1000, re-announcement 0, attribute
+    change 500, cut-off 2000, half-life 15 min, reuse 750, max hold-down
+    60 min. *)
+
+val juniper : t
+(** Juniper defaults (Table 1): as Cisco but re-announcement 1000 and
+    cut-off 3000. *)
+
+val lambda : t -> float
+(** Decay rate λ = ln 2 / half-life. *)
+
+val max_penalty : t -> float
+(** Penalty ceiling implied by the max hold-down:
+    [reuse * 2 ** (max_suppress / half_life)]. Penalties are clamped here so
+    suppression can never outlast [max_suppress]. *)
+
+val decay : t -> penalty:float -> dt:float -> float
+(** [decay p ~penalty ~dt] is the penalty after [dt] seconds without
+    updates: [penalty * exp (-λ dt)]. [dt] must be non-negative. *)
+
+val reuse_delay : t -> penalty:float -> float
+(** Seconds until a penalty decays to the reuse threshold: [ (1/λ) ln
+    (penalty / reuse) ], or [0.] if already below. This is the paper's
+    [r]. *)
+
+val validate : t -> (unit, string) result
+(** Check internal consistency (positive half-life, reuse < cutoff,
+    non-negative increments, positive max-suppress). *)
+
+val pp : Format.formatter -> t -> unit
+
+val table1 : t list
+(** The presets in the order Table 1 lists them. *)

@@ -1,0 +1,45 @@
+type t = {
+  params : Params.t;
+  tick : float;
+  (* boundaries.(i) is the smallest penalty whose reuse takes more than
+     [i] ticks; a penalty in (boundaries.(i-1), boundaries.(i)] reuses
+     after i ticks. *)
+  boundaries : float array;
+}
+
+let create ?(tick = 15.) ?(array_size = 1024) params =
+  (match Params.validate params with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Reuse_index.create: " ^ msg));
+  if tick <= 0. then invalid_arg "Reuse_index.create: tick must be positive";
+  if array_size < 2 then invalid_arg "Reuse_index.create: array_size must be >= 2";
+  let lambda = Params.lambda params in
+  (* after i ticks a penalty p has decayed to p * exp(-lambda * i * tick);
+     it is reusable within i ticks iff p <= reuse * exp(lambda * i * tick) *)
+  let boundaries =
+    Array.init array_size (fun i ->
+        params.Params.reuse *. exp (lambda *. tick *. float_of_int i))
+  in
+  { params; tick; boundaries }
+
+let tick t = t.tick
+let array_size t = Array.length t.boundaries
+
+let index_of t ~penalty =
+  if penalty <= t.params.Params.reuse then 0
+  else begin
+    let n = Array.length t.boundaries in
+    (* first index whose boundary is >= penalty, by binary search *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    if penalty > t.boundaries.(n - 1) then !hi
+    else begin
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if t.boundaries.(mid) >= penalty then hi := mid else lo := mid + 1
+      done;
+      !lo
+    end
+  end
+
+let delay_of t ~penalty = float_of_int (index_of t ~penalty) *. t.tick
+let ticks_to_reuse = index_of

@@ -1,0 +1,34 @@
+(** RFC 2439 reuse-index arrays.
+
+    Real implementations avoid computing logarithms per update: they
+    quantise time into ticks, precompute an array mapping a penalty ratio
+    to the number of ticks until reuse, and hang suppressed routes on the
+    corresponding reuse list. This module implements that scheme so the
+    library can reproduce router-grade quantisation (and so tests can show
+    the quantised delay brackets the exact one).
+
+    The simulator's {!Damper} uses exact reuse times; this is the faithful
+    deployment-style alternative. *)
+
+type t
+
+val create : ?tick:float -> ?array_size:int -> Params.t -> t
+(** Default tick 15 s (a common implementation choice) and 1024 entries.
+    The array covers penalties from the reuse threshold up to
+    {!Params.max_penalty}. Raises [Invalid_argument] for a non-positive
+    tick, an array of fewer than 2 entries, or invalid parameters. *)
+
+val tick : t -> float
+val array_size : t -> int
+
+val index_of : t -> penalty:float -> int
+(** Reuse-array slot for a penalty: 0 when the penalty is already at or
+    below the reuse threshold, otherwise the number of ticks (clamped to
+    the array) after which the route is eligible for reuse. *)
+
+val delay_of : t -> penalty:float -> float
+(** Quantised delay until reuse: [index_of * tick]. Always >= the exact
+    {!Params.reuse_delay} minus one tick, and <= it plus one tick. *)
+
+val ticks_to_reuse : t -> penalty:float -> int
+(** Alias of {!index_of} with clearer intent. *)

@@ -1,0 +1,112 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module type S = sig
+  type elt
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+  val is_empty : t -> bool
+  val push : t -> elt -> unit
+  val peek : t -> elt option
+  val pop : t -> elt option
+  val pop_exn : t -> elt
+  val clear : t -> unit
+  val to_list : t -> elt list
+  val fold : (acc:'a -> elt -> 'a) -> 'a -> t -> 'a
+end
+
+module Make (Ord : ORDERED) : S with type elt = Ord.t = struct
+  type elt = Ord.t
+
+  (* Classic array-backed binary heap. [data] holds [size] live elements in
+     heap order; slots beyond [size] hold stale values kept only to satisfy
+     the array type (we overwrite them before reading). *)
+  type t = { mutable data : elt array; mutable size : int; hint : int }
+
+  let create ?(capacity = 16) () =
+    if capacity < 0 then invalid_arg "Heap.create: negative capacity";
+    { data = [||]; size = 0; hint = max 1 capacity }
+
+  let length h = h.size
+  let is_empty h = h.size = 0
+
+  (* The backing array is allocated lazily at the first push because we have
+     no default [elt] value; [hint] sizes that first allocation. *)
+  let grow h x =
+    let old = h.data in
+    let cap = Array.length old in
+    let new_cap = if cap = 0 then h.hint else cap * 2 in
+    let fresh = Array.make new_cap x in
+    Array.blit old 0 fresh 0 cap;
+    h.data <- fresh
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let rec sift_up h i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if Ord.compare h.data.(i) h.data.(parent) < 0 then begin
+        swap h i parent;
+        sift_up h parent
+      end
+    end
+
+  let rec sift_down h i =
+    let left = (2 * i) + 1 in
+    let right = left + 1 in
+    let smallest = ref i in
+    if left < h.size && Ord.compare h.data.(left) h.data.(!smallest) < 0 then
+      smallest := left;
+    if right < h.size && Ord.compare h.data.(right) h.data.(!smallest) < 0 then
+      smallest := right;
+    if !smallest <> i then begin
+      swap h i !smallest;
+      sift_down h !smallest
+    end
+
+  let push h x =
+    if h.size >= Array.length h.data then grow h x;
+    h.data.(h.size) <- x;
+    h.size <- h.size + 1;
+    sift_up h (h.size - 1)
+
+  let peek h = if h.size = 0 then None else Some h.data.(0)
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      if h.size > 0 then begin
+        h.data.(0) <- h.data.(h.size);
+        sift_down h 0
+      end;
+      Some top
+    end
+
+  let pop_exn h =
+    match pop h with
+    | Some x -> x
+    | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+  let clear h = h.size <- 0
+
+  let to_list h =
+    let rec loop i acc = if i < 0 then acc else loop (i - 1) (h.data.(i) :: acc) in
+    loop (h.size - 1) []
+
+  let fold f init h =
+    let acc = ref init in
+    for i = 0 to h.size - 1 do
+      acc := f ~acc:!acc h.data.(i)
+    done;
+    !acc
+end

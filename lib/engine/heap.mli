@@ -1,0 +1,48 @@
+(** Imperative binary min-heaps.
+
+    The heap is specialised through a functor over the element ordering.
+    Used by {!Sim} as the pending-event queue, but generic enough for any
+    priority-queue need in the project. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+  (** Total order; the heap pops the smallest element first. *)
+end
+
+module type S = sig
+  type elt
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** [create ()] is an empty heap. [capacity] pre-sizes the backing array. *)
+
+  val length : t -> int
+  (** Number of elements currently stored. *)
+
+  val is_empty : t -> bool
+
+  val push : t -> elt -> unit
+  (** Insert an element. Amortised O(log n). *)
+
+  val peek : t -> elt option
+  (** Smallest element without removing it, or [None] when empty. *)
+
+  val pop : t -> elt option
+  (** Remove and return the smallest element, or [None] when empty. *)
+
+  val pop_exn : t -> elt
+  (** Like {!pop} but raises [Invalid_argument] when the heap is empty. *)
+
+  val clear : t -> unit
+  (** Remove every element, keeping the backing storage. *)
+
+  val to_list : t -> elt list
+  (** All elements in unspecified order. O(n). *)
+
+  val fold : (acc:'a -> elt -> 'a) -> 'a -> t -> 'a
+  (** Fold over elements in unspecified order. *)
+end
+
+module Make (Ord : ORDERED) : S with type elt = Ord.t

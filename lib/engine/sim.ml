@@ -1,0 +1,165 @@
+(* The event type and the simulator type are mutually recursive (actions
+   receive the simulator), so the pending-event heap is inlined here rather
+   than instantiating the [Heap] functor. Same classic binary-heap layout. *)
+
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  mutable live : int;
+  mutable executed : int;
+  mutable data : event array;
+  mutable size : int;
+}
+
+and event = {
+  time : float;
+  order : int;
+  action : t -> unit;
+  mutable state : [ `Pending | `Cancelled | `Done ];
+}
+
+type event_id = event
+
+let create () = { clock = 0.; seq = 0; live = 0; executed = 0; data = [||]; size = 0 }
+let now t = t.clock
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.order < b.order)
+
+let grow t x =
+  let cap = Array.length t.data in
+  let new_cap = if cap = 0 then 256 else cap * 2 in
+  let fresh = Array.make new_cap x in
+  Array.blit t.data 0 fresh 0 cap;
+  t.data <- fresh
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.data.(i) t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < t.size && earlier t.data.(left) t.data.(!smallest) then smallest := left;
+  if right < t.size && earlier t.data.(right) t.data.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let heap_push t ev =
+  if t.size >= Array.length t.data then grow t ev;
+  t.data.(t.size) <- ev;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let heap_pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+(* Cancelled events stay in the heap and are skipped on pop; [live] counts
+   only pending ones so quiescence checks are exact. *)
+let rec drop_dead t =
+  if t.size > 0 && t.data.(0).state <> `Pending then begin
+    ignore (heap_pop t);
+    drop_dead t
+  end
+
+let schedule_at t ~time f =
+  if Float.is_nan time then invalid_arg "Sim.schedule_at: NaN time";
+  if time < t.clock then invalid_arg "Sim.schedule_at: time in the past";
+  let ev = { time; order = t.seq; action = f; state = `Pending } in
+  t.seq <- t.seq + 1;
+  heap_push t ev;
+  t.live <- t.live + 1;
+  ev
+
+let schedule t ~delay f =
+  if Float.is_nan delay || delay < 0. then invalid_arg "Sim.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let cancel t ev =
+  match ev.state with
+  | `Pending ->
+      ev.state <- `Cancelled;
+      t.live <- t.live - 1
+  | `Cancelled | `Done -> ()
+
+let is_pending _t ev = ev.state = `Pending
+let pending t = t.live
+
+let next_time t =
+  drop_dead t;
+  if t.size = 0 then None else Some t.data.(0).time
+
+let step t =
+  drop_dead t;
+  match heap_pop t with
+  | None -> false
+  | Some ev ->
+      ev.state <- `Done;
+      t.live <- t.live - 1;
+      t.clock <- ev.time;
+      t.executed <- t.executed + 1;
+      ev.action t;
+      true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some horizon ->
+      let continue = ref true in
+      while !continue do
+        match next_time t with
+        | Some time when time <= horizon -> ignore (step t)
+        | Some _ | None ->
+            if t.clock < horizon then t.clock <- horizon;
+            continue := false
+      done
+
+let events_executed t = t.executed
+
+type repeating = { mutable current : event option }
+
+let every t ~interval ?start f =
+  if Float.is_nan interval || interval <= 0. then
+    invalid_arg "Sim.every: interval must be positive";
+  (* The chain re-schedules itself through the handle so that [stop] always
+     cancels the pending occurrence. *)
+  let handle = { current = None } in
+  let rec occurrence sim =
+    handle.current <- None;
+    if f sim then handle.current <- Some (schedule sim ~delay:interval occurrence)
+  in
+  let first =
+    match start with
+    | Some time -> schedule_at t ~time occurrence
+    | None -> schedule t ~delay:interval occurrence
+  in
+  handle.current <- Some first;
+  handle
+
+let stop t handle =
+  match handle.current with
+  | Some ev ->
+      cancel t ev;
+      handle.current <- None
+  | None -> ()

@@ -1,0 +1,64 @@
+(** Discrete-event simulation core.
+
+    A simulator owns a virtual clock and a priority queue of pending events.
+    Events scheduled for the same instant execute in scheduling (FIFO) order,
+    which keeps runs deterministic. Event actions receive the simulator and
+    may schedule or cancel further events.
+
+    This is the substrate replacing SSFNet's event core in the paper's
+    experiments. *)
+
+type t
+
+type event_id
+(** Handle to a scheduled event, usable for cancellation. *)
+
+val create : unit -> t
+(** A fresh simulator with the clock at time [0.]. *)
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> event_id
+(** [schedule_at sim ~time f] runs [f sim] when the clock reaches [time].
+    Raises [Invalid_argument] if [time] is in the past. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> event_id
+(** [schedule sim ~delay f] is [schedule_at sim ~time:(now sim +. delay) f].
+    Raises [Invalid_argument] on negative delay. *)
+
+val cancel : t -> event_id -> unit
+(** Cancel a pending event. Cancelling an already-executed or
+    already-cancelled event is a no-op. *)
+
+val is_pending : t -> event_id -> bool
+(** [true] while the event is scheduled and not yet executed or cancelled. *)
+
+val pending : t -> int
+(** Number of live (non-cancelled) pending events. *)
+
+val next_time : t -> float option
+(** Time of the earliest live pending event, if any. *)
+
+val step : t -> bool
+(** Execute the next event. Returns [false] when no live event remains. *)
+
+val run : ?until:float -> t -> unit
+(** Execute events in order until the queue is empty, or — when [until] is
+    given — until the next event lies strictly beyond [until], in which case
+    the clock is advanced to [until]. *)
+
+val events_executed : t -> int
+(** Number of event actions executed so far (excludes cancelled events). *)
+
+type repeating
+(** Handle to a periodic task started with {!every}. *)
+
+val every : t -> interval:float -> ?start:float -> (t -> bool) -> repeating
+(** [every sim ~interval f] runs [f] at [start] (default [now + interval])
+    and then every [interval] seconds for as long as [f] returns [true].
+    Useful for periodic gauges. Raises [Invalid_argument] on a non-positive
+    interval. *)
+
+val stop : t -> repeating -> unit
+(** Cancel the pending occurrence and all future ones. Idempotent. *)

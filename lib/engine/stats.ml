@@ -1,0 +1,73 @@
+module Summary = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+    mutable total : float;
+  }
+
+  let create () = { n = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity; total = 0. }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x;
+    t.total <- t.total +. x
+
+  let n t = t.n
+  let mean t = if t.n = 0 then 0. else t.mean
+  let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+  let total t = t.total
+end
+
+module Counters = struct
+  type t = (string, int ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let incr ?(by = 1) t name =
+    match Hashtbl.find_opt t name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.add t name (ref by)
+
+  let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+  let reset t = Hashtbl.reset t
+
+  let to_alist t =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+end
+
+module Histogram = struct
+  type t = { lo : float; hi : float; counts : int array; mutable total : int }
+
+  let create ~lo ~hi ~bins =
+    if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+    if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+    { lo; hi; counts = Array.make bins 0; total = 0 }
+
+  let add t x =
+    let bins = Array.length t.counts in
+    let raw = int_of_float (float_of_int bins *. (x -. t.lo) /. (t.hi -. t.lo)) in
+    let b = Stdlib.max 0 (Stdlib.min (bins - 1) raw) in
+    t.counts.(b) <- t.counts.(b) + 1;
+    t.total <- t.total + 1
+
+  let counts t = Array.copy t.counts
+
+  let bin_bounds t i =
+    let bins = Array.length t.counts in
+    if i < 0 || i >= bins then invalid_arg "Histogram.bin_bounds: index out of range";
+    let width = (t.hi -. t.lo) /. float_of_int bins in
+    (t.lo +. (float_of_int i *. width), t.lo +. (float_of_int (i + 1) *. width))
+
+  let total t = t.total
+end

@@ -1,0 +1,57 @@
+(** Simple statistics accumulators: named counters, running summaries and
+    fixed-width histograms. Used by the experiment harness to aggregate
+    message counts and convergence times across runs. *)
+
+module Summary : sig
+  (** Running mean / variance (Welford) with min and max. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val n : t -> int
+  val mean : t -> float
+  (** 0. when empty. *)
+
+  val variance : t -> float
+  (** Sample variance; 0. with fewer than two samples. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** [infinity] when empty. *)
+
+  val max : t -> float
+  (** [neg_infinity] when empty. *)
+
+  val total : t -> float
+end
+
+module Counters : sig
+  (** A bag of named monotone counters. *)
+
+  type t
+
+  val create : unit -> t
+  val incr : ?by:int -> t -> string -> unit
+  val get : t -> string -> int
+  (** 0 for unknown names. *)
+
+  val reset : t -> unit
+  val to_alist : t -> (string * int) list
+  (** Sorted by name. *)
+end
+
+module Histogram : sig
+  (** Fixed-width histogram over [\[lo, hi)]; out-of-range samples are
+      clamped into the first/last bin. *)
+
+  type t
+
+  val create : lo:float -> hi:float -> bins:int -> t
+  val add : t -> float -> unit
+  val counts : t -> int array
+  val bin_bounds : t -> int -> float * float
+  (** Bounds of bin [i]. *)
+
+  val total : t -> int
+end

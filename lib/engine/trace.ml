@@ -1,0 +1,40 @@
+type entry = { time : float; topic : string; message : string }
+
+type t = {
+  mutable enabled : bool;
+  keep : bool;
+  mutable stored : entry list; (* newest first *)
+  mutable count : int;
+  mutable subscribers : (entry -> unit) list; (* reversed subscription order *)
+}
+
+let create ?(enabled = true) ?(keep = true) () =
+  { enabled; keep; stored = []; count = 0; subscribers = [] }
+
+let enabled t = t.enabled
+let set_enabled t flag = t.enabled <- flag
+
+let dispatch t e =
+  if t.keep then begin
+    t.stored <- e :: t.stored;
+    t.count <- t.count + 1
+  end;
+  List.iter (fun f -> f e) (List.rev t.subscribers)
+
+let record t ~time ~topic message =
+  if t.enabled then dispatch t { time; topic; message }
+
+let recordf t ~time ~topic fmt =
+  if t.enabled then
+    Format.kasprintf (fun message -> dispatch t { time; topic; message }) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let subscribe t f = t.subscribers <- f :: t.subscribers
+let entries t = List.rev t.stored
+let length t = t.count
+
+let clear t =
+  t.stored <- [];
+  t.count <- 0
+
+let pp_entry ppf e = Format.fprintf ppf "[%10.3f] %-12s %s" e.time e.topic e.message

@@ -1,0 +1,38 @@
+(** Structured simulation traces.
+
+    A trace collects timestamped, topic-tagged entries during a run. The
+    experiment harness subscribes to traces to derive metrics (message
+    counts, suppression spans) without coupling protocol code to the
+    metrics code. Tracing can be disabled wholesale, in which case
+    {!record} is a cheap no-op. *)
+
+type entry = { time : float; topic : string; message : string }
+
+type t
+
+val create : ?enabled:bool -> ?keep:bool -> unit -> t
+(** [create ()] is an enabled trace that keeps entries in memory.
+    [~enabled:false] drops everything (subscribers not called);
+    [~keep:false] calls subscribers but stores nothing. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val record : t -> time:float -> topic:string -> string -> unit
+
+val recordf :
+  t -> time:float -> topic:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant; the message is only rendered when the trace is
+    enabled. *)
+
+val subscribe : t -> (entry -> unit) -> unit
+(** Register a callback invoked for every recorded entry, in subscription
+    order. *)
+
+val entries : t -> entry list
+(** Stored entries, oldest first. *)
+
+val length : t -> int
+val clear : t -> unit
+
+val pp_entry : Format.formatter -> entry -> unit

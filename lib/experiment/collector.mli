@@ -1,0 +1,46 @@
+(** Metric collection for one simulation phase.
+
+    A collector plugs into a network's {!Rfd_bgp.Hooks.t} and accumulates
+    the paper's metrics: update deliveries (count, times, series), the
+    damped-link gauge, suppression/reuse events and optional penalty traces.
+    Attach a fresh collector to start counting from zero (e.g. after initial
+    convergence, so only flap-induced traffic is measured). *)
+
+type t
+
+val create : ?probe_pairs:(int * int) list -> unit -> t
+(** [probe_pairs] are (router, peer) RIB-In entries whose penalty evolution
+    should be traced. *)
+
+val attach : t -> Rfd_bgp.Hooks.t -> unit
+(** Overwrite the hooks' fields with this collector's recorders. *)
+
+val update_count : t -> int
+val first_update_time : t -> float option
+val last_update_time : t -> float option
+
+val update_series : t -> Rfd_engine.Timeseries.t
+(** One [(time, 1.)] sample per delivered update; bin with
+    {!Rfd_engine.Timeseries.bin_sum}. *)
+
+val damped_series : t -> Rfd_engine.Timeseries.t
+(** Step series of the number of currently damped (suppressed) links. *)
+
+val damped_now : t -> int
+val peak_damped : t -> int
+val suppress_events : t -> int
+val reuse_events : t -> int
+val noisy_reuse_events : t -> int
+val peak_penalty : t -> float
+val first_reuse_time : t -> float option
+
+val reuse_series : t -> Rfd_engine.Timeseries.t
+(** One [(time, 1.)] sample per reuse-timer release (noisy or silent). *)
+
+val reuse_log : t -> (float * int * int * bool) list
+(** Every reuse release as [(time, router, peer, noisy)], oldest first. *)
+
+val penalty_trace : t -> router:int -> peer:int -> Rfd_engine.Timeseries.t option
+(** Post-increment penalty samples for a probed pair. *)
+
+val probed_pairs : t -> (int * int) list

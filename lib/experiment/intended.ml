@@ -1,0 +1,96 @@
+module Params = Rfd_damping.Params
+
+type event = { time : float; kind : [ `Withdrawal | `Announcement ] }
+
+let pulse_train ~pulses ~interval =
+  if pulses < 0 then invalid_arg "Intended.pulse_train: negative pulse count";
+  if interval <= 0. then invalid_arg "Intended.pulse_train: interval must be positive";
+  List.concat
+    (List.init pulses (fun i ->
+         let base = 2. *. float_of_int i *. interval in
+         [
+           { time = base; kind = `Withdrawal };
+           { time = base +. interval; kind = `Announcement };
+         ]))
+
+type state = { time : float; penalty : float; suppressed : bool }
+
+let check_order events =
+  let rec loop = function
+    | a :: (b : event) :: rest ->
+        if b.time < a.time then invalid_arg "Intended: events must be time-ordered"
+        else loop (b :: rest)
+    | [ _ ] | [] -> ()
+  in
+  loop events
+
+(* Advance a state through the idle gap [s.time, time]: pure decay, with a
+   silent reuse if the penalty crosses the reuse threshold on the way. *)
+let coast params s ~time =
+  let penalty = Params.decay params ~penalty:s.penalty ~dt:(time -. s.time) in
+  let suppressed = s.suppressed && penalty > params.Params.reuse in
+  { time; penalty; suppressed }
+
+let apply params s (event : event) =
+  let s = coast params s ~time:event.time in
+  let increment =
+    match event.kind with
+    | `Withdrawal -> params.Params.withdrawal_penalty
+    | `Announcement -> params.Params.reannouncement_penalty
+  in
+  let penalty = Float.min (s.penalty +. increment) (Params.max_penalty params) in
+  let suppressed = s.suppressed || penalty > params.Params.cutoff in
+  { time = event.time; penalty; suppressed }
+
+let zero = { time = 0.; penalty = 0.; suppressed = false }
+
+let penalty_trace params events =
+  check_order events;
+  List.rev
+    (fst
+       (List.fold_left
+          (fun (acc, s) event ->
+            let s = apply params s event in
+            (s :: acc, s))
+          ([], zero) events))
+
+let final_state params ~pulses ~interval =
+  match penalty_trace params (pulse_train ~pulses ~interval) with
+  | [] -> zero
+  | trace -> List.nth trace (List.length trace - 1)
+
+let suppression_onset params ~interval =
+  let rec search pulses =
+    if pulses > 1000 then
+      invalid_arg "Intended.suppression_onset: no suppression within 1000 pulses"
+    else begin
+      let trace = penalty_trace params (pulse_train ~pulses ~interval) in
+      if List.exists (fun s -> s.suppressed) trace then pulses else search (pulses + 1)
+    end
+  in
+  search 1
+
+let isp_reuse_time params ~pulses ~interval =
+  if pulses = 0 then None
+  else begin
+    let s = final_state params ~pulses ~interval in
+    if not s.suppressed then None
+    else Some (s.time +. Params.reuse_delay params ~penalty:s.penalty)
+  end
+
+let critical_pulses params ~interval ~rt_net ~max_pulses =
+  let rec search pulses =
+    if pulses > max_pulses then None
+    else
+      match isp_reuse_time params ~pulses ~interval with
+      | Some rt_h when rt_h > rt_net -> Some pulses
+      | Some _ | None -> search (pulses + 1)
+  in
+  search 1
+
+let convergence_time params ~pulses ~interval ~tup =
+  if pulses = 0 then 0.
+  else begin
+    let s = final_state params ~pulses ~interval in
+    if s.suppressed then Params.reuse_delay params ~penalty:s.penalty +. tup else tup
+  end

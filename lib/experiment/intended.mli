@@ -1,0 +1,56 @@
+(** The analytically *intended* damping behaviour (Section 3 of the paper).
+
+    Models a single router (the paper's ispAS) receiving the origin's flaps
+    directly: each withdrawal adds [withdrawal_penalty], each
+    re-announcement adds [reannouncement_penalty], the penalty decays
+    exponentially between events and is capped by the max-suppress ceiling.
+    Convergence time after the final announcement is [r + t_up] where [r] is
+    the reuse delay — or just [t_up] when suppression was never active at
+    the end. *)
+
+type event = { time : float; kind : [ `Withdrawal | `Announcement ] }
+
+val pulse_train : pulses:int -> interval:float -> event list
+(** The paper's flap pattern: withdrawal at [0], announcement at
+    [interval], withdrawal at [2 * interval], … — [pulses] pairs, the last
+    event an announcement at [(2 * pulses - 1) * interval]. Empty for
+    [pulses = 0]. *)
+
+type state = {
+  time : float;
+  penalty : float;  (** right after the event at [time] *)
+  suppressed : bool;
+}
+
+val penalty_trace : Rfd_damping.Params.t -> event list -> state list
+(** Fold the events (which must be time-ordered) through the damping rules:
+    increment, decay, cut-off crossing, silent reuse when the penalty decays
+    past the reuse threshold between events, and the max-penalty cap. *)
+
+val final_state : Rfd_damping.Params.t -> pulses:int -> interval:float -> state
+(** State right after the final announcement of a pulse train. For
+    [pulses = 0] the state is zeroed. *)
+
+val suppression_onset : Rfd_damping.Params.t -> interval:float -> int
+(** Smallest number of pulses whose train triggers suppression (the paper's
+    "route suppression is triggered at the third pulse" under Cisco defaults
+    with 60 s flaps). Raises [Invalid_argument] if 1000 pulses do not
+    suffice. *)
+
+val isp_reuse_time : Rfd_damping.Params.t -> pulses:int -> interval:float -> float option
+(** Absolute time (measured from the first withdrawal) at which the
+    directly attached router's reuse timer fires: the paper's RT_h.
+    [None] when the pulse train never suppresses. *)
+
+val critical_pulses :
+  Rfd_damping.Params.t -> interval:float -> rt_net:float -> max_pulses:int -> int option
+(** Section 4.4: the smallest pulse count [N_h] whose RT_h outlasts the
+    rest of the network's last noisy reuse timer [rt_net] (an absolute
+    time from the first withdrawal, typically measured from a simulation).
+    [None] if no count up to [max_pulses] does. *)
+
+val convergence_time :
+  Rfd_damping.Params.t -> pulses:int -> interval:float -> tup:float -> float
+(** The intended convergence time after the final announcement:
+    [r + tup] when the route is suppressed at that moment, else [tup]
+    ([tup] is the plain BGP up-convergence time, measured or assumed). *)

@@ -1,0 +1,74 @@
+type t = {
+  name : string;
+  title : string;
+  x_label : string;
+  y_label : string;
+  series : (string * (float * float) list) list;
+  logscale_y : bool;
+  style : [ `Lines_points | `Steps | `Impulses ];
+}
+
+let make ?(logscale_y = false) ?(style = `Lines_points) ~name ~title ~x_label ~y_label series
+    =
+  { name; title; x_label; y_label; series; logscale_y; style }
+
+let xs t =
+  List.concat_map (fun (_, points) -> List.map fst points) t.series
+  |> List.sort_uniq Float.compare
+
+let data_file t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# x";
+  List.iter (fun (label, _) -> Buffer.add_string buf (Printf.sprintf " %S" label)) t.series;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun x ->
+      Buffer.add_string buf (Printf.sprintf "%g" x);
+      List.iter
+        (fun (_, points) ->
+          match List.assoc_opt x points with
+          | Some y -> Buffer.add_string buf (Printf.sprintf " %g" y)
+          | None -> Buffer.add_string buf " ?")
+        t.series;
+      Buffer.add_char buf '\n')
+    (xs t);
+  Buffer.contents buf
+
+let style_clause = function
+  | `Lines_points -> "linespoints"
+  | `Steps -> "steps"
+  | `Impulses -> "impulses"
+
+let script t ~data_filename ~output_filename =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  add "set terminal pngcairo size 900,600";
+  add "set output %S" output_filename;
+  add "set title %S" t.title;
+  add "set xlabel %S" t.x_label;
+  add "set ylabel %S" t.y_label;
+  add "set datafile missing '?'";
+  add "set key outside right";
+  add "set grid";
+  if t.logscale_y then add "set logscale y";
+  let plots =
+    List.mapi
+      (fun i (label, _) ->
+        Printf.sprintf "%S using 1:%d with %s title %S" data_filename (i + 2)
+          (style_clause t.style) label)
+      t.series
+  in
+  add "plot %s" (String.concat ", \\\n     " plots);
+  Buffer.contents buf
+
+let write t ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path suffix = Filename.concat dir (t.name ^ suffix) in
+  let save filename contents =
+    let oc = open_out filename in
+    output_string oc contents;
+    close_out oc
+  in
+  save (path ".dat") (data_file t);
+  save (path ".gp")
+    (script t ~data_filename:(path ".dat") ~output_filename:(path ".png"))

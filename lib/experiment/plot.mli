@@ -1,0 +1,42 @@
+(** Gnuplot script + data emission for experiment results.
+
+    The bench harness prints text tables; this module additionally renders
+    any figure as a pair of files — a whitespace-separated data file and a
+    gnuplot script referencing it — so the paper's plots can be regenerated
+    with stock gnuplot:
+
+    {v
+    $ dune exec bench/main.exe -- paper --csv out --plots out
+    $ gnuplot out/fig8.gp        # writes out/fig8.png
+    v} *)
+
+type t = {
+  name : string;  (** base filename, e.g. "fig8" *)
+  title : string;
+  x_label : string;
+  y_label : string;
+  series : (string * (float * float) list) list;
+  logscale_y : bool;
+  style : [ `Lines_points | `Steps | `Impulses ];
+}
+
+val make :
+  ?logscale_y:bool ->
+  ?style:[ `Lines_points | `Steps | `Impulses ] ->
+  name:string ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  (string * (float * float) list) list ->
+  t
+
+val data_file : t -> string
+(** Data rows: x then one column per series ("?" marks a missing point,
+    handled in the script via [set datafile missing]). *)
+
+val script : t -> data_filename:string -> output_filename:string -> string
+(** A standalone gnuplot script producing a PNG. *)
+
+val write : t -> dir:string -> unit
+(** Write [<dir>/<name>.dat] and [<dir>/<name>.gp] (creating [dir] if
+    needed); the script outputs [<dir>/<name>.png]. *)

@@ -1,0 +1,103 @@
+module Rng = Rfd_engine.Rng
+
+type event = { at : float; kind : [ `Withdraw | `Announce ] }
+
+type pattern =
+  | Periodic of { pulses : int; interval : float }
+  | Poisson of { pulses : int; mean_interval : float; seed : int }
+  | Bursty of { bursts : int; pulses_per_burst : int; gap : float; burst_interval : float }
+  | Custom of event list
+
+let require cond msg = if not cond then invalid_arg ("Pulse: " ^ msg)
+
+let validate_events events =
+  let rec loop expected last = function
+    | [] -> ()
+    | { at; kind } :: rest ->
+        require (at >= 0.) "times must be non-negative";
+        require (at > last) "times must be strictly increasing";
+        require (kind = expected) "events must alternate starting with a withdrawal";
+        loop (if kind = `Withdraw then `Announce else `Withdraw) at rest
+  in
+  loop `Withdraw neg_infinity events;
+  (match List.rev events with
+  | { kind = `Withdraw; _ } :: _ -> require false "pattern must end with an announcement"
+  | _ -> ());
+  events
+
+let events = function
+  | Periodic { pulses; interval } ->
+      require (pulses >= 0) "pulses must be non-negative";
+      require (interval > 0.) "interval must be positive";
+      List.concat
+        (List.init pulses (fun i ->
+             let base = 2. *. float_of_int i *. interval in
+             [
+               { at = base; kind = `Withdraw };
+               { at = base +. interval; kind = `Announce };
+             ]))
+  | Poisson { pulses; mean_interval; seed } ->
+      require (pulses >= 0) "pulses must be non-negative";
+      require (mean_interval > 0.) "mean_interval must be positive";
+      let rng = Rng.create seed in
+      let now = ref 0. in
+      List.concat
+        (List.init pulses (fun i ->
+             let w =
+               if i = 0 then 0.
+               else (
+                 now := !now +. Rng.exponential rng ~mean:mean_interval;
+                 !now)
+             in
+             now := w +. Rng.exponential rng ~mean:mean_interval;
+             (* guarantee strict progress even for tiny exponential draws *)
+             if !now <= w then now := w +. 1e-3;
+             [ { at = w; kind = `Withdraw }; { at = !now; kind = `Announce } ]))
+  | Bursty { bursts; pulses_per_burst; gap; burst_interval } ->
+      require (bursts >= 0) "bursts must be non-negative";
+      require (pulses_per_burst > 0) "pulses_per_burst must be positive";
+      require (gap > 0. && burst_interval > 0.) "gap and burst_interval must be positive";
+      let burst_span = 2. *. float_of_int pulses_per_burst *. burst_interval in
+      List.concat
+        (List.init bursts (fun b ->
+             let start = float_of_int b *. (burst_span +. gap) in
+             List.concat
+               (List.init pulses_per_burst (fun i ->
+                    let base = start +. (2. *. float_of_int i *. burst_interval) in
+                    [
+                      { at = base; kind = `Withdraw };
+                      { at = base +. burst_interval; kind = `Announce };
+                    ]))))
+  | Custom events -> validate_events events
+
+let final_announcement pattern =
+  match List.rev (events pattern) with [] -> 0. | { at; _ } :: _ -> at
+
+let schedule net ~origin ~prefix ~start pattern =
+  let evs = events pattern in
+  List.iter
+    (fun { at; kind } ->
+      let time = start +. at in
+      match kind with
+      | `Withdraw -> Rfd_bgp.Network.schedule_withdraw net ~at:time ~node:origin prefix
+      | `Announce -> Rfd_bgp.Network.schedule_originate net ~at:time ~node:origin prefix)
+    evs;
+  match List.rev evs with [] -> start | { at; _ } :: _ -> start +. at
+
+let to_intended_events pattern =
+  List.map
+    (fun { at; kind } ->
+      {
+        Intended.time = at;
+        kind = (match kind with `Withdraw -> `Withdrawal | `Announce -> `Announcement);
+      })
+    (events pattern)
+
+let pp ppf = function
+  | Periodic { pulses; interval } -> Format.fprintf ppf "periodic %d x %gs" pulses interval
+  | Poisson { pulses; mean_interval; seed } ->
+      Format.fprintf ppf "poisson %d ~ %gs (seed %d)" pulses mean_interval seed
+  | Bursty { bursts; pulses_per_burst; gap; burst_interval } ->
+      Format.fprintf ppf "bursty %dx%d x %gs, gap %gs" bursts pulses_per_burst burst_interval
+        gap
+  | Custom events -> Format.fprintf ppf "custom (%d events)" (List.length events)

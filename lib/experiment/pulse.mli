@@ -1,0 +1,39 @@
+(** Flap-pattern generation for the origin AS.
+
+    The paper's evaluation uses a fixed-interval pulse train; its companion
+    technical report varies the pattern. This module generates event
+    schedules for several instability models, all ending with an
+    announcement (so the destination is ultimately reachable, as in the
+    paper's methodology). *)
+
+type event = { at : float; kind : [ `Withdraw | `Announce ] }
+(** Relative to the flap start; strictly increasing times. *)
+
+type pattern =
+  | Periodic of { pulses : int; interval : float }
+      (** the paper's train: W at 0, A at [interval], W at [2*interval], … *)
+  | Poisson of { pulses : int; mean_interval : float; seed : int }
+      (** exponentially distributed gaps between consecutive events *)
+  | Bursty of { bursts : int; pulses_per_burst : int; gap : float; burst_interval : float }
+      (** bursts of rapid pulses separated by long quiet gaps *)
+  | Custom of event list
+
+val events : pattern -> event list
+(** Expand a pattern. Raises [Invalid_argument] on non-positive counts or
+    intervals, or on a [Custom] list that is not strictly increasing or
+    alternating (a well-formed schedule alternates W, A, W, A, …,
+    starting with a withdrawal and ending with an announcement). *)
+
+val final_announcement : pattern -> float
+(** Time of the last event (0. for an empty pattern). *)
+
+val schedule :
+  Rfd_bgp.Network.t -> origin:int -> prefix:Rfd_bgp.Prefix.t -> start:float -> pattern -> float
+(** Install the pattern's events into the network's simulator; returns the
+    absolute time of the final announcement (or [start] when empty). *)
+
+val to_intended_events : pattern -> Intended.event list
+(** Convert for {!Intended.penalty_trace} (withdrawals/announcements map
+    directly). *)
+
+val pp : Format.formatter -> pattern -> unit

@@ -1,0 +1,79 @@
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else String.make (width - n) ' ' ^ s
+
+let table ?title ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc row -> max acc (List.length row)) 0 all in
+  let widths = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> if i < cols then widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let render_row row =
+    let cells = List.mapi (fun i cell -> pad widths.(i) cell) row in
+    String.concat "  " cells
+  in
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 256 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf (render_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let escape_csv cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let csv ~header rows =
+  let line row = String.concat "," (List.map escape_csv row) ^ "\n" in
+  String.concat "" (line header :: List.map line rows)
+
+let float_cell v =
+  if Float.is_integer v && Float.abs v < 1e9 then Printf.sprintf "%.0f" v
+  else if Float.abs v >= 100. then Printf.sprintf "%.0f" v
+  else if Float.abs v >= 1. then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.3g" v
+
+let int_cell = string_of_int
+
+let series ?title ~x_label ~columns () =
+  let module FloatSet = Set.Make (Float) in
+  let xs =
+    List.fold_left
+      (fun acc (_, points) ->
+        List.fold_left (fun acc (x, _) -> FloatSet.add x acc) acc points)
+      FloatSet.empty columns
+  in
+  let header = x_label :: List.map fst columns in
+  let rows =
+    List.map
+      (fun x ->
+        float_cell x
+        :: List.map
+             (fun (_, points) ->
+               match List.assoc_opt x points with Some y -> float_cell y | None -> "-")
+             columns)
+      (FloatSet.elements xs)
+  in
+  table ?title ~header rows
+
+let histogram_bar v ~max ~width =
+  if width <= 0 then invalid_arg "Report.histogram_bar: width must be positive";
+  let frac = if max <= 0. then 0. else Float.min 1. (v /. max) in
+  let n = int_of_float (frac *. float_of_int width) in
+  String.make n '#'

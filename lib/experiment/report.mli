@@ -1,0 +1,27 @@
+(** Plain-text rendering of experiment output: aligned tables and CSV.
+
+    The benchmark harness prints the paper's tables and figure series with
+    these helpers so [dune exec bench/main.exe] output is readable and
+    greppable. *)
+
+val table : ?title:string -> header:string list -> string list list -> string
+(** Fixed-width table; columns sized to the widest cell. *)
+
+val csv : header:string list -> string list list -> string
+
+val float_cell : float -> string
+(** Compact numeric formatting ("1234", "12.3", "0.05"). *)
+
+val int_cell : int -> string
+
+val series :
+  ?title:string ->
+  x_label:string ->
+  columns:(string * (float * float) list) list ->
+  unit ->
+  string
+(** Render several y-series sharing an x axis as one table; x values are
+    the union of all columns' x values, missing points shown as "-". *)
+
+val histogram_bar : float -> max:float -> width:int -> string
+(** A crude ASCII bar, for update-series sketches in terminal output. *)

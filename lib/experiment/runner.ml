@@ -1,0 +1,188 @@
+module Sim = Rfd_engine.Sim
+module Rng = Rfd_engine.Rng
+module Graph = Rfd_topology.Graph
+module Relations = Rfd_topology.Relations
+open Rfd_bgp
+
+type result = {
+  scenario : Scenario.t;
+  origin : int;
+  isp : int;
+  num_nodes : int;
+  tup : float;
+  initial_updates : int;
+  flap_start : float;
+  final_announcement : float;
+  convergence_time : float;
+  message_count : int;
+  collector : Collector.t;
+  spans : Phases.span list;
+  sim_events : int;
+  wall_seconds : float;
+}
+
+let origin_prefix = Prefix.v 0
+
+let build_graph scenario rng =
+  match scenario.Scenario.topology with
+  | Scenario.Mesh { rows; cols } -> Rfd_topology.Builders.mesh ~rows ~cols
+  | Scenario.Internet { nodes; m } -> Rfd_topology.Random_graphs.barabasi_albert rng ~n:nodes ~m
+  | Scenario.Custom g -> g
+
+let pick_isp scenario rng graph =
+  match scenario.Scenario.isp with
+  | `Node node ->
+      if node >= Graph.num_nodes graph then
+        invalid_arg (Printf.sprintf "Runner: isp node %d outside topology" node);
+      node
+  | `Random -> Rng.int rng (Graph.num_nodes graph)
+
+(* The origin stub is appended as the highest node id, linked to the isp.
+   For no-valley policy it is labelled a customer of the isp (a stub AS). *)
+let attach_origin graph isp =
+  let origin = Graph.num_nodes graph in
+  let graph = Graph.add_nodes graph 1 in
+  let graph = Graph.add_edges graph [ (isp, origin) ] in
+  (graph, origin)
+
+let relations_for scenario graph ~origin ~isp =
+  match scenario.Scenario.policy with
+  | Scenario.Announce_all -> None
+  | Scenario.No_valley ->
+      let base = Relations.infer_by_degree graph in
+      (* Re-state every inferred label, then force the stub edge. *)
+      let labels =
+        Graph.fold_edges graph ~init:[] ~f:(fun acc u v ->
+            let lbl =
+              if (u, v) = (min isp origin, max isp origin) then
+                Relations.Customer_provider { customer = origin; provider = isp }
+              else Relations.label base u v
+            in
+            ((u, v), lbl) :: acc)
+      in
+      Some (Relations.make graph labels)
+
+let resolve_probe scenario graph ~origin =
+  match scenario.Scenario.probe with
+  | Scenario.No_probe -> []
+  | Scenario.Pairs pairs -> pairs
+  | Scenario.At_distance d ->
+      let dist = Graph.bfs_distances graph origin in
+      let rec find node =
+        if node >= Array.length dist then []
+        else if dist.(node) = d then
+          Array.to_list (Graph.neighbors graph node) |> List.map (fun peer -> (node, peer))
+        else find (node + 1)
+      in
+      find 0
+
+let run ?observe scenario =
+  (match Scenario.validate scenario with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Runner.run: " ^ msg));
+  let wall_start = Sys.time () in
+  let rng = Rng.create scenario.Scenario.config.Config.seed in
+  let base_graph = build_graph scenario (Rng.split rng) in
+  let isp = pick_isp scenario (Rng.split rng) base_graph in
+  let graph, origin = attach_origin base_graph isp in
+  let relations = relations_for scenario graph ~origin ~isp in
+  let policy =
+    match relations with
+    | None -> Policy.announce_all
+    | Some rel -> Policy.no_valley rel
+  in
+  let sim = Sim.create () in
+  let net = Network.create ~policy ~config:scenario.Scenario.config sim graph in
+  (* Phase 1: initial route propagation, measured as Tup. Background
+     prefixes (stable, from sampled nodes) are originated first so the
+     flapping prefix converges over a populated RIB. *)
+  let initial = Collector.create () in
+  Collector.attach initial (Network.hooks net);
+  let background_rng = Rng.split rng in
+  let background =
+    List.init scenario.Scenario.background_prefixes (fun i ->
+        let prefix = Prefix.v (i + 1) in
+        let node = Rng.int background_rng (Graph.num_nodes graph) in
+        Network.originate net ~node prefix;
+        (node, prefix))
+  in
+  ignore background;
+  Network.run net;
+  let origin_announced_at = Sim.now sim in
+  Network.originate net ~node:origin origin_prefix;
+  Network.run net;
+  let tup =
+    match Collector.last_update_time initial with
+    | Some t -> Float.max 0. (t -. origin_announced_at)
+    | None -> 0.
+  in
+  (* Phase 2: the flap train. *)
+  let probe_pairs = resolve_probe scenario graph ~origin in
+  let collector = Collector.create ~probe_pairs () in
+  Collector.attach collector (Network.hooks net);
+  (match observe with Some f -> f net | None -> ());
+  let flap_start = Sim.now sim +. scenario.Scenario.settle_gap in
+  let pattern =
+    match scenario.Scenario.pattern with
+    | Some pattern -> pattern
+    | None ->
+        Pulse.Periodic
+          { pulses = scenario.Scenario.pulses; interval = scenario.Scenario.flap_interval }
+  in
+  let final_announcement =
+    match scenario.Scenario.mechanism with
+    | Scenario.Origin_updates ->
+        Pulse.schedule net ~origin ~prefix:origin_prefix ~start:flap_start pattern
+    | Scenario.Link_state ->
+        let events = Pulse.events pattern in
+        List.iter
+          (fun (e : Pulse.event) ->
+            let at = flap_start +. e.Pulse.at in
+            match e.Pulse.kind with
+            | `Withdraw -> Network.schedule_fail_link net ~at isp origin
+            | `Announce -> Network.schedule_restore_link net ~at isp origin)
+          events;
+        (match List.rev events with
+        | [] -> flap_start
+        | last :: _ -> flap_start +. last.Pulse.at)
+  in
+  Network.run net;
+  let convergence_time =
+    match Collector.last_update_time collector with
+    | Some t -> Float.max 0. (t -. final_announcement)
+    | None -> 0.
+  in
+  let update_times =
+    Array.map fst (Rfd_engine.Timeseries.points (Collector.update_series collector))
+  in
+  let reuse_times =
+    Array.map fst (Rfd_engine.Timeseries.points (Collector.reuse_series collector))
+  in
+  let spans = Phases.classify ~update_times ~reuse_times ~flap_start in
+  {
+    scenario;
+    origin;
+    isp;
+    num_nodes = Graph.num_nodes graph;
+    tup;
+    initial_updates = Collector.update_count initial;
+    flap_start;
+    final_announcement;
+    convergence_time;
+    message_count = Collector.update_count collector;
+    collector;
+    spans;
+    sim_events = Sim.events_executed sim;
+    wall_seconds = Sys.time () -. wall_start;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%a@ origin=%d isp=%d nodes=%d tup=%.1fs@ convergence=%.0fs messages=%d peak-damped=%d \
+     suppressions=%d reuses=%d (noisy %d)@ events=%d wall=%.2fs"
+    Scenario.pp r.scenario r.origin r.isp r.num_nodes r.tup r.convergence_time r.message_count
+    (Collector.peak_damped r.collector)
+    (Collector.suppress_events r.collector)
+    (Collector.reuse_events r.collector)
+    (Collector.noisy_reuse_events r.collector)
+    r.sim_events r.wall_seconds

@@ -1,0 +1,41 @@
+(** Scenario execution.
+
+    A run proceeds exactly like the paper's simulations: build the topology,
+    attach the flapping origin stub to the ispAS node, let every node learn
+    a stable route, then inject [pulses] withdrawal/announcement pairs and
+    run the simulator until fully quiescent (every reuse timer fired).
+    Metrics count only flap-phase traffic. *)
+
+type result = {
+  scenario : Scenario.t;
+  origin : int;  (** node id of the attached origin stub *)
+  isp : int;
+  num_nodes : int;  (** including the origin stub *)
+  tup : float;
+      (** measured initial (Tup) convergence duration: origination to last
+          update of the initial propagation *)
+  initial_updates : int;
+  flap_start : float;  (** absolute sim time of the first withdrawal *)
+  final_announcement : float;  (** absolute sim time of the last flap event *)
+  convergence_time : float;
+      (** last flap-phase update minus [final_announcement] (0. if no
+          update followed the final announcement) *)
+  message_count : int;  (** updates observed during the flap phase *)
+  collector : Collector.t;  (** full series and traces *)
+  spans : Phases.span list;  (** four-state classification of the episode *)
+  sim_events : int;
+  wall_seconds : float;
+}
+
+val run : ?observe:(Rfd_bgp.Network.t -> unit) -> Scenario.t -> result
+(** Raises [Invalid_argument] when the scenario fails validation.
+    [observe] is called once, after initial convergence and right after
+    the flap-phase collector is attached — wrap additional observers (e.g.
+    {!Tracing.attach}) around the hooks there; they stay active for the
+    whole measured flap phase. *)
+
+val origin_prefix : Rfd_bgp.Prefix.t
+(** The prefix the origin stub announces (constant across runs). *)
+
+val pp_result : Format.formatter -> result -> unit
+(** One-paragraph human summary. *)

@@ -1,0 +1,99 @@
+type topology =
+  | Mesh of { rows : int; cols : int }
+  | Internet of { nodes : int; m : int }
+  | Custom of Rfd_topology.Graph.t
+
+type policy_kind = Announce_all | No_valley
+
+type mechanism = Origin_updates | Link_state
+
+type probe = No_probe | At_distance of int | Pairs of (int * int) list
+
+type t = {
+  name : string;
+  topology : topology;
+  policy : policy_kind;
+  config : Rfd_bgp.Config.t;
+  isp : [ `Node of int | `Random ];
+  pulses : int;
+  flap_interval : float;
+  pattern : Pulse.pattern option;
+  mechanism : mechanism;
+  background_prefixes : int;
+  probe : probe;
+  settle_gap : float;
+}
+
+let make ?(name = "scenario") ?(policy = Announce_all) ?(config = Rfd_bgp.Config.default)
+    ?(isp = `Node 0) ?(pulses = 1) ?(flap_interval = 60.) ?pattern
+    ?(mechanism = Origin_updates) ?(background_prefixes = 0) ?(probe = No_probe)
+    ?(settle_gap = 10.) topology =
+  {
+    name;
+    topology;
+    policy;
+    config;
+    isp;
+    pulses;
+    flap_interval;
+    pattern;
+    mechanism;
+    background_prefixes;
+    probe;
+    settle_gap;
+  }
+
+let with_pulses t pulses = { t with pulses }
+
+let paper_mesh = Mesh { rows = 10; cols = 10 }
+let paper_internet = Internet { nodes = 100; m = 2 }
+let paper_internet_208 = Internet { nodes = 208; m = 2 }
+
+let validate t =
+  if t.pulses < 0 then Error "pulses must be non-negative"
+  else if t.background_prefixes < 0 then Error "background_prefixes must be non-negative"
+  else if t.flap_interval <= 0. then Error "flap_interval must be positive"
+  else if t.settle_gap < 0. then Error "settle_gap must be non-negative"
+  else begin
+    match t.topology with
+    | Mesh { rows; cols } when rows < 3 || cols < 3 -> Error "mesh needs rows, cols >= 3"
+    | Internet { nodes; m } when m < 1 || m >= nodes -> Error "internet needs 1 <= m < nodes"
+    | Custom g when Rfd_topology.Graph.num_nodes g = 0 -> Error "custom graph is empty"
+    | Mesh _ | Internet _ | Custom _ -> (
+        match Rfd_bgp.Config.validate t.config with
+        | Error e -> Error ("config: " ^ e)
+        | Ok () -> (
+            match t.isp with
+            | `Node node when node < 0 -> Error "isp node must be non-negative"
+            | `Node _ | `Random -> (
+                match t.pattern with
+                | None -> Ok ()
+                | Some pattern -> (
+                    match Pulse.events pattern with
+                    | (_ : Pulse.event list) -> Ok ()
+                    | exception Invalid_argument msg -> Error msg))))
+  end
+
+let pp_topology ppf = function
+  | Mesh { rows; cols } -> Format.fprintf ppf "mesh %dx%d" rows cols
+  | Internet { nodes; m } -> Format.fprintf ppf "internet n=%d m=%d" nodes m
+  | Custom g -> Format.fprintf ppf "custom %a" Rfd_topology.Graph.pp g
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %a, %s policy, %a%s, damping=%s" t.name pp_topology t.topology
+    (match t.policy with Announce_all -> "announce-all" | No_valley -> "no-valley")
+    (fun ppf () ->
+      match t.pattern with
+      | Some pattern -> Pulse.pp ppf pattern
+      | None -> Format.fprintf ppf "%d pulse(s) x %gs" t.pulses t.flap_interval)
+    ()
+    (match t.mechanism with Origin_updates -> "" | Link_state -> " via link flaps")
+    (match t.config.Rfd_bgp.Config.damping with
+    | None -> "off"
+    | Some p ->
+        p.Rfd_damping.Params.name
+        ^
+        (match t.config.Rfd_bgp.Config.damping_mode with
+        | Rfd_bgp.Config.Plain -> ""
+        | Rfd_bgp.Config.Rcn -> "+rcn"
+        | Rfd_bgp.Config.Selective -> "+selective"))

@@ -1,0 +1,86 @@
+(** Declarative experiment descriptions.
+
+    A scenario names everything needed to reproduce one simulation run: the
+    topology, routing policy, damping setup, the flap pattern at the origin
+    stub, and instrumentation probes. {!Runner.run} executes it. *)
+
+type topology =
+  | Mesh of { rows : int; cols : int }
+      (** 2-D torus, the paper's mesh; "100 nodes" is [Mesh {rows=10; cols=10}]. *)
+  | Internet of { nodes : int; m : int }
+      (** Barabási–Albert graph with [m] links per new node — the
+          Internet-derived, long-tailed-degree topology. *)
+  | Custom of Rfd_topology.Graph.t
+
+type policy_kind =
+  | Announce_all  (** the paper's shortest-path policy *)
+  | No_valley  (** valley-free export with Gao–Rexford preferences *)
+
+type mechanism =
+  | Origin_updates
+      (** the origin withdraws/re-announces its prefix; the physical link
+          stays up as transport (the paper's pulse model) *)
+  | Link_state
+      (** the (isp, origin) link itself fails and recovers; BGP session
+          reset semantics apply (implicit withdrawals, full-table
+          re-advertisement) *)
+
+type probe =
+  | No_probe
+  | At_distance of int
+      (** trace penalties at the first router whose hop distance from the
+          origin equals the given value (the paper's Figure 7 uses 7) *)
+  | Pairs of (int * int) list  (** explicit (router, peer) pairs *)
+
+type t = {
+  name : string;
+  topology : topology;
+  policy : policy_kind;
+  config : Rfd_bgp.Config.t;  (** damping setup lives in here *)
+  isp : [ `Node of int | `Random ];
+      (** which node the flapping origin stub attaches to *)
+  pulses : int;
+  flap_interval : float;  (** seconds between consecutive flap events *)
+  pattern : Pulse.pattern option;
+      (** when set, overrides [pulses]/[flap_interval] with an arbitrary
+          flap pattern *)
+  mechanism : mechanism;
+  background_prefixes : int;
+      (** stable prefixes originated from deterministically sampled nodes
+          before the flap phase — gives routers a populated multi-prefix
+          RIB so per-prefix damping isolation is exercised at scale *)
+  probe : probe;
+  settle_gap : float;
+      (** idle time inserted between initial convergence and the first flap *)
+}
+
+val make :
+  ?name:string ->
+  ?policy:policy_kind ->
+  ?config:Rfd_bgp.Config.t ->
+  ?isp:[ `Node of int | `Random ] ->
+  ?pulses:int ->
+  ?flap_interval:float ->
+  ?pattern:Pulse.pattern ->
+  ?mechanism:mechanism ->
+  ?background_prefixes:int ->
+  ?probe:probe ->
+  ?settle_gap:float ->
+  topology ->
+  t
+(** Defaults: announce-all policy, {!Rfd_bgp.Config.default} (no damping),
+    isp at node 0, one pulse, 60 s interval, origin-update flaps, no probe,
+    10 s settle gap. *)
+
+val with_pulses : t -> int -> t
+val paper_mesh : topology
+(** [Mesh {rows = 10; cols = 10}] — the evaluation's 100-node mesh. *)
+
+val paper_internet : topology
+(** [Internet {nodes = 100; m = 2}]. *)
+
+val paper_internet_208 : topology
+(** [Internet {nodes = 208; m = 2}] — the Section 7 policy experiment. *)
+
+val validate : t -> (unit, string) result
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+type point = {
+  pulses : int;
+  convergence_time : float;
+  message_count : int;
+  peak_damped : int;
+  result : Runner.result;
+}
+
+type t = { label : string; base : Scenario.t; points : point list }
+
+let run ?label ?(pulses = List.init 10 (fun i -> i + 1)) base =
+  let label = match label with Some l -> l | None -> base.Scenario.name in
+  let points =
+    List.map
+      (fun n ->
+        let result = Runner.run (Scenario.with_pulses base n) in
+        {
+          pulses = n;
+          convergence_time = result.Runner.convergence_time;
+          message_count = result.Runner.message_count;
+          peak_damped = Collector.peak_damped result.Runner.collector;
+          result;
+        })
+      pulses
+  in
+  { label; base; points }
+
+let convergence_series t =
+  List.map (fun p -> (float_of_int p.pulses, p.convergence_time)) t.points
+
+let message_series t =
+  List.map (fun p -> (float_of_int p.pulses, float_of_int p.message_count)) t.points
+
+let intended_series params ~interval ~tup ~pulses =
+  List.map
+    (fun n -> (float_of_int n, Intended.convergence_time params ~pulses:n ~interval ~tup))
+    pulses
+
+module Summary = Rfd_engine.Stats.Summary
+
+type aggregate = { agg_pulses : int; convergence : Summary.t; messages : Summary.t }
+
+let run_many ?(pulses = List.init 10 (fun i -> i + 1)) ~seeds base =
+  if seeds = [] then invalid_arg "Sweep.run_many: empty seed list";
+  let aggregates =
+    List.map
+      (fun n -> { agg_pulses = n; convergence = Summary.create (); messages = Summary.create () })
+      pulses
+  in
+  List.iter
+    (fun seed ->
+      let config = { base.Scenario.config with Rfd_bgp.Config.seed } in
+      let sweep = run ~pulses { base with Scenario.config } in
+      List.iter2
+        (fun agg point ->
+          Summary.add agg.convergence point.convergence_time;
+          Summary.add agg.messages (float_of_int point.message_count))
+        aggregates sweep.points)
+    seeds;
+  aggregates
+
+let mean_convergence_series aggs =
+  List.map (fun a -> (float_of_int a.agg_pulses, Summary.mean a.convergence)) aggs
+
+let mean_message_series aggs =
+  List.map (fun a -> (float_of_int a.agg_pulses, Summary.mean a.messages)) aggs

@@ -1,0 +1,44 @@
+(** Parameter sweeps over pulse counts — the shape of Figures 8/9/13/14/15.
+
+    A sweep runs a base scenario at every pulse count in a range and
+    collects the two headline metrics (convergence time, message count) per
+    point. Several sweeps (one per configuration) form a figure. *)
+
+type point = {
+  pulses : int;
+  convergence_time : float;
+  message_count : int;
+  peak_damped : int;
+  result : Runner.result;
+}
+
+type t = { label : string; base : Scenario.t; points : point list }
+
+val run : ?label:string -> ?pulses:int list -> Scenario.t -> t
+(** Default pulse counts: [1 .. 10] (the paper's x axis). The scenario's
+    own [pulses] field is ignored. *)
+
+val convergence_series : t -> (float * float) list
+(** [(pulses, convergence seconds)] pairs. *)
+
+val message_series : t -> (float * float) list
+
+val intended_series :
+  Rfd_damping.Params.t -> interval:float -> tup:float -> pulses:int list -> (float * float) list
+(** The paper's "calculation" curve from {!Intended.convergence_time}. *)
+
+(** {1 Multi-seed aggregation} *)
+
+type aggregate = {
+  agg_pulses : int;
+  convergence : Rfd_engine.Stats.Summary.t;
+  messages : Rfd_engine.Stats.Summary.t;
+}
+
+val run_many : ?pulses:int list -> seeds:int list -> Scenario.t -> aggregate list
+(** Run the sweep once per seed (the seed is substituted into the
+    scenario's config) and aggregate convergence time and message count per
+    pulse count. Raises [Invalid_argument] on an empty seed list. *)
+
+val mean_convergence_series : aggregate list -> (float * float) list
+val mean_message_series : aggregate list -> (float * float) list

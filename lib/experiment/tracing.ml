@@ -1,0 +1,48 @@
+module Trace = Rfd_engine.Trace
+module Hooks = Rfd_bgp.Hooks
+
+let attach trace (hooks : Hooks.t) =
+  let prev_send = hooks.Hooks.on_send in
+  hooks.Hooks.on_send <-
+    (fun ~time ~src ~dst update ->
+      Trace.recordf trace ~time ~topic:"send" "%d -> %d: %a" src dst Rfd_bgp.Update.pp update;
+      prev_send ~time ~src ~dst update);
+  let prev_deliver = hooks.Hooks.on_deliver in
+  hooks.Hooks.on_deliver <-
+    (fun ~time ~src ~dst update ->
+      Trace.recordf trace ~time ~topic:"deliver" "%d -> %d: %a" src dst Rfd_bgp.Update.pp
+        update;
+      prev_deliver ~time ~src ~dst update);
+  let prev_suppress = hooks.Hooks.on_suppress in
+  hooks.Hooks.on_suppress <-
+    (fun ~time ~router ~peer ~prefix ->
+      Trace.recordf trace ~time ~topic:"suppress" "router %d suppresses peer %d for %a" router
+        peer Rfd_bgp.Prefix.pp prefix;
+      prev_suppress ~time ~router ~peer ~prefix);
+  let prev_reuse = hooks.Hooks.on_reuse in
+  hooks.Hooks.on_reuse <-
+    (fun ~time ~router ~peer ~prefix ~noisy ->
+      Trace.recordf trace ~time ~topic:"reuse" "router %d reuses peer %d for %a (%s)" router
+        peer Rfd_bgp.Prefix.pp prefix
+        (if noisy then "noisy" else "silent");
+      prev_reuse ~time ~router ~peer ~prefix ~noisy);
+  let prev_penalty = hooks.Hooks.on_penalty in
+  hooks.Hooks.on_penalty <-
+    (fun ~time ~router ~peer ~prefix ~penalty ->
+      Trace.recordf trace ~time ~topic:"penalty" "router %d peer %d %a penalty %.0f" router
+        peer Rfd_bgp.Prefix.pp prefix penalty;
+      prev_penalty ~time ~router ~peer ~prefix ~penalty);
+  let prev_best = hooks.Hooks.on_best_change in
+  hooks.Hooks.on_best_change <-
+    (fun ~time ~router ~prefix ~best ->
+      (match best with
+      | Some route ->
+          Trace.recordf trace ~time ~topic:"best" "router %d: %a now via %a" router
+            Rfd_bgp.Prefix.pp prefix Rfd_bgp.Route.pp route
+      | None ->
+          Trace.recordf trace ~time ~topic:"best" "router %d: %a unreachable" router
+            Rfd_bgp.Prefix.pp prefix);
+      prev_best ~time ~router ~prefix ~best)
+
+let pp_transcript ppf trace =
+  List.iter (fun e -> Format.fprintf ppf "%a@." Trace.pp_entry e) (Trace.entries trace)

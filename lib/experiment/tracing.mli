@@ -1,0 +1,14 @@
+(** Protocol-event tracing.
+
+    Wraps a network's hooks so that every protocol event is also recorded
+    into an {!Rfd_engine.Trace.t}, *without* displacing whatever observers
+    (e.g. a {!Collector}) are already attached. Attach the collector first,
+    then the trace. *)
+
+val attach : Rfd_engine.Trace.t -> Rfd_bgp.Hooks.t -> unit
+(** Each hook field is replaced by a wrapper that records a trace entry and
+    then calls the previously installed callback. Topics: ["send"],
+    ["deliver"], ["suppress"], ["reuse"], ["penalty"], ["best"]. *)
+
+val pp_transcript : Format.formatter -> Rfd_engine.Trace.t -> unit
+(** Print all stored entries, one per line. *)

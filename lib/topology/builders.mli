@@ -1,0 +1,28 @@
+(** Deterministic topology constructors: the regular graphs used in the
+    paper plus classic shapes useful for tests and examples. *)
+
+val line : int -> Graph.t
+(** Path graph 0 - 1 - ... - (n-1). [n >= 1]. *)
+
+val ring : int -> Graph.t
+(** Cycle. [n >= 3]. *)
+
+val star : int -> Graph.t
+(** Node 0 is the hub connected to nodes 1..n-1. [n >= 1]. *)
+
+val clique : int -> Graph.t
+(** Complete graph. [n >= 1]. *)
+
+val grid : rows:int -> cols:int -> Graph.t
+(** 2-D grid without wraparound; node [(r, c)] has index [r * cols + c]. *)
+
+val mesh : rows:int -> cols:int -> Graph.t
+(** 2-D torus: a grid in which nodes at opposite edges are connected, "so
+    that all nodes are topologically equal" — the paper's mesh topology.
+    Requires [rows >= 3] and [cols >= 3] to stay a simple graph. *)
+
+val binary_tree : depth:int -> Graph.t
+(** Complete binary tree with [2^depth - 1] nodes; root is node 0. *)
+
+val node_of_grid_coord : cols:int -> row:int -> col:int -> int
+(** Index of a grid/mesh coordinate. *)

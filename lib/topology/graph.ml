@@ -1,0 +1,158 @@
+type t = {
+  num_nodes : int;
+  adjacency : int array array; (* sorted neighbor lists *)
+  edge_list : (int * int) array; (* u < v, sorted *)
+}
+
+let normalize_edge num_nodes (u, v) =
+  if u = v then invalid_arg (Printf.sprintf "Graph: self-loop at node %d" u);
+  if u < 0 || u >= num_nodes || v < 0 || v >= num_nodes then
+    invalid_arg (Printf.sprintf "Graph: edge (%d,%d) out of range [0,%d)" u v num_nodes);
+  if u < v then (u, v) else (v, u)
+
+let of_edges ~num_nodes edges =
+  if num_nodes < 0 then invalid_arg "Graph.of_edges: negative node count";
+  let normalized = List.map (normalize_edge num_nodes) edges in
+  let dedup =
+    List.sort_uniq (fun (a, b) (c, d) ->
+        let cmp = Int.compare a c in
+        if cmp <> 0 then cmp else Int.compare b d)
+      normalized
+  in
+  let edge_list = Array.of_list dedup in
+  let degree = Array.make num_nodes 0 in
+  Array.iter
+    (fun (u, v) ->
+      degree.(u) <- degree.(u) + 1;
+      degree.(v) <- degree.(v) + 1)
+    edge_list;
+  let adjacency = Array.init num_nodes (fun i -> Array.make degree.(i) 0) in
+  let fill = Array.make num_nodes 0 in
+  Array.iter
+    (fun (u, v) ->
+      adjacency.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adjacency.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    edge_list;
+  Array.iter (fun nbrs -> Array.sort Int.compare nbrs) adjacency;
+  { num_nodes; adjacency; edge_list }
+
+let num_nodes t = t.num_nodes
+let num_edges t = Array.length t.edge_list
+
+let check_node t u =
+  if u < 0 || u >= t.num_nodes then
+    invalid_arg (Printf.sprintf "Graph: node %d out of range [0,%d)" u t.num_nodes)
+
+let neighbors t u =
+  check_node t u;
+  t.adjacency.(u)
+
+let degree t u =
+  check_node t u;
+  Array.length t.adjacency.(u)
+
+let has_edge t u v =
+  check_node t u;
+  check_node t v;
+  let nbrs = t.adjacency.(u) in
+  let rec search lo hi =
+    if lo > hi then false
+    else begin
+      let mid = (lo + hi) / 2 in
+      let x = nbrs.(mid) in
+      if x = v then true else if x < v then search (mid + 1) hi else search lo (mid - 1)
+    end
+  in
+  search 0 (Array.length nbrs - 1)
+
+let edges t = t.edge_list
+
+let fold_edges t ~init ~f =
+  Array.fold_left (fun acc (u, v) -> f acc u v) init t.edge_list
+
+let add_edges t extra =
+  of_edges ~num_nodes:t.num_nodes (Array.to_list t.edge_list @ extra)
+
+let add_nodes t k =
+  if k < 0 then invalid_arg "Graph.add_nodes: negative count";
+  of_edges ~num_nodes:(t.num_nodes + k) (Array.to_list t.edge_list)
+
+let bfs_distances t source =
+  check_node t source;
+  let dist = Array.make t.num_nodes (-1) in
+  let queue = Queue.create () in
+  dist.(source) <- 0;
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    Array.iter
+      (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      t.adjacency.(u)
+  done;
+  dist
+
+let is_connected t =
+  if t.num_nodes <= 1 then true
+  else begin
+    let dist = bfs_distances t 0 in
+    Array.for_all (fun d -> d >= 0) dist
+  end
+
+let shortest_path t source dest =
+  check_node t source;
+  check_node t dest;
+  if source = dest then Some [ source ]
+  else begin
+    let parent = Array.make t.num_nodes (-1) in
+    let seen = Array.make t.num_nodes false in
+    let queue = Queue.create () in
+    seen.(source) <- true;
+    Queue.add source queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let u = Queue.take queue in
+      Array.iter
+        (fun v ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            parent.(v) <- u;
+            if v = dest then found := true else Queue.add v queue
+          end)
+        t.adjacency.(u)
+    done;
+    if not !found then None
+    else begin
+      let rec walk v acc = if v = source then source :: acc else walk parent.(v) (v :: acc) in
+      Some (walk dest [])
+    end
+  end
+
+let degree_histogram t =
+  let table = Hashtbl.create 16 in
+  for u = 0 to t.num_nodes - 1 do
+    let d = Array.length t.adjacency.(u) in
+    let prev = match Hashtbl.find_opt table d with Some c -> c | None -> 0 in
+    Hashtbl.replace table d (prev + 1)
+  done;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let max_degree t =
+  Array.fold_left (fun acc nbrs -> max acc (Array.length nbrs)) 0 t.adjacency
+
+let average_degree t =
+  if t.num_nodes = 0 then 0.
+  else 2. *. float_of_int (num_edges t) /. float_of_int t.num_nodes
+
+let pp ppf t =
+  Format.fprintf ppf "graph<%d nodes, %d edges, max degree %d>" t.num_nodes (num_edges t)
+    (max_degree t)
+
+let equal a b =
+  a.num_nodes = b.num_nodes && a.edge_list = b.edge_list

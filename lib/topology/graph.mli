@@ -1,0 +1,56 @@
+(** Undirected simple graphs over nodes [0 .. num_nodes - 1].
+
+    Immutable once constructed. This is the substrate for all simulation
+    topologies: meshes, Internet-derived graphs, and the small hand-built
+    examples from the paper's figures. *)
+
+type t
+
+val of_edges : num_nodes:int -> (int * int) list -> t
+(** [of_edges ~num_nodes edges] builds a graph. Self-loops raise
+    [Invalid_argument]; duplicate edges (in either orientation) are
+    collapsed; endpoints must be in range. *)
+
+val num_nodes : t -> int
+val num_edges : t -> int
+
+val has_edge : t -> int -> int -> bool
+(** Symmetric. O(log degree). *)
+
+val neighbors : t -> int -> int array
+(** Sorted ascending. The returned array is shared — do not mutate. *)
+
+val degree : t -> int -> int
+
+val edges : t -> (int * int) array
+(** Each undirected edge once, as [(u, v)] with [u < v], sorted. Shared —
+    do not mutate. *)
+
+val fold_edges : t -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+
+val add_edges : t -> (int * int) list -> t
+(** Graph with additional edges (same node count). *)
+
+val add_nodes : t -> int -> t
+(** [add_nodes g k] has [k] extra isolated nodes appended. *)
+
+val is_connected : t -> bool
+(** True for the empty and one-node graph. *)
+
+val bfs_distances : t -> int -> int array
+(** Hop counts from a source; [-1] marks unreachable nodes. *)
+
+val shortest_path : t -> int -> int -> int list option
+(** Some node list from source to destination inclusive, or [None]. *)
+
+val degree_histogram : t -> (int * int) list
+(** [(degree, node_count)] pairs sorted by degree. *)
+
+val max_degree : t -> int
+val average_degree : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** Summary, not full edge list. *)
+
+val equal : t -> t -> bool
+(** Same node count and edge set. *)

@@ -1,0 +1,125 @@
+module Rng = Rfd_engine.Rng
+
+let path_stats graph sources =
+  (* (sum of distances, reachable pair count, max distance) over BFS from
+     the given sources *)
+  List.fold_left
+    (fun (sum, pairs, widest) source ->
+      let dist = Graph.bfs_distances graph source in
+      Array.fold_left
+        (fun (sum, pairs, widest) d ->
+          if d > 0 then (sum + d, pairs + 1, max widest d) else (sum, pairs, widest))
+        (sum, pairs, widest) dist)
+    (0, 0, 0) sources
+
+let all_nodes graph = List.init (Graph.num_nodes graph) Fun.id
+
+let average_path_length ?sources ?rng graph =
+  let n = Graph.num_nodes graph in
+  if n < 2 then 0.
+  else begin
+    let chosen =
+      match (sources, rng) with
+      | Some k, Some rng when k < n ->
+          let pool = Array.of_list (all_nodes graph) in
+          Rng.shuffle rng pool;
+          Array.to_list (Array.sub pool 0 (max 1 k))
+      | Some k, None when k < n ->
+          invalid_arg "Metrics.average_path_length: sampling requires an rng"
+      | _ -> all_nodes graph
+    in
+    let sum, pairs, _ = path_stats graph chosen in
+    if pairs = 0 then 0. else float_of_int sum /. float_of_int pairs
+  end
+
+let diameter graph =
+  let _, _, widest = path_stats graph (all_nodes graph) in
+  widest
+
+let clustering_coefficient graph =
+  let n = Graph.num_nodes graph in
+  if n = 0 then 0.
+  else begin
+    let total = ref 0. in
+    for u = 0 to n - 1 do
+      let nbrs = Graph.neighbors graph u in
+      let k = Array.length nbrs in
+      if k >= 2 then begin
+        let links = ref 0 in
+        for i = 0 to k - 1 do
+          for j = i + 1 to k - 1 do
+            if Graph.has_edge graph nbrs.(i) nbrs.(j) then incr links
+          done
+        done;
+        total := !total +. (2. *. float_of_int !links /. float_of_int (k * (k - 1)))
+      end
+    done;
+    !total /. float_of_int n
+  end
+
+let power_law_alpha ?(k_min = 2) graph =
+  if k_min < 1 then invalid_arg "Metrics.power_law_alpha: k_min must be >= 1";
+  let tail = ref [] in
+  for u = 0 to Graph.num_nodes graph - 1 do
+    let d = Graph.degree graph u in
+    if d >= k_min then tail := d :: !tail
+  done;
+  let n = List.length !tail in
+  if n < 10 then None
+  else begin
+    (* discrete MLE approximation: alpha = 1 + n / sum ln (k / (k_min - 0.5)) *)
+    let denom =
+      List.fold_left
+        (fun acc k -> acc +. log (float_of_int k /. (float_of_int k_min -. 0.5)))
+        0. !tail
+    in
+    if denom <= 0. then None else Some (1. +. (float_of_int n /. denom))
+  end
+
+let gini_degree graph =
+  let n = Graph.num_nodes graph in
+  if n = 0 then 0.
+  else begin
+    let degrees = Array.init n (fun u -> float_of_int (Graph.degree graph u)) in
+    Array.sort Float.compare degrees;
+    let total = Array.fold_left ( +. ) 0. degrees in
+    if total = 0. then 0.
+    else begin
+      (* Gini = (2 * sum_i i*x_i) / (n * sum x) - (n + 1) / n, with 1-based
+         ranks over ascending values *)
+      let weighted = ref 0. in
+      Array.iteri (fun i x -> weighted := !weighted +. (float_of_int (i + 1) *. x)) degrees;
+      let nf = float_of_int n in
+      (2. *. !weighted /. (nf *. total)) -. ((nf +. 1.) /. nf)
+    end
+  end
+
+type summary = {
+  nodes : int;
+  edges : int;
+  avg_degree : float;
+  max_degree : int;
+  avg_path_length : float;
+  diameter : int;
+  clustering : float;
+  degree_gini : float;
+}
+
+let summarize graph =
+  {
+    nodes = Graph.num_nodes graph;
+    edges = Graph.num_edges graph;
+    avg_degree = Graph.average_degree graph;
+    max_degree = Graph.max_degree graph;
+    avg_path_length = average_path_length graph;
+    diameter = diameter graph;
+    clustering = clustering_coefficient graph;
+    degree_gini = gini_degree graph;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%d nodes, %d edges, avg degree %.2f (max %d), avg path %.2f, diameter %d, clustering \
+     %.3f, degree gini %.3f"
+    s.nodes s.edges s.avg_degree s.max_degree s.avg_path_length s.diameter s.clustering
+    s.degree_gini

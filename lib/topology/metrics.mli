@@ -1,0 +1,44 @@
+(** Structural graph metrics.
+
+    Used to characterise generated topologies — in particular to check that
+    the Barabási–Albert stand-in for the paper's "Internet-derived"
+    topologies exhibits the long-tailed degree distribution the paper
+    relies on. All metrics treat the graph as undirected and ignore
+    unreachable pairs where noted. *)
+
+val average_path_length : ?sources:int -> ?rng:Rfd_engine.Rng.t -> Graph.t -> float
+(** Mean hop count over reachable ordered pairs. With [sources] (and an
+    [rng] for sampling), BFS runs from that many sampled sources instead of
+    all nodes; default is exact. 0. for graphs with fewer than two
+    nodes. *)
+
+val diameter : Graph.t -> int
+(** Longest shortest path over reachable pairs (0 for empty/singleton). *)
+
+val clustering_coefficient : Graph.t -> float
+(** Average local clustering coefficient (Watts–Strogatz); nodes with
+    degree < 2 contribute 0. *)
+
+val power_law_alpha : ?k_min:int -> Graph.t -> float option
+(** Maximum-likelihood estimate of the exponent of a power-law degree tail
+    (Clauset–Shalizi–Newman discrete approximation), over nodes with degree
+    >= [k_min] (default 2). [None] when fewer than 10 nodes qualify. *)
+
+val gini_degree : Graph.t -> float
+(** Gini coefficient of the degree distribution — 0 for regular graphs
+    (e.g. the paper's torus mesh), approaching 1 for hub-dominated
+    graphs. *)
+
+type summary = {
+  nodes : int;
+  edges : int;
+  avg_degree : float;
+  max_degree : int;
+  avg_path_length : float;
+  diameter : int;
+  clustering : float;
+  degree_gini : float;
+}
+
+val summarize : Graph.t -> summary
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,122 @@
+module Rng = Rfd_engine.Rng
+
+let erdos_renyi rng ~n ~p =
+  if n < 0 then invalid_arg "Random_graphs.erdos_renyi: negative n";
+  if p < 0. || p > 1. then invalid_arg "Random_graphs.erdos_renyi: p outside [0,1]";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.float rng 1.0 < p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~num_nodes:n !edges
+
+let barabasi_albert rng ~n ~m =
+  if m < 1 || m >= n then invalid_arg "Random_graphs.barabasi_albert: need 1 <= m < n";
+  let edges = ref [] in
+  (* Seed with an m-node clique (a single node when m = 1). *)
+  for u = 0 to m - 1 do
+    for v = u + 1 to m - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  (* [targets] lists one entry per edge endpoint, so uniform sampling from
+     it is degree-proportional sampling. *)
+  let targets = ref [] in
+  List.iter (fun (u, v) -> targets := u :: v :: !targets) !edges;
+  if m = 1 then targets := [ 0 ];
+  let target_array = ref (Array.of_list !targets) in
+  for node = m to n - 1 do
+    let chosen = Hashtbl.create m in
+    let attempts = ref 0 in
+    while Hashtbl.length chosen < m && !attempts < 10_000 do
+      incr attempts;
+      let pick =
+        if Array.length !target_array = 0 then Rng.int rng node
+        else Rng.pick rng !target_array
+      in
+      if pick <> node && not (Hashtbl.mem chosen pick) then Hashtbl.replace chosen pick ()
+    done;
+    (* Extremely unlikely fallback: fill deterministically. *)
+    let next = ref 0 in
+    while Hashtbl.length chosen < m do
+      if !next <> node && not (Hashtbl.mem chosen !next) then Hashtbl.replace chosen !next ();
+      incr next
+    done;
+    let new_entries = ref [] in
+    Hashtbl.iter
+      (fun existing () ->
+        edges := (node, existing) :: !edges;
+        new_entries := node :: existing :: !new_entries)
+      chosen;
+    target_array := Array.append !target_array (Array.of_list !new_entries)
+  done;
+  Graph.of_edges ~num_nodes:n !edges
+
+let components g =
+  let n = Graph.num_nodes g in
+  let comp = Array.make n (-1) in
+  let count = ref 0 in
+  for seed = 0 to n - 1 do
+    if comp.(seed) < 0 then begin
+      let c = !count in
+      incr count;
+      let queue = Queue.create () in
+      comp.(seed) <- c;
+      Queue.add seed queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.take queue in
+        Array.iter
+          (fun v ->
+            if comp.(v) < 0 then begin
+              comp.(v) <- c;
+              Queue.add v queue
+            end)
+          (Graph.neighbors g u)
+      done
+    end
+  done;
+  (comp, !count)
+
+let connected_erdos_renyi rng ~n ~p =
+  let g = erdos_renyi rng ~n ~p in
+  if n <= 1 then g
+  else begin
+    let comp, count = components g in
+    if count = 1 then g
+    else begin
+      (* Link a representative of every non-zero component to a random node
+         of component 0. *)
+      let reps = Array.make count (-1) in
+      Array.iteri (fun node c -> if reps.(c) < 0 then reps.(c) <- node) comp;
+      let members0 =
+        Array.of_list (List.filter (fun node -> comp.(node) = 0) (List.init n Fun.id))
+      in
+      let extra = ref [] in
+      for c = 1 to count - 1 do
+        extra := (reps.(c), Rng.pick rng members0) :: !extra
+      done;
+      Graph.add_edges g !extra
+    end
+  end
+
+let random_spanning_connected rng ~n ~extra_edges =
+  if n < 1 then invalid_arg "Random_graphs.random_spanning_connected: n >= 1 required";
+  if extra_edges < 0 then
+    invalid_arg "Random_graphs.random_spanning_connected: negative extra_edges";
+  let edges = ref [] in
+  for node = 1 to n - 1 do
+    edges := (node, Rng.int rng node) :: !edges
+  done;
+  let g = Graph.of_edges ~num_nodes:n !edges in
+  let missing = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if not (Graph.has_edge g u v) then missing := (u, v) :: !missing
+    done
+  done;
+  let missing = Array.of_list !missing in
+  Rng.shuffle rng missing;
+  let take = min extra_edges (Array.length missing) in
+  let extra = Array.to_list (Array.sub missing 0 take) in
+  Graph.add_edges g extra

@@ -1,0 +1,120 @@
+type label =
+  | Customer_provider of { customer : int; provider : int }
+  | Peer_peer
+
+type side = Customer | Provider | Peer
+
+type t = { graph : Graph.t; labels : (int * int, label) Hashtbl.t }
+(* [labels] is keyed by the canonical (min, max) edge orientation. *)
+
+let key u v = if u < v then (u, v) else (v, u)
+
+let empty graph = { graph; labels = Hashtbl.create 16 }
+
+let make graph assoc =
+  let labels = Hashtbl.create (List.length assoc) in
+  List.iter
+    (fun ((u, v), lbl) ->
+      if not (Graph.has_edge graph u v) then
+        invalid_arg (Printf.sprintf "Relations.make: (%d,%d) is not an edge" u v);
+      (match lbl with
+      | Peer_peer -> ()
+      | Customer_provider { customer; provider } ->
+          if not ((customer = u && provider = v) || (customer = v && provider = u)) then
+            invalid_arg
+              (Printf.sprintf "Relations.make: label endpoints %d,%d do not match edge (%d,%d)"
+                 customer provider u v));
+      Hashtbl.replace labels (key u v) lbl)
+    assoc;
+  { graph; labels }
+
+let graph t = t.graph
+
+let label t u v =
+  if not (Graph.has_edge t.graph u v) then
+    invalid_arg (Printf.sprintf "Relations.label: (%d,%d) is not an edge" u v);
+  match Hashtbl.find_opt t.labels (key u v) with Some l -> l | None -> Peer_peer
+
+let side t ~me ~neighbour =
+  match label t me neighbour with
+  | Peer_peer -> Peer
+  | Customer_provider { customer; provider = _ } ->
+      if customer = neighbour then Customer else Provider
+
+let infer_by_degree ?(peer_ratio = 1.5) graph =
+  if peer_ratio < 1.0 then invalid_arg "Relations.infer_by_degree: peer_ratio >= 1 required";
+  let labels = Hashtbl.create (Graph.num_edges graph) in
+  Array.iter
+    (fun (u, v) ->
+      let du = float_of_int (Graph.degree graph u) in
+      let dv = float_of_int (Graph.degree graph v) in
+      let hi = Float.max du dv and lo = Float.min du dv in
+      let lbl =
+        if lo > 0. && hi /. lo <= peer_ratio then Peer_peer
+        else if du < dv then Customer_provider { customer = u; provider = v }
+        else if dv < du then Customer_provider { customer = v; provider = u }
+        else Peer_peer
+      in
+      Hashtbl.replace labels (key u v) lbl)
+    (Graph.edges graph);
+  { graph; labels }
+
+let neighbours_with t node wanted =
+  Array.to_list (Graph.neighbors t.graph node)
+  |> List.filter (fun nbr -> side t ~me:node ~neighbour:nbr = wanted)
+
+let customers t node = neighbours_with t node Customer
+let providers t node = neighbours_with t node Provider
+let peers t node = neighbours_with t node Peer
+
+let is_valley_free t path =
+  match path with
+  | [] | [ _ ] -> true
+  | _ ->
+      (* Gao's pattern: uphill (customer->provider) hops, at most one peer
+         hop, then downhill (provider->customer) hops — transitions may
+         only move forward through these phases. *)
+      let rec check phase = function
+        | a :: (b :: _ as rest) ->
+            let hop =
+              match side t ~me:a ~neighbour:b with
+              | Provider -> `Up
+              | Peer -> `Flat
+              | Customer -> `Down
+            in
+            let next =
+              match (phase, hop) with
+              | `Uphill, `Up -> Some `Uphill
+              | `Uphill, `Flat -> Some `Crossed_peer
+              | (`Uphill | `Crossed_peer | `Downhill), `Down -> Some `Downhill
+              | (`Crossed_peer | `Downhill), (`Up | `Flat) -> None
+            in
+            (match next with None -> false | Some p -> check p rest)
+        | [ _ ] | [] -> true
+      in
+      check `Uphill path
+
+let has_provider_cycle t =
+  let n = Graph.num_nodes t.graph in
+  (* colours: 0 unseen, 1 on stack, 2 done *)
+  let colour = Array.make n 0 in
+  let cycle = ref false in
+  let rec visit u =
+    colour.(u) <- 1;
+    List.iter
+      (fun p ->
+        if not !cycle then begin
+          if colour.(p) = 1 then cycle := true
+          else if colour.(p) = 0 then visit p
+        end)
+      (providers t u);
+    colour.(u) <- 2
+  in
+  for u = 0 to n - 1 do
+    if (not !cycle) && colour.(u) = 0 then visit u
+  done;
+  !cycle
+
+let counts t =
+  Graph.fold_edges t.graph ~init:(0, 0) ~f:(fun (cp, pp) u v ->
+      match label t u v with Customer_provider _ -> (cp + 1, pp) | Peer_peer -> (cp, pp + 1))

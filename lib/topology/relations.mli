@@ -1,0 +1,62 @@
+(** AS business relationships for policy routing.
+
+    Each edge of a graph is labelled either customer→provider or
+    peer↔peer, the model behind the no-valley (valley-free) export policy
+    of the paper's Section 7: a router forwards transit traffic only from
+    or to its customers. *)
+
+type label =
+  | Customer_provider of { customer : int; provider : int }
+  | Peer_peer
+(** Label of one undirected edge. *)
+
+type side =
+  | Customer  (** the neighbour is my customer *)
+  | Provider  (** the neighbour is my provider *)
+  | Peer  (** the neighbour is my peer *)
+
+type t
+
+val empty : Graph.t -> t
+(** All edges labelled peer-peer. *)
+
+val make : Graph.t -> ((int * int) * label) list -> t
+(** Explicit labels, one per edge; missing edges default to peer-peer.
+    Raises [Invalid_argument] for labels naming non-edges or labels whose
+    endpoints do not match the edge. *)
+
+val graph : t -> Graph.t
+
+val side : t -> me:int -> neighbour:int -> side
+(** Relationship as seen from [me]. Raises [Invalid_argument] when the
+    two nodes are not adjacent. *)
+
+val label : t -> int -> int -> label
+(** Label of edge [(u, v)] (orientation preserved as stored). *)
+
+val infer_by_degree : ?peer_ratio:float -> Graph.t -> t
+(** Standard degree heuristic: for each edge, if the endpoint degrees are
+    within a factor of [peer_ratio] (default [1.5]) of each other the edge
+    is peer-peer, otherwise the lower-degree endpoint is the customer of
+    the higher-degree one. Produces a provider hierarchy free of
+    customer-provider cycles. *)
+
+val customers : t -> int -> int list
+(** Neighbours that are customers of the node, ascending. *)
+
+val providers : t -> int -> int list
+
+val peers : t -> int -> int list
+
+val is_valley_free : t -> int list -> bool
+(** [is_valley_free t path] checks Gao's valley-free property for a node
+    path: zero or more customer→provider hops, at most one peer hop, then
+    zero or more provider→customer hops. Vacuously true for paths shorter
+    than two nodes. Raises if consecutive nodes are not adjacent. *)
+
+val has_provider_cycle : t -> bool
+(** True when the customer→provider digraph contains a cycle (an invalid
+    economy: someone is transitively their own provider). *)
+
+val counts : t -> int * int
+(** [(customer_provider_edges, peer_edges)]. *)

@@ -1,0 +1,39 @@
+(* Aggregated test runner: `dune runtest`. *)
+
+let () =
+  Alcotest.run "rfd"
+    [
+      ("engine.heap", Test_heap.suite);
+      ("engine.rng", Test_rng.suite);
+      ("engine.sim", Test_sim.suite);
+      ("engine.timeseries", Test_timeseries.suite);
+      ("engine.stats", Test_stats.suite);
+      ("engine.trace", Test_trace.suite);
+      ("topology.graph", Test_graph.suite);
+      ("topology.builders", Test_builders.suite);
+      ("topology.random_graphs", Test_random_graphs.suite);
+      ("topology.relations", Test_relations.suite);
+      ("topology.edge_list", Test_edge_list.suite);
+      ("topology.metrics", Test_metrics.suite);
+      ("damping.params", Test_params.suite);
+      ("damping.damper", Test_damper.suite);
+      ("damping.history", Test_history.suite);
+      ("damping.reuse_index", Test_reuse_index.suite);
+      ("bgp.types", Test_bgp_types.suite);
+      ("bgp.config", Test_config.suite);
+      ("bgp.policy", Test_policy.suite);
+      ("bgp.network", Test_network.suite);
+      ("bgp.damping", Test_damping_network.suite);
+      ("bgp.edge_cases", Test_router_edge.suite);
+      ("bgp.transport", Test_transport.suite);
+      ("experiment.intended", Test_intended.suite);
+      ("experiment.pulse", Test_pulse.suite);
+      ("experiment.sweep", Test_sweep_stats.suite);
+      ("experiment.phases", Test_phases.suite);
+      ("experiment.report", Test_report.suite);
+      ("experiment.plot", Test_plot.suite);
+      ("experiment.runner", Test_runner.suite);
+      ("experiment.tracing", Test_tracing.suite);
+      ("protocol.properties", Test_properties.suite);
+      ("paper.integration", Test_paper.suite);
+    ]

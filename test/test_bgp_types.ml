@@ -1,0 +1,108 @@
+(* Tests for the BGP value types: prefixes, AS paths, routes, root causes,
+   updates. *)
+
+open Rfd_bgp
+
+let test_prefix () =
+  let p = Prefix.v 3 in
+  Alcotest.(check int) "round trip" 3 (Prefix.to_int p);
+  Alcotest.(check bool) "equal" true (Prefix.equal p (Prefix.v 3));
+  Alcotest.(check bool) "not equal" false (Prefix.equal p (Prefix.v 4));
+  Alcotest.(check int) "compare" 0 (Prefix.compare p (Prefix.v 3));
+  Alcotest.check_raises "negative" (Invalid_argument "Prefix.v: negative prefix id") (fun () ->
+      ignore (Prefix.v (-1)))
+
+let test_as_path_basics () =
+  let p = As_path.of_list [ 3; 2; 1 ] in
+  Alcotest.(check int) "length" 3 (As_path.length p);
+  Alcotest.(check (list int)) "to_list" [ 3; 2; 1 ] (As_path.to_list p);
+  Alcotest.(check bool) "contains" true (As_path.contains p 2);
+  Alcotest.(check bool) "not contains" false (As_path.contains p 9);
+  Alcotest.(check (option int)) "origin is last" (Some 1) (As_path.origin p);
+  Alcotest.(check (option int)) "empty origin" None (As_path.origin As_path.empty)
+
+let test_as_path_prepend () =
+  let p = As_path.prepend 4 (As_path.of_list [ 3 ]) in
+  Alcotest.(check (list int)) "prepended" [ 4; 3 ] (As_path.to_list p);
+  Alcotest.(check int) "empty length" 0 (As_path.length As_path.empty)
+
+let test_as_path_equal_compare () =
+  let a = As_path.of_list [ 1; 2 ] and b = As_path.of_list [ 1; 2 ] in
+  Alcotest.(check bool) "equal" true (As_path.equal a b);
+  Alcotest.(check bool) "ordered" true (As_path.compare a (As_path.of_list [ 1; 3 ]) < 0)
+
+let test_route () =
+  let r = Route.make ~prefix:(Prefix.v 0) ~path:(As_path.of_list [ 2; 1 ]) in
+  Alcotest.(check int) "path length" 2 (Route.path_length r);
+  let r2 = Route.prepend 5 r in
+  Alcotest.(check (list int)) "prepend keeps prefix" [ 5; 2; 1 ] (As_path.to_list (Route.path r2));
+  Alcotest.(check bool) "prefix kept" true (Prefix.equal (Route.prefix r2) (Prefix.v 0));
+  Alcotest.(check bool) "equality is attribute equality" false (Route.equal r r2);
+  Alcotest.(check bool) "reflexive" true (Route.equal r r)
+
+let test_root_cause () =
+  let module RC = Root_cause in
+  let a = RC.make ~link:(1, 2) ~status:RC.Link_down ~seq:7 in
+  let b = RC.make ~link:(1, 2) ~status:RC.Link_down ~seq:7 in
+  Alcotest.(check bool) "structural equal" true (RC.equal a b);
+  Alcotest.(check int) "compare equal" 0 (RC.compare a b);
+  let c = RC.origin_event ~node:5 ~status:RC.Link_up ~seq:8 in
+  Alcotest.(check bool) "origin event uses degenerate link" true (c.RC.link = (5, 5));
+  Alcotest.(check bool) "different" false (RC.equal a c)
+
+let test_update_accessors () =
+  let prefix = Prefix.v 1 in
+  let route = Route.make ~prefix ~path:(As_path.of_list [ 9 ]) in
+  let rc = Root_cause.origin_event ~node:9 ~status:Root_cause.Link_up ~seq:1 in
+  let ann = Update.announce ~rc ~rel_pref:Update.Better route in
+  let wd = Update.withdraw ~rc prefix in
+  Alcotest.(check bool) "announce prefix" true (Prefix.equal (Update.prefix ann) prefix);
+  Alcotest.(check bool) "withdraw prefix" true (Prefix.equal (Update.prefix wd) prefix);
+  Alcotest.(check bool) "announce rc" true (Update.rc ann = Some rc);
+  Alcotest.(check bool) "is_withdrawal" true (Update.is_withdrawal wd);
+  Alcotest.(check bool) "announce not withdrawal" false (Update.is_withdrawal ann);
+  let bare = Update.announce route in
+  Alcotest.(check bool) "no rc by default" true (Update.rc bare = None)
+
+let test_pp_smoke () =
+  (* pretty-printers should produce something non-empty and not raise *)
+  let prefix = Prefix.v 2 in
+  let route = Route.make ~prefix ~path:(As_path.of_list [ 1; 0 ]) in
+  let strings =
+    [
+      Format.asprintf "%a" Prefix.pp prefix;
+      Format.asprintf "%a" As_path.pp (Route.path route);
+      Format.asprintf "%a" Route.pp route;
+      Format.asprintf "%a" Update.pp (Update.announce route);
+      Format.asprintf "%a" Update.pp (Update.withdraw prefix);
+      Format.asprintf "%a" Root_cause.pp
+        (Root_cause.make ~link:(0, 1) ~status:Root_cause.Link_down ~seq:3);
+    ]
+  in
+  List.iter (fun s -> Alcotest.(check bool) "non-empty" true (String.length s > 0)) strings
+
+let prop_prepend_grows_path =
+  QCheck.Test.make ~name:"prepend grows length by one" ~count:200
+    QCheck.(pair small_nat (list small_nat))
+    (fun (asn, path) ->
+      let p = As_path.of_list path in
+      As_path.length (As_path.prepend asn p) = As_path.length p + 1)
+
+let prop_contains_after_prepend =
+  QCheck.Test.make ~name:"prepended AS is contained" ~count:200
+    QCheck.(pair small_nat (list small_nat))
+    (fun (asn, path) -> As_path.contains (As_path.prepend asn (As_path.of_list path)) asn)
+
+let suite =
+  [
+    Alcotest.test_case "prefix" `Quick test_prefix;
+    Alcotest.test_case "as_path basics" `Quick test_as_path_basics;
+    Alcotest.test_case "as_path prepend" `Quick test_as_path_prepend;
+    Alcotest.test_case "as_path equal/compare" `Quick test_as_path_equal_compare;
+    Alcotest.test_case "route" `Quick test_route;
+    Alcotest.test_case "root cause" `Quick test_root_cause;
+    Alcotest.test_case "update accessors" `Quick test_update_accessors;
+    Alcotest.test_case "pretty printers" `Quick test_pp_smoke;
+    QCheck_alcotest.to_alcotest prop_prepend_grows_path;
+    QCheck_alcotest.to_alcotest prop_contains_after_prepend;
+  ]

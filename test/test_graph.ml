@@ -1,0 +1,154 @@
+(* Tests for the core graph type. *)
+
+module Graph = Rfd_topology.Graph
+
+let triangle () = Graph.of_edges ~num_nodes:3 [ (0, 1); (1, 2); (2, 0) ]
+
+let test_construction () =
+  let g = triangle () in
+  Alcotest.(check int) "nodes" 3 (Graph.num_nodes g);
+  Alcotest.(check int) "edges" 3 (Graph.num_edges g);
+  Alcotest.(check bool) "has 0-1" true (Graph.has_edge g 0 1);
+  Alcotest.(check bool) "symmetric" true (Graph.has_edge g 1 0);
+  Alcotest.(check bool) "no self edge" false (Graph.has_edge g 0 0);
+  Alcotest.(check (array int)) "neighbors sorted" [| 1; 2 |] (Graph.neighbors g 0)
+
+let test_duplicates_collapsed () =
+  let g = Graph.of_edges ~num_nodes:2 [ (0, 1); (1, 0); (0, 1) ] in
+  Alcotest.(check int) "single edge" 1 (Graph.num_edges g);
+  Alcotest.(check int) "degree" 1 (Graph.degree g 0)
+
+let test_validation () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph: self-loop at node 1") (fun () ->
+      ignore (Graph.of_edges ~num_nodes:2 [ (1, 1) ]));
+  Alcotest.check_raises "out of range" (Invalid_argument "Graph: edge (0,5) out of range [0,3)")
+    (fun () -> ignore (Graph.of_edges ~num_nodes:3 [ (0, 5) ]));
+  let g = triangle () in
+  Alcotest.check_raises "bad node" (Invalid_argument "Graph: node 7 out of range [0,3)")
+    (fun () -> ignore (Graph.neighbors g 7))
+
+let test_empty_graph () =
+  let g = Graph.of_edges ~num_nodes:0 [] in
+  Alcotest.(check int) "no nodes" 0 (Graph.num_nodes g);
+  Alcotest.(check bool) "connected (vacuous)" true (Graph.is_connected g)
+
+let test_isolated_nodes () =
+  let g = Graph.of_edges ~num_nodes:4 [ (0, 1) ] in
+  Alcotest.(check int) "degree of isolated" 0 (Graph.degree g 3);
+  Alcotest.(check bool) "disconnected" false (Graph.is_connected g)
+
+let test_edges_canonical () =
+  let g = Graph.of_edges ~num_nodes:4 [ (3, 1); (2, 0) ] in
+  Alcotest.(check (array (pair int int))) "canonical sorted" [| (0, 2); (1, 3) |] (Graph.edges g)
+
+let test_bfs () =
+  let g = Rfd_topology.Builders.line 5 in
+  let dist = Graph.bfs_distances g 0 in
+  Alcotest.(check (array int)) "line distances" [| 0; 1; 2; 3; 4 |] dist
+
+let test_bfs_unreachable () =
+  let g = Graph.of_edges ~num_nodes:3 [ (0, 1) ] in
+  let dist = Graph.bfs_distances g 0 in
+  Alcotest.(check int) "unreachable is -1" (-1) dist.(2)
+
+let test_shortest_path () =
+  let g = Rfd_topology.Builders.ring 6 in
+  (match Graph.shortest_path g 0 2 with
+  | Some path -> Alcotest.(check (list int)) "around ring" [ 0; 1; 2 ] path
+  | None -> Alcotest.fail "path expected");
+  (match Graph.shortest_path g 0 0 with
+  | Some path -> Alcotest.(check (list int)) "trivial" [ 0 ] path
+  | None -> Alcotest.fail "path expected");
+  let g2 = Graph.of_edges ~num_nodes:3 [ (0, 1) ] in
+  Alcotest.(check bool) "no path" true (Graph.shortest_path g2 0 2 = None)
+
+let test_add_nodes_edges () =
+  let g = triangle () in
+  let g = Graph.add_nodes g 2 in
+  Alcotest.(check int) "grown" 5 (Graph.num_nodes g);
+  Alcotest.(check int) "edges kept" 3 (Graph.num_edges g);
+  let g = Graph.add_edges g [ (3, 4) ] in
+  Alcotest.(check bool) "new edge" true (Graph.has_edge g 3 4)
+
+let test_degree_histogram () =
+  let g = Rfd_topology.Builders.star 5 in
+  Alcotest.(check (list (pair int int))) "star histogram" [ (1, 4); (4, 1) ]
+    (Graph.degree_histogram g);
+  Alcotest.(check int) "max degree" 4 (Graph.max_degree g);
+  Alcotest.(check (float 1e-9)) "average degree" 1.6 (Graph.average_degree g)
+
+let test_equal () =
+  Alcotest.(check bool) "equal" true (Graph.equal (triangle ()) (triangle ()));
+  let other = Graph.of_edges ~num_nodes:3 [ (0, 1) ] in
+  Alcotest.(check bool) "not equal" false (Graph.equal (triangle ()) other)
+
+let test_fold_edges () =
+  let g = triangle () in
+  let count = Graph.fold_edges g ~init:0 ~f:(fun acc _ _ -> acc + 1) in
+  Alcotest.(check int) "fold visits each edge once" 3 count
+
+let graph_gen =
+  QCheck.Gen.(
+    sized_size (1 -- 20) (fun n ->
+        let* edges =
+          list_size (0 -- (n * 2))
+            (let* u = 0 -- (n - 1) in
+             let* v = 0 -- (n - 1) in
+             return (u, v))
+        in
+        return (n, List.filter (fun (u, v) -> u <> v) edges)))
+
+let arbitrary_graph = QCheck.make graph_gen
+
+let prop_degree_sum =
+  QCheck.Test.make ~name:"sum of degrees = 2 * edges" ~count:200 arbitrary_graph
+    (fun (n, edges) ->
+      let g = Graph.of_edges ~num_nodes:n edges in
+      let sum = ref 0 in
+      for u = 0 to n - 1 do
+        sum := !sum + Graph.degree g u
+      done;
+      !sum = 2 * Graph.num_edges g)
+
+let prop_neighbors_consistent_with_has_edge =
+  QCheck.Test.make ~name:"neighbors <-> has_edge" ~count:200 arbitrary_graph
+    (fun (n, edges) ->
+      let g = Graph.of_edges ~num_nodes:n edges in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        Array.iter (fun v -> if not (Graph.has_edge g u v) then ok := false) (Graph.neighbors g u)
+      done;
+      !ok)
+
+let prop_bfs_triangle_inequality =
+  QCheck.Test.make ~name:"bfs distances obey edge relaxation" ~count:100 arbitrary_graph
+    (fun (n, edges) ->
+      let g = Graph.of_edges ~num_nodes:n edges in
+      if n = 0 then true
+      else begin
+        let dist = Graph.bfs_distances g 0 in
+        Graph.fold_edges g ~init:true ~f:(fun acc u v ->
+            acc
+            && (dist.(u) < 0 || dist.(v) < 0 || abs (dist.(u) - dist.(v)) <= 1)
+            && (dist.(u) >= 0) = (dist.(v) >= 0))
+      end)
+
+let suite =
+  [
+    Alcotest.test_case "construction" `Quick test_construction;
+    Alcotest.test_case "duplicate edges collapsed" `Quick test_duplicates_collapsed;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "empty graph" `Quick test_empty_graph;
+    Alcotest.test_case "isolated nodes" `Quick test_isolated_nodes;
+    Alcotest.test_case "edges canonical" `Quick test_edges_canonical;
+    Alcotest.test_case "bfs distances" `Quick test_bfs;
+    Alcotest.test_case "bfs unreachable" `Quick test_bfs_unreachable;
+    Alcotest.test_case "shortest path" `Quick test_shortest_path;
+    Alcotest.test_case "add nodes and edges" `Quick test_add_nodes_edges;
+    Alcotest.test_case "degree histogram" `Quick test_degree_histogram;
+    Alcotest.test_case "structural equality" `Quick test_equal;
+    Alcotest.test_case "fold_edges" `Quick test_fold_edges;
+    QCheck_alcotest.to_alcotest prop_degree_sum;
+    QCheck_alcotest.to_alcotest prop_neighbors_consistent_with_has_edge;
+    QCheck_alcotest.to_alcotest prop_bfs_triangle_inequality;
+  ]

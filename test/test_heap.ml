@@ -1,0 +1,102 @@
+(* Unit and property tests for the generic binary heap. *)
+
+module Int_heap = Rfd_engine.Heap.Make (Int)
+
+let drain h =
+  let rec loop acc =
+    match Int_heap.pop h with None -> List.rev acc | Some x -> loop (x :: acc)
+  in
+  loop []
+
+let test_empty () =
+  let h = Int_heap.create () in
+  Alcotest.(check bool) "is_empty" true (Int_heap.is_empty h);
+  Alcotest.(check int) "length" 0 (Int_heap.length h);
+  Alcotest.(check (option int)) "peek" None (Int_heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Int_heap.pop h)
+
+let test_pop_exn_empty () =
+  let h = Int_heap.create () in
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Int_heap.pop_exn h))
+
+let test_negative_capacity () =
+  Alcotest.check_raises "create" (Invalid_argument "Heap.create: negative capacity") (fun () ->
+      ignore (Int_heap.create ~capacity:(-1) ()))
+
+let test_singleton () =
+  let h = Int_heap.create () in
+  Int_heap.push h 42;
+  Alcotest.(check (option int)) "peek" (Some 42) (Int_heap.peek h);
+  Alcotest.(check int) "length" 1 (Int_heap.length h);
+  Alcotest.(check int) "pop_exn" 42 (Int_heap.pop_exn h);
+  Alcotest.(check bool) "empty again" true (Int_heap.is_empty h)
+
+let test_ordering () =
+  let h = Int_heap.create () in
+  List.iter (Int_heap.push h) [ 5; 3; 8; 1; 9; 2; 7 ];
+  Alcotest.(check (list int)) "sorted drain" [ 1; 2; 3; 5; 7; 8; 9 ] (drain h)
+
+let test_duplicates () =
+  let h = Int_heap.create () in
+  List.iter (Int_heap.push h) [ 4; 4; 1; 4; 1 ];
+  Alcotest.(check (list int)) "dups kept" [ 1; 1; 4; 4; 4 ] (drain h)
+
+let test_clear () =
+  let h = Int_heap.create () in
+  List.iter (Int_heap.push h) [ 1; 2; 3 ];
+  Int_heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Int_heap.length h);
+  Int_heap.push h 9;
+  Alcotest.(check (option int)) "usable after clear" (Some 9) (Int_heap.pop h)
+
+let test_to_list_and_fold () =
+  let h = Int_heap.create () in
+  List.iter (Int_heap.push h) [ 3; 1; 2 ];
+  let contents = List.sort Int.compare (Int_heap.to_list h) in
+  Alcotest.(check (list int)) "to_list" [ 1; 2; 3 ] contents;
+  let sum = Int_heap.fold (fun ~acc x -> acc + x) 0 h in
+  Alcotest.(check int) "fold sum" 6 sum;
+  Alcotest.(check int) "unchanged" 3 (Int_heap.length h)
+
+let test_interleaved () =
+  let h = Int_heap.create () in
+  Int_heap.push h 10;
+  Int_heap.push h 5;
+  Alcotest.(check int) "min first" 5 (Int_heap.pop_exn h);
+  Int_heap.push h 1;
+  Int_heap.push h 20;
+  Alcotest.(check int) "new min" 1 (Int_heap.pop_exn h);
+  Alcotest.(check int) "then 10" 10 (Int_heap.pop_exn h);
+  Alcotest.(check int) "then 20" 20 (Int_heap.pop_exn h)
+
+let prop_drain_sorted =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Int_heap.create () in
+      List.iter (Int_heap.push h) xs;
+      drain h = List.sort Int.compare xs)
+
+let prop_peek_is_min =
+  QCheck.Test.make ~name:"peek is minimum" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) int)
+    (fun xs ->
+      let h = Int_heap.create () in
+      List.iter (Int_heap.push h) xs;
+      Int_heap.peek h = Some (List.fold_left min max_int xs))
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "pop_exn on empty raises" `Quick test_pop_exn_empty;
+    Alcotest.test_case "negative capacity rejected" `Quick test_negative_capacity;
+    Alcotest.test_case "singleton" `Quick test_singleton;
+    Alcotest.test_case "pops in order" `Quick test_ordering;
+    Alcotest.test_case "duplicates preserved" `Quick test_duplicates;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "to_list and fold" `Quick test_to_list_and_fold;
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
+    QCheck_alcotest.to_alcotest prop_drain_sorted;
+    QCheck_alcotest.to_alcotest prop_peek_is_min;
+  ]

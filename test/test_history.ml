@@ -1,0 +1,87 @@
+(* Tests for the bounded FIFO root-cause history. *)
+
+module History = Rfd_damping.History
+
+let observe_t =
+  Alcotest.of_pp (fun ppf -> function
+    | `New -> Format.pp_print_string ppf "new"
+    | `Seen -> Format.pp_print_string ppf "seen")
+
+let test_basic_membership () =
+  let h = History.create () in
+  Alcotest.(check bool) "absent" false (History.mem h 1);
+  Alcotest.check observe_t "first observe" `New (History.observe h 1);
+  Alcotest.(check bool) "present" true (History.mem h 1);
+  Alcotest.check observe_t "second observe" `Seen (History.observe h 1);
+  Alcotest.(check int) "length" 1 (History.length h)
+
+let test_capacity_eviction () =
+  let h = History.create ~capacity:3 () in
+  List.iter (fun x -> ignore (History.add h x)) [ 1; 2; 3 ];
+  Alcotest.(check int) "full" 3 (History.length h);
+  ignore (History.add h 4);
+  Alcotest.(check int) "stays at capacity" 3 (History.length h);
+  Alcotest.(check bool) "oldest evicted" false (History.mem h 1);
+  Alcotest.(check bool) "newest present" true (History.mem h 4);
+  Alcotest.(check (list int)) "fifo order" [ 2; 3; 4 ] (History.to_list h)
+
+let test_readd_not_refreshed () =
+  let h = History.create ~capacity:2 () in
+  ignore (History.add h 1);
+  ignore (History.add h 2);
+  (* re-adding 1 is a no-op: 1 stays oldest *)
+  Alcotest.(check bool) "already present" true (History.add h 1 = `Already_present);
+  ignore (History.add h 3);
+  Alcotest.(check bool) "1 evicted despite re-add" false (History.mem h 1)
+
+let test_clear () =
+  let h = History.create () in
+  ignore (History.add h 42);
+  History.clear h;
+  Alcotest.(check int) "cleared" 0 (History.length h);
+  Alcotest.check observe_t "new again" `New (History.observe h 42)
+
+let test_capacity_validation () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "History.create: capacity must be positive") (fun () ->
+      ignore (History.create ~capacity:0 () : int History.t))
+
+let test_structural_keys () =
+  (* Root causes are records: structural equality must apply. *)
+  let module RC = Rfd_bgp.Root_cause in
+  let h = History.create () in
+  let rc1 = RC.make ~link:(1, 2) ~status:RC.Link_down ~seq:1 in
+  let rc1' = RC.make ~link:(1, 2) ~status:RC.Link_down ~seq:1 in
+  let rc2 = RC.make ~link:(1, 2) ~status:RC.Link_up ~seq:2 in
+  Alcotest.check observe_t "new rc" `New (History.observe h rc1);
+  Alcotest.check observe_t "structurally equal is seen" `Seen (History.observe h rc1');
+  Alcotest.check observe_t "different seq is new" `New (History.observe h rc2)
+
+let prop_length_bounded =
+  QCheck.Test.make ~name:"length never exceeds capacity" ~count:200
+    QCheck.(pair (int_range 1 20) (list small_int))
+    (fun (capacity, xs) ->
+      let h = History.create ~capacity () in
+      List.iter (fun x -> ignore (History.add h x)) xs;
+      History.length h <= capacity)
+
+let prop_last_k_present =
+  QCheck.Test.make ~name:"most recent distinct keys retained" ~count:200
+    QCheck.(pair (int_range 1 10) (list_of_size Gen.(1 -- 50) small_int))
+    (fun (capacity, xs) ->
+      let h = History.create ~capacity () in
+      List.iter (fun x -> ignore (History.add h x)) xs;
+      (* the last element added is always present *)
+      match List.rev xs with [] -> true | last :: _ -> History.mem h last)
+
+let suite =
+  [
+    Alcotest.test_case "membership" `Quick test_basic_membership;
+    Alcotest.test_case "capacity eviction" `Quick test_capacity_eviction;
+    Alcotest.test_case "re-add does not refresh" `Quick test_readd_not_refreshed;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "capacity validation" `Quick test_capacity_validation;
+    Alcotest.test_case "root causes as keys" `Quick test_structural_keys;
+    QCheck_alcotest.to_alcotest prop_length_bounded;
+    QCheck_alcotest.to_alcotest prop_last_k_present;
+  ]

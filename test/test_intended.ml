@@ -1,0 +1,155 @@
+(* Tests for the Section 3 intended-behaviour calculations. *)
+
+module Intended = Rfd_experiment.Intended
+module Params = Rfd_damping.Params
+
+let test_pulse_train () =
+  let events = Intended.pulse_train ~pulses:2 ~interval:60. in
+  let times = List.map (fun (e : Intended.event) -> e.Intended.time) events in
+  let kinds = List.map (fun (e : Intended.event) -> e.Intended.kind) events in
+  Alcotest.(check (list (float 0.))) "times" [ 0.; 60.; 120.; 180. ] times;
+  Alcotest.(check bool) "alternates W A W A" true
+    (kinds = [ `Withdrawal; `Announcement; `Withdrawal; `Announcement ]);
+  Alcotest.(check int) "zero pulses" 0 (List.length (Intended.pulse_train ~pulses:0 ~interval:60.))
+
+let test_single_pulse_penalty () =
+  (* W at 0 (+1000), A at 60 (Cisco PA = 0): penalty at A = 1000 * decay(60) *)
+  let trace = Intended.penalty_trace Params.cisco (Intended.pulse_train ~pulses:1 ~interval:60.) in
+  match trace with
+  | [ w; a ] ->
+      Alcotest.(check (float 1e-6)) "after W" 1000. w.Intended.penalty;
+      let expected = Params.decay Params.cisco ~penalty:1000. ~dt:60. in
+      Alcotest.(check (float 1e-6)) "after A" expected a.Intended.penalty;
+      Alcotest.(check bool) "never suppressed" false (w.Intended.suppressed || a.Intended.suppressed)
+  | _ -> Alcotest.fail "expected two states"
+
+let test_suppression_onset_cisco_60s () =
+  (* The paper: with Cisco defaults and 60 s flaps, "route suppression is
+     triggered" at the third pulse. *)
+  Alcotest.(check int) "onset = 3" 3 (Intended.suppression_onset Params.cisco ~interval:60.)
+
+let test_onset_juniper_later () =
+  (* Juniper's higher cut-off (3000) but PA=1000 — onset at pulse 2:
+     W(1000) + A(1000) decayed + W... compute and just check it differs
+     sensibly from Cisco and is >= 1. *)
+  let onset = Intended.suppression_onset Params.juniper ~interval:60. in
+  Alcotest.(check bool) "positive" true (onset >= 1);
+  (* per-pulse charge is 2000 (PW + PA): crossing 3000 happens at pulse 2 *)
+  Alcotest.(check int) "juniper onset = 2" 2 onset
+
+let test_final_state_accumulates () =
+  let s1 = Intended.final_state Params.cisco ~pulses:1 ~interval:60. in
+  let s5 = Intended.final_state Params.cisco ~pulses:5 ~interval:60. in
+  Alcotest.(check bool) "more pulses more penalty" true
+    (s5.Intended.penalty > s1.Intended.penalty);
+  Alcotest.(check bool) "1 pulse unsuppressed" false s1.Intended.suppressed;
+  Alcotest.(check bool) "5 pulses suppressed" true s5.Intended.suppressed
+
+let test_penalty_capped () =
+  let s = Intended.final_state Params.cisco ~pulses:400 ~interval:1. in
+  Alcotest.(check bool) "capped" true (s.Intended.penalty <= Params.max_penalty Params.cisco +. 1e-6)
+
+let test_convergence_time_small_n () =
+  let t1 = Intended.convergence_time Params.cisco ~pulses:1 ~interval:60. ~tup:30. in
+  let t2 = Intended.convergence_time Params.cisco ~pulses:2 ~interval:60. ~tup:30. in
+  Alcotest.(check (float 0.)) "n=1 plain tup" 30. t1;
+  Alcotest.(check (float 0.)) "n=2 plain tup" 30. t2;
+  Alcotest.(check (float 0.)) "n=0 zero" 0.
+    (Intended.convergence_time Params.cisco ~pulses:0 ~interval:60. ~tup:30.)
+
+let test_convergence_time_large_n () =
+  (* past the onset, convergence = r + tup and grows with n towards the
+     max-suppress plateau *)
+  let t3 = Intended.convergence_time Params.cisco ~pulses:3 ~interval:60. ~tup:30. in
+  let t6 = Intended.convergence_time Params.cisco ~pulses:6 ~interval:60. ~tup:30. in
+  let t50 = Intended.convergence_time Params.cisco ~pulses:50 ~interval:60. ~tup:30. in
+  Alcotest.(check bool) "jumps past 20 min at onset (paper)" true (t3 >= 20. *. 60.);
+  Alcotest.(check bool) "monotone in n" true (t6 > t3);
+  Alcotest.(check bool) "plateau below max_suppress + tup" true
+    (t50 <= Params.cisco.Params.max_suppress +. 30. +. 1e-6)
+
+let test_silent_reuse_between_sparse_flaps () =
+  (* With very long intervals the penalty decays below reuse between
+     flaps: never suppressed at the end despite many pulses. *)
+  let s = Intended.final_state Params.cisco ~pulses:10 ~interval:7200. in
+  Alcotest.(check bool) "not suppressed with sparse flaps" false s.Intended.suppressed
+
+let test_isp_reuse_time () =
+  Alcotest.(check (option (float 0.))) "no suppression, no timer" None
+    (Intended.isp_reuse_time Params.cisco ~pulses:1 ~interval:60.);
+  Alcotest.(check (option (float 0.))) "zero pulses" None
+    (Intended.isp_reuse_time Params.cisco ~pulses:0 ~interval:60.);
+  (match Intended.isp_reuse_time Params.cisco ~pulses:3 ~interval:60. with
+  | Some t ->
+      (* final announcement at 300 s plus the reuse delay from the decayed
+         penalty *)
+      let s = Intended.final_state Params.cisco ~pulses:3 ~interval:60. in
+      let expected = 300. +. Params.reuse_delay Params.cisco ~penalty:s.Intended.penalty in
+      Alcotest.(check (float 1e-6)) "RT_h formula" expected t
+  | None -> Alcotest.fail "3 pulses must suppress");
+  (* RT_h grows with pulses *)
+  let rt n = Option.get (Intended.isp_reuse_time Params.cisco ~pulses:n ~interval:60.) in
+  Alcotest.(check bool) "monotone" true (rt 5 > rt 3)
+
+let test_critical_pulses () =
+  (* tiny rt_net: the very first suppressing train already outlasts it *)
+  Alcotest.(check (option int)) "onset when rt_net tiny" (Some 3)
+    (Intended.critical_pulses Params.cisco ~interval:60. ~rt_net:10. ~max_pulses:30);
+  (* huge rt_net: never *)
+  Alcotest.(check (option int)) "none when rt_net huge" None
+    (Intended.critical_pulses Params.cisco ~interval:60. ~rt_net:1e9 ~max_pulses:30);
+  (* mid value: some n > onset *)
+  (match Intended.critical_pulses Params.cisco ~interval:60. ~rt_net:2500. ~max_pulses:30 with
+  | Some nh ->
+      Alcotest.(check bool) "past onset" true (nh > 3);
+      let rt = Option.get (Intended.isp_reuse_time Params.cisco ~pulses:nh ~interval:60.) in
+      Alcotest.(check bool) "RT_h exceeds rt_net at N_h" true (rt > 2500.)
+  | None -> Alcotest.fail "critical point expected")
+
+let test_unordered_events_rejected () =
+  let events =
+    [
+      { Intended.time = 10.; kind = `Withdrawal };
+      { Intended.time = 5.; kind = `Announcement };
+    ]
+  in
+  Alcotest.check_raises "order" (Invalid_argument "Intended: events must be time-ordered")
+    (fun () -> ignore (Intended.penalty_trace Params.cisco events))
+
+let prop_convergence_monotone_in_pulses =
+  QCheck.Test.make ~name:"intended convergence non-decreasing in pulses" ~count:30
+    QCheck.(int_range 1 30)
+    (fun n ->
+      let t a = Intended.convergence_time Params.cisco ~pulses:a ~interval:60. ~tup:30. in
+      t (n + 1) >= t n -. 1e-6)
+
+let prop_trace_penalties_bounded =
+  QCheck.Test.make ~name:"trace penalties within [0, max]" ~count:50
+    QCheck.(pair (int_range 0 50) (float_range 1. 600.))
+    (fun (pulses, interval) ->
+      let trace =
+        Intended.penalty_trace Params.cisco (Intended.pulse_train ~pulses ~interval)
+      in
+      List.for_all
+        (fun s ->
+          s.Intended.penalty >= 0.
+          && s.Intended.penalty <= Params.max_penalty Params.cisco +. 1e-6)
+        trace)
+
+let suite =
+  [
+    Alcotest.test_case "pulse train shape" `Quick test_pulse_train;
+    Alcotest.test_case "single pulse penalty" `Quick test_single_pulse_penalty;
+    Alcotest.test_case "cisco onset at 3 pulses" `Quick test_suppression_onset_cisco_60s;
+    Alcotest.test_case "juniper onset at 2 pulses" `Quick test_onset_juniper_later;
+    Alcotest.test_case "final state accumulates" `Quick test_final_state_accumulates;
+    Alcotest.test_case "penalty capped" `Quick test_penalty_capped;
+    Alcotest.test_case "convergence for small n" `Quick test_convergence_time_small_n;
+    Alcotest.test_case "convergence for large n" `Quick test_convergence_time_large_n;
+    Alcotest.test_case "sparse flaps reuse silently" `Quick test_silent_reuse_between_sparse_flaps;
+    Alcotest.test_case "isp reuse time (RT_h)" `Quick test_isp_reuse_time;
+    Alcotest.test_case "critical pulses (N_h)" `Quick test_critical_pulses;
+    Alcotest.test_case "unordered events rejected" `Quick test_unordered_events_rejected;
+    QCheck_alcotest.to_alcotest prop_convergence_monotone_in_pulses;
+    QCheck_alcotest.to_alcotest prop_trace_penalties_bounded;
+  ]

@@ -1,0 +1,101 @@
+(* Tests for structural graph metrics. *)
+
+module Graph = Rfd_topology.Graph
+module Builders = Rfd_topology.Builders
+module Metrics = Rfd_topology.Metrics
+module Rng = Rfd_engine.Rng
+
+let test_path_length_line () =
+  (* line of 3: distances 0-1:1, 0-2:2, 1-2:1 in both directions ->
+     mean = (1+2+1)*2 / 6 = 8/6 *)
+  let g = Builders.line 3 in
+  Alcotest.(check (float 1e-9)) "line apl" (8. /. 6.) (Metrics.average_path_length g);
+  Alcotest.(check int) "line diameter" 2 (Metrics.diameter g)
+
+let test_path_length_clique () =
+  let g = Builders.clique 5 in
+  Alcotest.(check (float 1e-9)) "clique apl" 1. (Metrics.average_path_length g);
+  Alcotest.(check int) "clique diameter" 1 (Metrics.diameter g)
+
+let test_degenerate () =
+  let g0 = Graph.of_edges ~num_nodes:0 [] in
+  Alcotest.(check (float 0.)) "empty apl" 0. (Metrics.average_path_length g0);
+  Alcotest.(check int) "empty diameter" 0 (Metrics.diameter g0);
+  let g1 = Graph.of_edges ~num_nodes:1 [] in
+  Alcotest.(check (float 0.)) "singleton apl" 0. (Metrics.average_path_length g1);
+  Alcotest.(check (float 0.)) "singleton clustering" 0. (Metrics.clustering_coefficient g1)
+
+let test_sampled_path_length () =
+  let g = Builders.mesh ~rows:8 ~cols:8 in
+  let exact = Metrics.average_path_length g in
+  let sampled = Metrics.average_path_length ~sources:16 ~rng:(Rng.create 3) g in
+  Alcotest.(check bool) "sampled close to exact" true (Float.abs (sampled -. exact) < 0.5);
+  Alcotest.check_raises "sampling needs rng"
+    (Invalid_argument "Metrics.average_path_length: sampling requires an rng") (fun () ->
+      ignore (Metrics.average_path_length ~sources:4 g))
+
+let test_clustering () =
+  (* triangle: every node fully clustered *)
+  let tri = Builders.clique 3 in
+  Alcotest.(check (float 1e-9)) "triangle" 1. (Metrics.clustering_coefficient tri);
+  (* star: hub neighbours unconnected, leaves degree-1 *)
+  let star = Builders.star 5 in
+  Alcotest.(check (float 1e-9)) "star" 0. (Metrics.clustering_coefficient star);
+  (* ring: no triangles *)
+  Alcotest.(check (float 1e-9)) "ring" 0. (Metrics.clustering_coefficient (Builders.ring 6))
+
+let test_gini () =
+  (* regular graphs have zero degree inequality *)
+  let mesh = Builders.mesh ~rows:4 ~cols:4 in
+  Alcotest.(check (float 1e-9)) "mesh gini 0" 0. (Metrics.gini_degree mesh);
+  let star = Builders.star 20 in
+  Alcotest.(check bool) "star highly unequal" true (Metrics.gini_degree star > 0.4);
+  let ba = Rfd_topology.Random_graphs.barabasi_albert (Rng.create 1) ~n:100 ~m:2 in
+  let gini_ba = Metrics.gini_degree ba in
+  Alcotest.(check bool) "BA more unequal than mesh" true (gini_ba > 0.2)
+
+let test_power_law_alpha () =
+  let ba = Rfd_topology.Random_graphs.barabasi_albert (Rng.create 7) ~n:400 ~m:2 in
+  (match Metrics.power_law_alpha ba with
+  | Some alpha ->
+      (* BA's theoretical exponent is 3; the MLE over small graphs lands in
+         a broad band around it *)
+      Alcotest.(check bool)
+        (Printf.sprintf "alpha %.2f plausible" alpha)
+        true
+        (alpha > 1.8 && alpha < 4.5)
+  | None -> Alcotest.fail "alpha expected for a 400-node BA graph");
+  (* tiny graphs: not enough tail *)
+  Alcotest.(check bool) "tiny graph gives none" true
+    (Metrics.power_law_alpha (Builders.line 4) = None)
+
+let test_summary () =
+  let g = Builders.mesh ~rows:5 ~cols:5 in
+  let s = Metrics.summarize g in
+  Alcotest.(check int) "nodes" 25 s.Metrics.nodes;
+  Alcotest.(check int) "edges" 50 s.Metrics.edges;
+  Alcotest.(check (float 1e-9)) "avg degree" 4. s.Metrics.avg_degree;
+  Alcotest.(check int) "max degree" 4 s.Metrics.max_degree;
+  Alcotest.(check bool) "diameter sane" true (s.Metrics.diameter >= 4);
+  let printed = Format.asprintf "%a" Metrics.pp_summary s in
+  Alcotest.(check bool) "pp non-empty" true (String.length printed > 0)
+
+let prop_diameter_bounds_apl =
+  QCheck.Test.make ~name:"avg path length <= diameter" ~count:50
+    QCheck.(pair (int_range 0 10_000) (int_range 5 40))
+    (fun (seed, n) ->
+      let g = Rfd_topology.Random_graphs.barabasi_albert (Rng.create seed) ~n ~m:2 in
+      Metrics.average_path_length g <= float_of_int (Metrics.diameter g) +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "path length on a line" `Quick test_path_length_line;
+    Alcotest.test_case "path length on a clique" `Quick test_path_length_clique;
+    Alcotest.test_case "degenerate graphs" `Quick test_degenerate;
+    Alcotest.test_case "sampled path length" `Quick test_sampled_path_length;
+    Alcotest.test_case "clustering coefficient" `Quick test_clustering;
+    Alcotest.test_case "degree gini" `Quick test_gini;
+    Alcotest.test_case "power-law tail exponent" `Quick test_power_law_alpha;
+    Alcotest.test_case "summary" `Quick test_summary;
+    QCheck_alcotest.to_alcotest prop_diameter_bounds_apl;
+  ]

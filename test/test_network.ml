@@ -1,0 +1,238 @@
+(* Network-level protocol tests: propagation, decision process, loop
+   prevention, MRAI, link failures. Deterministic config: no MRAI unless a
+   test enables it, fixed link delay, no jitter. *)
+
+open Rfd_bgp
+module Sim = Rfd_engine.Sim
+module Builders = Rfd_topology.Builders
+module Graph = Rfd_topology.Graph
+
+let p0 = Prefix.v 0
+
+let fast_config =
+  {
+    Config.default with
+    Config.mrai = 0.;
+    link_delay = 0.01;
+    link_jitter = 0.;
+    mrai_jitter = (1.0, 1.0);
+  }
+
+let make ?(config = fast_config) ?policy graph =
+  let sim = Sim.create () in
+  let net = Network.create ?policy ~config sim graph in
+  (sim, net)
+
+let path_of net node prefix =
+  match Router.best (Network.router net node) prefix with
+  | Some route -> Some (As_path.to_list (Route.path route))
+  | None -> None
+
+let test_line_propagation () =
+  let _, net = make (Builders.line 4) in
+  Network.originate net ~node:0 p0;
+  Network.run net;
+  Alcotest.(check (option (list int))) "self route empty path" (Some []) (path_of net 0 p0);
+  Alcotest.(check (option (list int))) "one hop" (Some [ 0 ]) (path_of net 1 p0);
+  Alcotest.(check (option (list int))) "two hops" (Some [ 1; 0 ]) (path_of net 2 p0);
+  Alcotest.(check (option (list int))) "three hops" (Some [ 2; 1; 0 ]) (path_of net 3 p0);
+  Alcotest.(check int) "all reachable" 4 (Network.reachable_count net p0);
+  Alcotest.(check bool) "converged" true (Network.converged net p0)
+
+let test_withdrawal_propagation () =
+  let _, net = make (Builders.line 4) in
+  Network.originate net ~node:0 p0;
+  Network.run net;
+  Network.withdraw net ~node:0 p0;
+  Network.run net;
+  Alcotest.(check int) "no route anywhere" 0 (Network.reachable_count net p0);
+  Alcotest.(check bool) "converged empty" true (Network.converged net p0)
+
+let test_shortest_path_selection () =
+  (* 0 - 1 - 3 and 0 - 2 - 3 plus direct 0 - 3: node 3 must use the direct
+     link; drop it and 3 must use a 2-hop path. *)
+  let g = Graph.of_edges ~num_nodes:4 [ (0, 1); (1, 3); (0, 2); (2, 3); (0, 3) ] in
+  let _, net = make g in
+  Network.originate net ~node:0 p0;
+  Network.run net;
+  Alcotest.(check (option (list int))) "direct" (Some [ 0 ]) (path_of net 3 p0);
+  Network.fail_link net 0 3;
+  Network.run net;
+  (* both 2-hop paths tie on length; lowest peer id (1) wins *)
+  Alcotest.(check (option (list int))) "reroute via 1" (Some [ 1; 0 ]) (path_of net 3 p0)
+
+let test_ring_convergence_no_loops () =
+  let _, net = make (Builders.ring 6) in
+  Network.originate net ~node:0 p0;
+  Network.run net;
+  for node = 0 to 5 do
+    match Router.best (Network.router net node) p0 with
+    | None -> Alcotest.failf "node %d unreachable" node
+    | Some route ->
+        Alcotest.(check bool)
+          (Printf.sprintf "node %d path loop-free" node)
+          false
+          (As_path.contains (Route.path route) node);
+        Alcotest.(check bool)
+          (Printf.sprintf "node %d shortest on ring" node)
+          true
+          (Route.path_length route <= 3)
+  done
+
+let test_path_exploration_on_withdrawal () =
+  (* Figure 1 shape: X (node 3) reaches origin (0) via three parallel
+     2-hop paths through 1, 2, 4; Y (node 5) hangs off X. After the origin
+     withdraws, Y observes multiple updates even though only one flap
+     happened (the paper's amplification). *)
+  let g =
+    Graph.of_edges ~num_nodes:6 [ (0, 1); (0, 2); (0, 4); (1, 3); (2, 3); (4, 3); (3, 5) ]
+  in
+  (* tiny MRAI so exploration is serialised but fast *)
+  let config = { fast_config with Config.mrai = 0.5 } in
+  let sim, net = make ~config g in
+  Network.originate net ~node:0 p0;
+  Network.run net;
+  let to_y = ref 0 in
+  (Network.hooks net).Hooks.on_deliver <-
+    (fun ~time:_ ~src ~dst _ -> if src = 3 && dst = 5 then incr to_y);
+  ignore (Sim.schedule sim ~delay:1. (fun _ -> Network.withdraw net ~node:0 p0));
+  Network.run net;
+  Alcotest.(check bool) "Y saw several updates for one flap" true (!to_y >= 2);
+  Alcotest.(check int) "finally unreachable" 0 (Network.reachable_count net p0)
+
+let test_mrai_rate_limits () =
+  let count_updates mrai =
+    let config = { fast_config with Config.mrai } in
+    let sim, net = make ~config (Builders.line 3) in
+    Network.originate net ~node:0 p0;
+    Network.run net;
+    let n = ref 0 in
+    (Network.hooks net).Hooks.on_deliver <- (fun ~time:_ ~src:_ ~dst:_ _ -> incr n);
+    (* rapid flapping: 6 events 0.1 s apart *)
+    for i = 0 to 2 do
+      let base = Sim.now sim +. 1. +. (0.2 *. float_of_int i) in
+      Network.schedule_withdraw net ~at:base ~node:0 p0;
+      Network.schedule_originate net ~at:(base +. 0.1) ~node:0 p0
+    done;
+    Network.run net;
+    (!n, Network.reachable_count net p0)
+  in
+  let without, reach0 = count_updates 0. in
+  let with_mrai, reach1 = count_updates 10. in
+  Alcotest.(check bool) "MRAI reduces updates" true (with_mrai < without);
+  Alcotest.(check int) "final state correct without" 3 reach0;
+  Alcotest.(check int) "final state correct with" 3 reach1
+
+let test_mrai_flush_delivers_final_state () =
+  (* With a large MRAI, an announce-withdraw-announce burst must still end
+     with every router holding the route (the pending update wins). *)
+  let config = { fast_config with Config.mrai = 5. } in
+  let sim, net = make ~config (Builders.line 3) in
+  Network.originate net ~node:0 p0;
+  Network.run net;
+  let base = Sim.now sim +. 0.5 in
+  Network.schedule_withdraw net ~at:base ~node:0 p0;
+  Network.schedule_originate net ~at:(base +. 0.05) ~node:0 p0;
+  ignore (Sim.schedule_at sim ~time:(base +. 0.1) (fun _ -> ()));
+  Network.run net;
+  Alcotest.(check int) "all reachable after flush" 3 (Network.reachable_count net p0);
+  Alcotest.(check bool) "converged" true (Network.converged net p0)
+
+let test_link_failure_and_recovery () =
+  let _, net = make (Builders.ring 4) in
+  Network.originate net ~node:0 p0;
+  Network.run net;
+  Alcotest.(check (option (list int))) "direct before" (Some [ 0 ]) (path_of net 1 p0);
+  Network.fail_link net 0 1;
+  Network.run net;
+  (* 1 must now go the long way round *)
+  Alcotest.(check (option (list int))) "rerouted" (Some [ 2; 3; 0 ]) (path_of net 1 p0);
+  Alcotest.(check bool) "link reported down" false (Network.link_up net 0 1);
+  Network.restore_link net 0 1;
+  Network.run net;
+  Alcotest.(check (option (list int))) "direct restored" (Some [ 0 ]) (path_of net 1 p0);
+  Alcotest.(check bool) "converged after recovery" true (Network.converged net p0)
+
+let test_partition_loses_routes () =
+  let _, net = make (Builders.line 3) in
+  Network.originate net ~node:0 p0;
+  Network.run net;
+  Network.fail_link net 1 2;
+  Network.run net;
+  Alcotest.(check (option (list int))) "near side keeps route" (Some [ 0 ]) (path_of net 1 p0);
+  Alcotest.(check (option (list int))) "far side loses route" None (path_of net 2 p0)
+
+let test_multi_prefix () =
+  let p1 = Prefix.v 1 in
+  let _, net = make (Builders.line 3) in
+  Network.originate net ~node:0 p0;
+  Network.originate net ~node:2 p1;
+  Network.run net;
+  Alcotest.(check (option (list int))) "p0 at 2" (Some [ 1; 0 ]) (path_of net 2 p0);
+  Alcotest.(check (option (list int))) "p1 at 0" (Some [ 1; 2 ]) (path_of net 0 p1);
+  let known = Router.known_prefixes (Network.router net 1) in
+  Alcotest.(check int) "middle knows both" 2 (List.length known)
+
+let test_no_valley_blocks_transit () =
+  (* 1 and 2 are peers; both are providers of 0 (origin's isp is 1).
+     2 must not learn the route via peer 1 re-exporting a peer route…
+     but 0 is 1's customer, so 1 *does* export to 2. The blocked case:
+     3 is 2's peer; 2 learned the route from peer 1 → must not export
+     to peer 3. *)
+  let g = Graph.of_edges ~num_nodes:4 [ (0, 1); (1, 2); (2, 3) ] in
+  let rel =
+    Rfd_topology.Relations.make g
+      [
+        ((0, 1), Rfd_topology.Relations.Customer_provider { customer = 0; provider = 1 });
+        ((1, 2), Rfd_topology.Relations.Peer_peer);
+        ((2, 3), Rfd_topology.Relations.Peer_peer);
+      ]
+  in
+  let _, net = make ~policy:(Policy.no_valley rel) g in
+  Network.originate net ~node:0 p0;
+  Network.run net;
+  Alcotest.(check bool) "peer learns customer route" true (path_of net 2 p0 <> None);
+  Alcotest.(check (option (list int))) "peer-of-peer blocked" None (path_of net 3 p0)
+
+let test_sender_side_loop_avoidance () =
+  (* In a triangle, node 1's best path to origin 0 is direct; it must not
+     announce [1;0] back to 0, nor to 2 a path containing 2. Count updates:
+     each of 1 and 2 announces its direct route to the other only. *)
+  let _, net = make (Builders.ring 3) in
+  let sent = ref [] in
+  (Network.hooks net).Hooks.on_send <-
+    (fun ~time:_ ~src ~dst u -> sent := (src, dst, Update.is_withdrawal u) :: !sent);
+  Network.originate net ~node:0 p0;
+  Network.run net;
+  List.iter
+    (fun (src, dst, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "no echo back to origin of its own route (%d->%d)" src dst)
+        false
+        (dst = 0 && src <> 0))
+    !sent
+
+let test_converged_detects_fixpoint () =
+  let _, net = make (Builders.line 3) in
+  Alcotest.(check bool) "trivially converged" true (Network.converged net p0);
+  Network.originate net ~node:0 p0;
+  (* before running, messages are conceptually in flight *)
+  Network.run net;
+  Alcotest.(check bool) "converged after run" true (Network.converged net p0)
+
+let suite =
+  [
+    Alcotest.test_case "line propagation" `Quick test_line_propagation;
+    Alcotest.test_case "withdrawal propagation" `Quick test_withdrawal_propagation;
+    Alcotest.test_case "shortest path + tie-break" `Quick test_shortest_path_selection;
+    Alcotest.test_case "ring converges loop-free" `Quick test_ring_convergence_no_loops;
+    Alcotest.test_case "path exploration amplification" `Quick test_path_exploration_on_withdrawal;
+    Alcotest.test_case "MRAI rate limits" `Quick test_mrai_rate_limits;
+    Alcotest.test_case "MRAI flush yields final state" `Quick test_mrai_flush_delivers_final_state;
+    Alcotest.test_case "link failure and recovery" `Quick test_link_failure_and_recovery;
+    Alcotest.test_case "partition loses routes" `Quick test_partition_loses_routes;
+    Alcotest.test_case "multiple prefixes" `Quick test_multi_prefix;
+    Alcotest.test_case "no-valley blocks peer transit" `Quick test_no_valley_blocks_transit;
+    Alcotest.test_case "sender-side loop avoidance" `Quick test_sender_side_loop_avoidance;
+    Alcotest.test_case "converged fixpoint check" `Quick test_converged_detects_fixpoint;
+  ]

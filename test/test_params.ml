@@ -1,0 +1,88 @@
+(* Tests for damping parameter presets and penalty math. *)
+
+module Params = Rfd_damping.Params
+
+let test_table1_cisco () =
+  let p = Params.cisco in
+  Alcotest.(check (float 0.)) "PW" 1000. p.Params.withdrawal_penalty;
+  Alcotest.(check (float 0.)) "PA" 0. p.Params.reannouncement_penalty;
+  Alcotest.(check (float 0.)) "attr" 500. p.Params.attribute_change_penalty;
+  Alcotest.(check (float 0.)) "cutoff" 2000. p.Params.cutoff;
+  Alcotest.(check (float 0.)) "reuse" 750. p.Params.reuse;
+  Alcotest.(check (float 0.)) "half life 15 min" 900. p.Params.half_life;
+  Alcotest.(check (float 0.)) "max suppress 60 min" 3600. p.Params.max_suppress
+
+let test_table1_juniper () =
+  let p = Params.juniper in
+  Alcotest.(check (float 0.)) "PA" 1000. p.Params.reannouncement_penalty;
+  Alcotest.(check (float 0.)) "cutoff" 3000. p.Params.cutoff;
+  Alcotest.(check int) "both presets listed" 2 (List.length Params.table1)
+
+let test_lambda () =
+  (* after one half-life the decay factor is exactly 1/2 *)
+  let p = Params.cisco in
+  let decayed = Params.decay p ~penalty:1000. ~dt:p.Params.half_life in
+  Alcotest.(check (float 1e-9)) "half life halves" 500. decayed
+
+let test_decay_identity () =
+  let p = Params.cisco in
+  Alcotest.(check (float 0.)) "dt=0 identity" 1234. (Params.decay p ~penalty:1234. ~dt:0.);
+  Alcotest.check_raises "negative dt" (Invalid_argument "Params.decay: negative dt") (fun () ->
+      ignore (Params.decay p ~penalty:1. ~dt:(-1.)))
+
+let test_max_penalty () =
+  (* reuse * 2^(60/15) = 750 * 16 = 12000 — the value the paper quotes for a
+     one-hour suppression *)
+  Alcotest.(check (float 1e-6)) "cisco ceiling 12000" 12000. (Params.max_penalty Params.cisco)
+
+let test_reuse_delay () =
+  let p = Params.cisco in
+  Alcotest.(check (float 0.)) "below threshold" 0. (Params.reuse_delay p ~penalty:700.);
+  (* penalty 1500 -> reuse 750 takes exactly one half-life *)
+  Alcotest.(check (float 1e-9)) "one half-life" 900. (Params.reuse_delay p ~penalty:1500.);
+  (* the paper: "with Cisco default setting, r is at least 20 minutes"
+     (from the cut-off 2000 down to 750) *)
+  let r = Params.reuse_delay p ~penalty:2000. in
+  Alcotest.(check bool) "r >= 20 min at cutoff" true (r >= 20. *. 60.);
+  (* max penalty suppression lasts max_suppress *)
+  let r_max = Params.reuse_delay p ~penalty:(Params.max_penalty p) in
+  Alcotest.(check (float 1e-6)) "cap implies max_suppress" p.Params.max_suppress r_max
+
+let test_validate () =
+  let ok p = Alcotest.(check bool) "valid" true (Params.validate p = Ok ()) in
+  ok Params.cisco;
+  ok Params.juniper;
+  let bad = { Params.cisco with Params.cutoff = 100. } in
+  Alcotest.(check bool) "cutoff<=reuse rejected" true (Result.is_error (Params.validate bad));
+  let bad = { Params.cisco with Params.half_life = 0. } in
+  Alcotest.(check bool) "zero half-life rejected" true (Result.is_error (Params.validate bad));
+  let bad = { Params.cisco with Params.withdrawal_penalty = -1. } in
+  Alcotest.(check bool) "negative penalty rejected" true (Result.is_error (Params.validate bad))
+
+let prop_decay_monotone_in_time =
+  QCheck.Test.make ~name:"decay decreases with time" ~count:200
+    QCheck.(pair (float_range 1. 12000.) (pair (float_range 0. 5000.) (float_range 0.1 5000.)))
+    (fun (penalty, (dt1, extra)) ->
+      let p = Params.cisco in
+      Params.decay p ~penalty ~dt:(dt1 +. extra) < Params.decay p ~penalty ~dt:dt1 +. 1e-9)
+
+let prop_reuse_delay_consistent =
+  QCheck.Test.make ~name:"decay(reuse_delay) lands on the reuse threshold" ~count:200
+    QCheck.(float_range 751. 12000.)
+    (fun penalty ->
+      let p = Params.cisco in
+      let r = Params.reuse_delay p ~penalty in
+      Float.abs (Params.decay p ~penalty ~dt:r -. p.Params.reuse) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "Table 1 Cisco defaults" `Quick test_table1_cisco;
+    Alcotest.test_case "Table 1 Juniper defaults" `Quick test_table1_juniper;
+    Alcotest.test_case "half-life decay" `Quick test_lambda;
+    Alcotest.test_case "decay identities" `Quick test_decay_identity;
+    Alcotest.test_case "max penalty ceiling" `Quick test_max_penalty;
+    Alcotest.test_case "reuse delay" `Quick test_reuse_delay;
+    Alcotest.test_case "validation" `Quick test_validate;
+    QCheck_alcotest.to_alcotest prop_decay_monotone_in_time;
+    QCheck_alcotest.to_alcotest prop_reuse_delay_consistent;
+  ]

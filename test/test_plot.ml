@@ -1,0 +1,123 @@
+(* Tests for gnuplot emission and the Sim.every periodic helper (small
+   utility additions grouped in one suite). *)
+
+module Plot = Rfd_experiment.Plot
+module Sim = Rfd_engine.Sim
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i = i + n <= h && (String.sub haystack i n = needle || loop (i + 1)) in
+  n = 0 || loop 0
+
+let sample_plot () =
+  Plot.make ~name:"figX" ~title:"A title" ~x_label:"pulses" ~y_label:"seconds"
+    [ ("a", [ (1., 10.); (2., 20.) ]); ("b", [ (2., 5.) ]) ]
+
+let test_data_file () =
+  let data = Plot.data_file (sample_plot ()) in
+  let lines = String.split_on_char '\n' data |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "header + 2 rows" 3 (List.length lines);
+  Alcotest.(check bool) "missing point marked" true (contains ~needle:"?" data);
+  Alcotest.(check bool) "x column" true (contains ~needle:"1 10 ?" data);
+  Alcotest.(check bool) "shared x row" true (contains ~needle:"2 20 5" data)
+
+let test_script () =
+  let s =
+    Plot.script (sample_plot ()) ~data_filename:"figX.dat" ~output_filename:"figX.png"
+  in
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (contains ~needle s))
+    [
+      "set terminal pngcairo";
+      "set output \"figX.png\"";
+      "set title \"A title\"";
+      "set datafile missing '?'";
+      "using 1:2 with linespoints title \"a\"";
+      "using 1:3 with linespoints title \"b\"";
+    ];
+  Alcotest.(check bool) "no logscale by default" false (contains ~needle:"logscale" s);
+  let log_plot =
+    Plot.make ~logscale_y:true ~style:`Steps ~name:"l" ~title:"t" ~x_label:"x" ~y_label:"y"
+      [ ("s", [ (1., 1.) ]) ]
+  in
+  let s2 = Plot.script log_plot ~data_filename:"l.dat" ~output_filename:"l.png" in
+  Alcotest.(check bool) "logscale" true (contains ~needle:"set logscale y" s2);
+  Alcotest.(check bool) "steps style" true (contains ~needle:"with steps" s2)
+
+let test_write () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "rfd_plot_test" in
+  Plot.write (sample_plot ()) ~dir;
+  Alcotest.(check bool) "dat exists" true (Sys.file_exists (Filename.concat dir "figX.dat"));
+  Alcotest.(check bool) "gp exists" true (Sys.file_exists (Filename.concat dir "figX.gp"));
+  Sys.remove (Filename.concat dir "figX.dat");
+  Sys.remove (Filename.concat dir "figX.gp")
+
+(* --- Sim.every --- *)
+
+let test_every_basic () =
+  let sim = Sim.create () in
+  let ticks = ref [] in
+  let _ =
+    Sim.every sim ~interval:10. (fun sim ->
+        ticks := Sim.now sim :: !ticks;
+        List.length !ticks < 3)
+  in
+  Sim.run sim;
+  Alcotest.(check (list (float 1e-9))) "three ticks" [ 10.; 20.; 30. ] (List.rev !ticks)
+
+let test_every_with_start () =
+  let sim = Sim.create () in
+  let ticks = ref 0 in
+  let _ =
+    Sim.every sim ~interval:5. ~start:2. (fun _ ->
+        incr ticks;
+        !ticks < 2)
+  in
+  Sim.run sim;
+  Alcotest.(check int) "two ticks" 2 !ticks;
+  Alcotest.(check (float 1e-9)) "clock at second tick" 7. (Sim.now sim)
+
+let test_every_stop () =
+  let sim = Sim.create () in
+  let ticks = ref 0 in
+  let task = Sim.every sim ~interval:1. (fun _ -> incr ticks; true) in
+  ignore (Sim.schedule_at sim ~time:3.5 (fun sim -> Sim.stop sim task));
+  (* without the stop this would never terminate *)
+  Sim.run sim;
+  Alcotest.(check int) "stopped after 3 ticks" 3 !ticks;
+  (* stop is idempotent *)
+  Sim.stop sim task
+
+let test_every_validation () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "zero interval" (Invalid_argument "Sim.every: interval must be positive")
+    (fun () -> ignore (Sim.every sim ~interval:0. (fun _ -> false)))
+
+let test_every_as_gauge () =
+  (* the intended use: periodically sample network state into a series *)
+  let sim = Sim.create () in
+  let series = Rfd_engine.Timeseries.create () in
+  let counter = ref 0 in
+  ignore (Sim.schedule_at sim ~time:12. (fun _ -> counter := 5));
+  let _ =
+    Sim.every sim ~interval:10. (fun sim ->
+        Rfd_engine.Timeseries.add series ~time:(Sim.now sim) (float_of_int !counter);
+        Sim.now sim < 25.)
+  in
+  Sim.run sim;
+  Alcotest.(check (option (float 0.))) "gauge before change" (Some 0.)
+    (Rfd_engine.Timeseries.value_at series 10.);
+  Alcotest.(check (option (float 0.))) "gauge after change" (Some 5.)
+    (Rfd_engine.Timeseries.value_at series 20.)
+
+let suite =
+  [
+    Alcotest.test_case "plot data file" `Quick test_data_file;
+    Alcotest.test_case "plot script" `Quick test_script;
+    Alcotest.test_case "plot write" `Quick test_write;
+    Alcotest.test_case "every: basic" `Quick test_every_basic;
+    Alcotest.test_case "every: explicit start" `Quick test_every_with_start;
+    Alcotest.test_case "every: stop" `Quick test_every_stop;
+    Alcotest.test_case "every: validation" `Quick test_every_validation;
+    Alcotest.test_case "every: as a gauge" `Quick test_every_as_gauge;
+  ]

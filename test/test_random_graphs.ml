@@ -1,0 +1,105 @@
+(* Tests for random topology generators. *)
+
+module Graph = Rfd_topology.Graph
+module RG = Rfd_topology.Random_graphs
+module Rng = Rfd_engine.Rng
+
+let test_erdos_renyi_extremes () =
+  let g0 = RG.erdos_renyi (Rng.create 1) ~n:10 ~p:0. in
+  Alcotest.(check int) "p=0 no edges" 0 (Graph.num_edges g0);
+  let g1 = RG.erdos_renyi (Rng.create 1) ~n:10 ~p:1. in
+  Alcotest.(check int) "p=1 complete" 45 (Graph.num_edges g1)
+
+let test_erdos_renyi_determinism () =
+  let a = RG.erdos_renyi (Rng.create 7) ~n:30 ~p:0.2 in
+  let b = RG.erdos_renyi (Rng.create 7) ~n:30 ~p:0.2 in
+  Alcotest.(check bool) "same seed same graph" true (Graph.equal a b);
+  let c = RG.erdos_renyi (Rng.create 8) ~n:30 ~p:0.2 in
+  Alcotest.(check bool) "different seed different graph" false (Graph.equal a c)
+
+let test_erdos_renyi_edge_count () =
+  let g = RG.erdos_renyi (Rng.create 3) ~n:50 ~p:0.3 in
+  let expected = 0.3 *. float_of_int (50 * 49 / 2) in
+  let got = float_of_int (Graph.num_edges g) in
+  Alcotest.(check bool) "edge count near expectation" true
+    (Float.abs (got -. expected) < 0.25 *. expected)
+
+let test_erdos_renyi_validation () =
+  Alcotest.check_raises "bad p" (Invalid_argument "Random_graphs.erdos_renyi: p outside [0,1]")
+    (fun () -> ignore (RG.erdos_renyi (Rng.create 1) ~n:5 ~p:1.5))
+
+let test_connected_erdos_renyi () =
+  (* Sparse enough that G(n,p) is almost surely disconnected. *)
+  let g = RG.connected_erdos_renyi (Rng.create 5) ~n:60 ~p:0.01 in
+  Alcotest.(check bool) "patched connected" true (Graph.is_connected g)
+
+let test_barabasi_albert_basic () =
+  let g = RG.barabasi_albert (Rng.create 11) ~n:100 ~m:2 in
+  Alcotest.(check int) "nodes" 100 (Graph.num_nodes g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  (* each of the n - m new nodes adds exactly m edges; the seed clique has
+     m(m-1)/2 *)
+  Alcotest.(check int) "edge count" ((100 - 2) * 2 + 1) (Graph.num_edges g)
+
+let test_barabasi_albert_long_tail () =
+  let g = RG.barabasi_albert (Rng.create 13) ~n:200 ~m:2 in
+  (* Preferential attachment produces hubs: max degree far above the mean. *)
+  let avg = Graph.average_degree g in
+  let hub = float_of_int (Graph.max_degree g) in
+  Alcotest.(check bool) "hub >> average" true (hub > 3. *. avg)
+
+let test_barabasi_albert_determinism () =
+  let a = RG.barabasi_albert (Rng.create 17) ~n:50 ~m:3 in
+  let b = RG.barabasi_albert (Rng.create 17) ~n:50 ~m:3 in
+  Alcotest.(check bool) "deterministic" true (Graph.equal a b)
+
+let test_barabasi_albert_validation () =
+  Alcotest.check_raises "m too large"
+    (Invalid_argument "Random_graphs.barabasi_albert: need 1 <= m < n") (fun () ->
+      ignore (RG.barabasi_albert (Rng.create 1) ~n:3 ~m:3))
+
+let test_barabasi_albert_m1_is_tree () =
+  let g = RG.barabasi_albert (Rng.create 19) ~n:40 ~m:1 in
+  Alcotest.(check int) "tree edge count" 39 (Graph.num_edges g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g)
+
+let test_random_spanning_connected () =
+  let g = RG.random_spanning_connected (Rng.create 23) ~n:30 ~extra_edges:10 in
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  Alcotest.(check int) "edges" (29 + 10) (Graph.num_edges g)
+
+let test_random_spanning_no_extra () =
+  let g = RG.random_spanning_connected (Rng.create 29) ~n:10 ~extra_edges:0 in
+  Alcotest.(check int) "tree" 9 (Graph.num_edges g)
+
+let prop_ba_always_connected =
+  QCheck.Test.make ~name:"BA graphs always connected" ~count:50
+    QCheck.(pair (int_range 0 10_000) (int_range 5 60))
+    (fun (seed, n) ->
+      let g = RG.barabasi_albert (Rng.create seed) ~n ~m:2 in
+      Graph.is_connected g)
+
+let prop_spanning_always_connected =
+  QCheck.Test.make ~name:"random spanning graphs connected" ~count:50
+    QCheck.(pair (int_range 0 10_000) (int_range 1 50))
+    (fun (seed, n) ->
+      let g = RG.random_spanning_connected (Rng.create seed) ~n ~extra_edges:3 in
+      Graph.is_connected g)
+
+let suite =
+  [
+    Alcotest.test_case "G(n,p) extremes" `Quick test_erdos_renyi_extremes;
+    Alcotest.test_case "G(n,p) determinism" `Quick test_erdos_renyi_determinism;
+    Alcotest.test_case "G(n,p) edge count" `Quick test_erdos_renyi_edge_count;
+    Alcotest.test_case "G(n,p) validation" `Quick test_erdos_renyi_validation;
+    Alcotest.test_case "connected G(n,p)" `Quick test_connected_erdos_renyi;
+    Alcotest.test_case "BA basics" `Quick test_barabasi_albert_basic;
+    Alcotest.test_case "BA long-tailed degrees" `Quick test_barabasi_albert_long_tail;
+    Alcotest.test_case "BA determinism" `Quick test_barabasi_albert_determinism;
+    Alcotest.test_case "BA validation" `Quick test_barabasi_albert_validation;
+    Alcotest.test_case "BA m=1 is a tree" `Quick test_barabasi_albert_m1_is_tree;
+    Alcotest.test_case "spanning + extra edges" `Quick test_random_spanning_connected;
+    Alcotest.test_case "spanning tree only" `Quick test_random_spanning_no_extra;
+    QCheck_alcotest.to_alcotest prop_ba_always_connected;
+    QCheck_alcotest.to_alcotest prop_spanning_always_connected;
+  ]

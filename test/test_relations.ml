@@ -1,0 +1,124 @@
+(* Tests for AS business relationships and the valley-free property. *)
+
+module Graph = Rfd_topology.Graph
+module Relations = Rfd_topology.Relations
+module Rng = Rfd_engine.Rng
+
+(* A small hierarchy: 0 is a tier-1; 1 and 2 are its customers; 3 is a
+   customer of both 1 and 2; 1 and 2 also peer with each other. *)
+let sample () =
+  let g = Graph.of_edges ~num_nodes:4 [ (0, 1); (0, 2); (1, 2); (1, 3); (2, 3) ] in
+  Relations.make g
+    [
+      ((0, 1), Relations.Customer_provider { customer = 1; provider = 0 });
+      ((0, 2), Relations.Customer_provider { customer = 2; provider = 0 });
+      ((1, 2), Relations.Peer_peer);
+      ((1, 3), Relations.Customer_provider { customer = 3; provider = 1 });
+      ((2, 3), Relations.Customer_provider { customer = 3; provider = 2 });
+    ]
+
+let side_t = Alcotest.of_pp (fun ppf -> function
+  | Relations.Customer -> Format.pp_print_string ppf "customer"
+  | Relations.Provider -> Format.pp_print_string ppf "provider"
+  | Relations.Peer -> Format.pp_print_string ppf "peer")
+
+let test_sides () =
+  let r = sample () in
+  Alcotest.check side_t "1 is 0's customer" Relations.Customer
+    (Relations.side r ~me:0 ~neighbour:1);
+  Alcotest.check side_t "0 is 1's provider" Relations.Provider
+    (Relations.side r ~me:1 ~neighbour:0);
+  Alcotest.check side_t "1-2 peer" Relations.Peer (Relations.side r ~me:1 ~neighbour:2)
+
+let test_lists () =
+  let r = sample () in
+  Alcotest.(check (list int)) "customers of 1" [ 3 ] (Relations.customers r 1);
+  Alcotest.(check (list int)) "providers of 1" [ 0 ] (Relations.providers r 1);
+  Alcotest.(check (list int)) "peers of 1" [ 2 ] (Relations.peers r 1);
+  Alcotest.(check (list int)) "customers of 0" [ 1; 2 ] (Relations.customers r 0)
+
+let test_counts () =
+  let r = sample () in
+  Alcotest.(check (pair int int)) "4 c2p + 1 p2p" (4, 1) (Relations.counts r)
+
+let test_empty_defaults_to_peer () =
+  let g = Graph.of_edges ~num_nodes:2 [ (0, 1) ] in
+  let r = Relations.empty g in
+  Alcotest.check side_t "default peer" Relations.Peer (Relations.side r ~me:0 ~neighbour:1)
+
+let test_validation () =
+  let g = Graph.of_edges ~num_nodes:3 [ (0, 1) ] in
+  Alcotest.check_raises "non-edge" (Invalid_argument "Relations.make: (1,2) is not an edge")
+    (fun () -> ignore (Relations.make g [ ((1, 2), Relations.Peer_peer) ]));
+  Alcotest.check_raises "wrong endpoints"
+    (Invalid_argument "Relations.make: label endpoints 0,2 do not match edge (0,1)") (fun () ->
+      ignore
+        (Relations.make g
+           [ ((0, 1), Relations.Customer_provider { customer = 0; provider = 2 }) ]));
+  let r = Relations.empty g in
+  Alcotest.check_raises "side on non-edge" (Invalid_argument "Relations.label: (0,2) is not an edge")
+    (fun () -> ignore (Relations.side r ~me:0 ~neighbour:2))
+
+let test_valley_free () =
+  let r = sample () in
+  (* up then down: 3 -> 1 -> 0 -> 2 is customer->provider, ->provider?? no:
+     3->1 up, 1->0 up, 0->2 down: valid *)
+  Alcotest.(check bool) "up up down" true (Relations.is_valley_free r [ 3; 1; 0; 2 ]);
+  (* down then up is a valley *)
+  Alcotest.(check bool) "down then up" false (Relations.is_valley_free r [ 0; 1; 3; 2 ]);
+  (* one peer hop at the top is fine *)
+  Alcotest.(check bool) "up peer down" true (Relations.is_valley_free r [ 3; 1; 2 ]);
+  (* after a peer hop, going up is invalid *)
+  Alcotest.(check bool) "peer then up" false (Relations.is_valley_free r [ 1; 2; 0 ]);
+  Alcotest.(check bool) "trivial" true (Relations.is_valley_free r [ 3 ]);
+  Alcotest.(check bool) "empty" true (Relations.is_valley_free r [])
+
+let test_provider_cycle () =
+  let g = Graph.of_edges ~num_nodes:3 [ (0, 1); (1, 2); (2, 0) ] in
+  let cyclic =
+    Relations.make g
+      [
+        ((0, 1), Relations.Customer_provider { customer = 0; provider = 1 });
+        ((1, 2), Relations.Customer_provider { customer = 1; provider = 2 });
+        ((0, 2), Relations.Customer_provider { customer = 2; provider = 0 });
+      ]
+  in
+  Alcotest.(check bool) "cycle detected" true (Relations.has_provider_cycle cyclic);
+  Alcotest.(check bool) "sample acyclic" false (Relations.has_provider_cycle (sample ()))
+
+let test_infer_by_degree () =
+  let g = Rfd_topology.Builders.star 6 in
+  let r = Relations.infer_by_degree g in
+  (* hub has degree 5, leaves 1: leaves become customers *)
+  Alcotest.check side_t "leaf is customer" Relations.Customer
+    (Relations.side r ~me:0 ~neighbour:1);
+  Alcotest.(check bool) "no cycles" false (Relations.has_provider_cycle r)
+
+let test_infer_equal_degrees_peer () =
+  let g = Rfd_topology.Builders.ring 4 in
+  let r = Relations.infer_by_degree g in
+  (* every node has degree 2: all edges peer *)
+  let _, peers = Relations.counts r in
+  Alcotest.(check int) "all peer" 4 peers
+
+let prop_inferred_never_cyclic =
+  QCheck.Test.make ~name:"degree inference never creates provider cycles" ~count:50
+    QCheck.(pair (int_range 0 10_000) (int_range 5 60))
+    (fun (seed, n) ->
+      let g = Rfd_topology.Random_graphs.barabasi_albert (Rng.create seed) ~n ~m:2 in
+      let r = Relations.infer_by_degree g in
+      not (Relations.has_provider_cycle r))
+
+let suite =
+  [
+    Alcotest.test_case "sides" `Quick test_sides;
+    Alcotest.test_case "customer/provider/peer lists" `Quick test_lists;
+    Alcotest.test_case "edge-kind counts" `Quick test_counts;
+    Alcotest.test_case "empty defaults to peer" `Quick test_empty_defaults_to_peer;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "valley-free checks" `Quick test_valley_free;
+    Alcotest.test_case "provider cycle detection" `Quick test_provider_cycle;
+    Alcotest.test_case "inference by degree" `Quick test_infer_by_degree;
+    Alcotest.test_case "equal degrees become peers" `Quick test_infer_equal_degrees_peer;
+    QCheck_alcotest.to_alcotest prop_inferred_never_cyclic;
+  ]

@@ -1,0 +1,62 @@
+(* Tests for text table / CSV rendering. *)
+
+module Report = Rfd_experiment.Report
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i = i + n <= h && (String.sub haystack i n = needle || loop (i + 1)) in
+  n = 0 || loop 0
+
+let test_table_alignment () =
+  let out = Report.table ~header:[ "n"; "value" ] [ [ "1"; "10" ]; [ "100"; "2" ] ] in
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "header + sep + 2 rows" 4 (List.length lines);
+  (* all lines same width *)
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "aligned" true (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_table_title () =
+  let out = Report.table ~title:"Table 1" ~header:[ "a" ] [ [ "b" ] ] in
+  Alcotest.(check bool) "title present" true (contains ~needle:"Table 1" out)
+
+let test_csv_basic () =
+  let out = Report.csv ~header:[ "x"; "y" ] [ [ "1"; "2" ] ] in
+  Alcotest.(check string) "csv" "x,y\n1,2\n" out
+
+let test_csv_escaping () =
+  let out = Report.csv ~header:[ "name" ] [ [ "a,b" ]; [ "say \"hi\"" ] ] in
+  Alcotest.(check bool) "comma quoted" true (contains ~needle:"\"a,b\"" out);
+  Alcotest.(check bool) "quote doubled" true (contains ~needle:"\"say \"\"hi\"\"\"" out)
+
+let test_float_cell () =
+  Alcotest.(check string) "integral" "1234" (Report.float_cell 1234.);
+  Alcotest.(check string) "large" "5193" (Report.float_cell 5193.4);
+  Alcotest.(check string) "medium" "12.3" (Report.float_cell 12.34);
+  Alcotest.(check string) "small" "0.05" (Report.float_cell 0.05)
+
+let test_series () =
+  let out =
+    Report.series ~x_label:"pulses"
+      ~columns:
+        [ ("damping", [ (1., 5193.) ]); ("nodamp", [ (1., 50.); (2., 60.) ]) ]
+      ()
+  in
+  Alcotest.(check bool) "has x label" true (contains ~needle:"pulses" out);
+  Alcotest.(check bool) "missing point dash" true (contains ~needle:"-" out);
+  Alcotest.(check bool) "value present" true (contains ~needle:"5193" out)
+
+let test_histogram_bar () =
+  Alcotest.(check string) "half" "#####" (Report.histogram_bar 5. ~max:10. ~width:10);
+  Alcotest.(check string) "clamped" "##########" (Report.histogram_bar 50. ~max:10. ~width:10);
+  Alcotest.(check string) "zero max" "" (Report.histogram_bar 5. ~max:0. ~width:10)
+
+let suite =
+  [
+    Alcotest.test_case "table alignment" `Quick test_table_alignment;
+    Alcotest.test_case "table title" `Quick test_table_title;
+    Alcotest.test_case "csv basic" `Quick test_csv_basic;
+    Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+    Alcotest.test_case "float cells" `Quick test_float_cell;
+    Alcotest.test_case "series rendering" `Quick test_series;
+    Alcotest.test_case "histogram bar" `Quick test_histogram_bar;
+  ]

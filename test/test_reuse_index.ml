@@ -1,0 +1,75 @@
+(* Tests for the RFC 2439 quantised reuse-index arrays. *)
+
+module Params = Rfd_damping.Params
+module Reuse_index = Rfd_damping.Reuse_index
+
+let idx () = Reuse_index.create Params.cisco
+
+let test_defaults () =
+  let t = idx () in
+  Alcotest.(check (float 0.)) "tick" 15. (Reuse_index.tick t);
+  Alcotest.(check int) "size" 1024 (Reuse_index.array_size t)
+
+let test_below_threshold () =
+  let t = idx () in
+  Alcotest.(check int) "at threshold" 0 (Reuse_index.index_of t ~penalty:750.);
+  Alcotest.(check int) "below" 0 (Reuse_index.index_of t ~penalty:100.);
+  Alcotest.(check (float 0.)) "zero delay" 0. (Reuse_index.delay_of t ~penalty:10.)
+
+let test_known_delays () =
+  let t = idx () in
+  (* 1500 -> 750 takes exactly one half-life = 900 s = 60 ticks *)
+  Alcotest.(check int) "one half-life" 60 (Reuse_index.index_of t ~penalty:1500.);
+  (* 3000 -> 750 takes two half-lives = 1800 s = 120 ticks *)
+  Alcotest.(check int) "two half-lives" 120 (Reuse_index.ticks_to_reuse t ~penalty:3000.)
+
+let test_clamped_at_array_end () =
+  let t = Reuse_index.create ~array_size:8 ~tick:60. Params.cisco in
+  (* a huge penalty clamps to the last slot *)
+  Alcotest.(check int) "clamped" 7 (Reuse_index.index_of t ~penalty:1e9)
+
+let test_validation () =
+  Alcotest.check_raises "tick" (Invalid_argument "Reuse_index.create: tick must be positive")
+    (fun () -> ignore (Reuse_index.create ~tick:0. Params.cisco));
+  Alcotest.check_raises "size" (Invalid_argument "Reuse_index.create: array_size must be >= 2")
+    (fun () -> ignore (Reuse_index.create ~array_size:1 Params.cisco))
+
+let test_monotone_in_penalty () =
+  let t = idx () in
+  let prev = ref 0 in
+  let p = ref 100. in
+  while !p < 12000. do
+    let i = Reuse_index.index_of t ~penalty:!p in
+    Alcotest.(check bool) "monotone" true (i >= !prev);
+    prev := i;
+    p := !p +. 100.
+  done
+
+let prop_quantised_brackets_exact =
+  QCheck.Test.make ~name:"quantised delay within one tick of exact" ~count:300
+    QCheck.(float_range 1. 12000.)
+    (fun penalty ->
+      let t = idx () in
+      let exact = Params.reuse_delay Params.cisco ~penalty in
+      let quantised = Reuse_index.delay_of t ~penalty in
+      quantised >= exact -. 1e-6 && quantised <= exact +. Reuse_index.tick t +. 1e-6)
+
+let prop_decay_at_quantised_delay_below_reuse =
+  QCheck.Test.make ~name:"after the quantised delay the route is reusable" ~count:300
+    QCheck.(float_range 751. 12000.)
+    (fun penalty ->
+      let t = idx () in
+      let dt = Reuse_index.delay_of t ~penalty in
+      Params.decay Params.cisco ~penalty ~dt <= Params.cisco.Params.reuse +. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "defaults" `Quick test_defaults;
+    Alcotest.test_case "below threshold" `Quick test_below_threshold;
+    Alcotest.test_case "known delays" `Quick test_known_delays;
+    Alcotest.test_case "clamping" `Quick test_clamped_at_array_end;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "monotone in penalty" `Quick test_monotone_in_penalty;
+    QCheck_alcotest.to_alcotest prop_quantised_brackets_exact;
+    QCheck_alcotest.to_alcotest prop_decay_at_quantised_delay_below_reuse;
+  ]

@@ -1,0 +1,226 @@
+(* Router edge cases: duplicate/spurious updates, withdrawal rate limiting,
+   session restart re-advertisement, loop-detected announcements, RIB
+   accessors, and the Rfd facade conveniences. *)
+
+open Rfd_bgp
+module Sim = Rfd_engine.Sim
+module Builders = Rfd_topology.Builders
+
+let p0 = Prefix.v 0
+
+let fast = { Config.default with Config.mrai = 0.; link_delay = 0.01; link_jitter = 0. }
+
+let make ?(config = fast) graph =
+  let sim = Sim.create () in
+  (sim, Network.create ~config sim graph)
+
+let count_deliveries net =
+  let n = ref 0 in
+  (Network.hooks net).Hooks.on_deliver <- (fun ~time:_ ~src:_ ~dst:_ _ -> incr n);
+  n
+
+let test_duplicate_originate_is_noop () =
+  let _, net = make (Builders.line 2) in
+  Network.originate net ~node:0 p0;
+  Network.run net;
+  let n = count_deliveries net in
+  Network.originate net ~node:0 p0;
+  Network.run net;
+  Alcotest.(check int) "no messages for duplicate originate" 0 !n
+
+let test_spurious_withdraw_is_noop () =
+  let _, net = make (Builders.line 2) in
+  let n = count_deliveries net in
+  (* withdrawing a prefix never originated: nothing must happen *)
+  Network.withdraw net ~node:0 p0;
+  Network.run net;
+  Alcotest.(check int) "no messages" 0 !n
+
+let test_duplicate_announcement_no_penalty () =
+  (* A damped router that receives the same announcement twice must not
+     charge the penalty for the duplicate. We force a duplicate by failing
+     and restoring an unrelated link, triggering a full re-advertisement. *)
+  let config = Config.with_damping Rfd_damping.Params.cisco fast in
+  let _, net = make ~config (Builders.line 3) in
+  Network.originate net ~node:0 p0;
+  Network.run net;
+  Alcotest.(check (float 0.)) "no penalty initially" 0.
+    (Router.penalty (Network.router net 1) ~peer:0 p0);
+  (* session flap on (1,2) makes 1 re-advertise to 2; 2's entry already
+     held the same route, so the withdrawal (session down) counts but the
+     identical re-announcement after peer_up counts as re-announcement. *)
+  Network.fail_link net 1 2;
+  Network.run net;
+  Network.restore_link net 1 2;
+  Network.run net;
+  (* entry at 1 for peer 0 was never touched: still zero *)
+  Alcotest.(check (float 0.)) "unrelated entry untouched" 0.
+    (Router.penalty (Network.router net 1) ~peer:0 p0);
+  Alcotest.(check int) "all reachable" 3 (Network.reachable_count net p0)
+
+let test_withdrawal_rate_limiting () =
+  (* With withdrawal rate limiting on, a W-A-W burst inside one MRAI window
+     coalesces: the peer sees at most one message of the burst's net
+     effect after the flush. *)
+  let run limiting =
+    let config =
+      { fast with Config.mrai = 5.; withdrawal_rate_limiting = limiting }
+    in
+    let sim, net = make ~config (Builders.line 2) in
+    Network.originate net ~node:0 p0;
+    Network.run net;
+    let n = count_deliveries net in
+    let t = Sim.now sim +. 0.5 in
+    Network.schedule_withdraw net ~at:t ~node:0 p0;
+    Network.schedule_originate net ~at:(t +. 0.1) ~node:0 p0;
+    Network.schedule_withdraw net ~at:(t +. 0.2) ~node:0 p0;
+    Network.run net;
+    (!n, Router.best (Network.router net 1) p0)
+  in
+  let unlimited, final_route_a = run false in
+  let limited, final_route_b = run true in
+  Alcotest.(check bool) "rate limiting coalesces withdrawals" true (limited <= unlimited);
+  (* both end withdrawn (last event is a W) *)
+  Alcotest.(check bool) "final state unreachable (no limiting)" true (final_route_a = None);
+  Alcotest.(check bool) "final state unreachable (limiting)" true (final_route_b = None)
+
+let test_session_restart_readvertises () =
+  let p1 = Prefix.v 1 in
+  let _, net = make (Builders.line 3) in
+  Network.originate net ~node:0 p0;
+  Network.originate net ~node:0 p1;
+  Network.run net;
+  Network.fail_link net 0 1;
+  Network.run net;
+  Alcotest.(check bool) "both lost" true
+    (Router.best (Network.router net 2) p0 = None
+    && Router.best (Network.router net 2) p1 = None);
+  Network.restore_link net 0 1;
+  Network.run net;
+  Alcotest.(check bool) "both prefixes re-learned" true
+    (Router.best (Network.router net 2) p0 <> None
+    && Router.best (Network.router net 2) p1 <> None)
+
+let test_loop_detected_announce_treated_as_withdraw () =
+  (* Hand-feed router 1 (peered with 0 in a 2-line) an announcement whose
+     path contains 1 itself: it must not install it. *)
+  let _, net = make (Builders.line 2) in
+  let r1 = Network.router net 1 in
+  let looped =
+    Update.announce (Route.make ~prefix:p0 ~path:(As_path.of_list [ 0; 1; 5 ]))
+  in
+  Router.receive r1 ~from_peer:0 looped;
+  Alcotest.(check bool) "not installed" true (Router.best r1 p0 = None);
+  Alcotest.(check bool) "rib-in empty too" true (Router.rib_in_route r1 ~peer:0 p0 = None)
+
+let test_rib_accessors () =
+  let _, net = make (Builders.line 3) in
+  Network.originate net ~node:0 p0;
+  Network.run net;
+  let r1 = Network.router net 1 in
+  Alcotest.(check (list int)) "peer ids" [ 0; 2 ] (Router.peer_ids r1);
+  Alcotest.(check int) "id" 1 (Router.id r1);
+  Alcotest.(check bool) "originates" true (Router.originates (Network.router net 0) p0);
+  Alcotest.(check bool) "does not originate" false (Router.originates r1 p0);
+  Alcotest.(check (option int)) "best peer" (Some 0) (Router.best_peer r1 p0);
+  Alcotest.(check (option int)) "origin best peer none" None
+    (Router.best_peer (Network.router net 0) p0);
+  (match Router.rib_in_route r1 ~peer:0 p0 with
+  | Some route -> Alcotest.(check int) "rib-in path" 1 (Route.path_length route)
+  | None -> Alcotest.fail "rib-in entry expected");
+  Alcotest.(check (option int)) "recompute matches best"
+    (Option.map Route.path_length (Router.best r1 p0))
+    (Option.map Route.path_length (Router.recompute_best r1 p0))
+
+let test_connect_validation () =
+  let sim = Sim.create () in
+  let r =
+    Router.create ~sim ~id:0 ~policy:Policy.announce_all ~config:fast ~damping:None
+      ~rng:(Rfd_engine.Rng.create 1) ~hooks:(Hooks.create ())
+  in
+  Alcotest.check_raises "self peer" (Invalid_argument "Router.connect: cannot peer with self")
+    (fun () -> Router.connect r ~peer:0 ~send:(fun _ -> ()));
+  Router.connect r ~peer:1 ~send:(fun _ -> ());
+  Alcotest.check_raises "duplicate peer" (Invalid_argument "Router.connect: duplicate peer 1")
+    (fun () -> Router.connect r ~peer:1 ~send:(fun _ -> ()))
+
+let test_facade_conveniences () =
+  Alcotest.(check bool) "version non-empty" true (String.length Rfd.version > 0);
+  let sim, net = Rfd.quick_network (Builders.line 2) in
+  Rfd.Network.originate net ~node:0 p0;
+  Rfd.Network.run net;
+  Alcotest.(check bool) "quick_network works" true (Rfd.Sim.now sim > 0.);
+  Alcotest.(check bool) "cisco config damps" true
+    (Rfd.cisco_damping_config.Config.damping <> None);
+  Alcotest.(check bool) "rcn config mode" true
+    (Rfd.rcn_damping_config.Config.damping_mode = Config.Rcn);
+  let r = Rfd.simulate_flaps ~pulses:0 (Rfd.Scenario.make (Rfd.Scenario.Mesh { rows = 3; cols = 3 })) in
+  Alcotest.(check int) "simulate_flaps override" 0 r.Rfd.Runner.message_count
+
+let test_per_peer_mrai_paces_across_prefixes () =
+  (* In per-peer mode, announcements for different prefixes to the same
+     peer share one MRAI clock: after a simultaneous change to both
+     prefixes, the second announcement waits a full interval. *)
+  let run per_peer =
+    let config =
+      { fast with Config.mrai = 10.; mrai_per_peer = per_peer; mrai_jitter = (1.0, 1.0) }
+    in
+    let sim, net = make ~config (Builders.line 2) in
+    let p1 = Prefix.v 1 in
+    Network.originate net ~node:0 p0;
+    Network.originate net ~node:0 p1;
+    Network.run net;
+    (* burn the MRAI budget with a change, then change both prefixes *)
+    let announce_times = ref [] in
+    (Network.hooks net).Hooks.on_deliver <-
+      (fun ~time ~src ~dst u ->
+        if src = 0 && dst = 1 && not (Update.is_withdrawal u) then
+          announce_times := time :: !announce_times);
+    let t = Sim.now sim +. 0.5 in
+    Network.schedule_withdraw net ~at:t ~node:0 p0;
+    Network.schedule_originate net ~at:(t +. 0.1) ~node:0 p0;
+    Network.schedule_withdraw net ~at:t ~node:0 p1;
+    Network.schedule_originate net ~at:(t +. 0.1) ~node:0 p1;
+    Network.run net;
+    List.sort Float.compare !announce_times
+  in
+  (match run true with
+  | a :: b :: _ -> Alcotest.(check bool) "paced >= interval apart" true (b -. a >= 9.99)
+  | _ -> Alcotest.fail "expected two announcements");
+  match run false with
+  | a :: b :: _ ->
+      Alcotest.(check bool) "per-prefix mode does not pace across prefixes" true (b -. a < 9.99)
+  | _ -> Alcotest.fail "expected two announcements"
+
+let test_in_flight_messages_dropped_on_failure () =
+  (* Fail a link while an update is in flight on it: the update must not be
+     delivered after the failure. *)
+  let config = { fast with Config.link_delay = 5. } in
+  let sim, net = make ~config (Builders.line 2) in
+  let delivered = count_deliveries net in
+  Network.originate net ~node:0 p0;
+  (* announcement to peer 1 is now in flight with 5 s delay; kill the link
+     after 1 s *)
+  ignore (Sim.schedule sim ~delay:1. (fun _ -> Network.fail_link net 0 1));
+  Network.run net;
+  Alcotest.(check int) "in-flight update dropped" 0 !delivered;
+  Alcotest.(check bool) "peer never learned route" true
+    (Router.best (Network.router net 1) p0 = None)
+
+let suite =
+  [
+    Alcotest.test_case "duplicate originate" `Quick test_duplicate_originate_is_noop;
+    Alcotest.test_case "spurious withdraw" `Quick test_spurious_withdraw_is_noop;
+    Alcotest.test_case "duplicate announcement penalty" `Quick
+      test_duplicate_announcement_no_penalty;
+    Alcotest.test_case "withdrawal rate limiting" `Quick test_withdrawal_rate_limiting;
+    Alcotest.test_case "session restart re-advertises" `Quick test_session_restart_readvertises;
+    Alcotest.test_case "loop-detected announce" `Quick
+      test_loop_detected_announce_treated_as_withdraw;
+    Alcotest.test_case "rib accessors" `Quick test_rib_accessors;
+    Alcotest.test_case "connect validation" `Quick test_connect_validation;
+    Alcotest.test_case "facade conveniences" `Quick test_facade_conveniences;
+    Alcotest.test_case "per-peer MRAI pacing" `Quick test_per_peer_mrai_paces_across_prefixes;
+    Alcotest.test_case "in-flight drop on failure" `Quick
+      test_in_flight_messages_dropped_on_failure;
+  ]

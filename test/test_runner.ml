@@ -1,0 +1,224 @@
+(* Tests for scenario validation, the collector, and the runner on small
+   topologies. *)
+
+module Scenario = Rfd_experiment.Scenario
+module Runner = Rfd_experiment.Runner
+module Collector = Rfd_experiment.Collector
+module Sweep = Rfd_experiment.Sweep
+module Phases = Rfd_experiment.Phases
+module Ts = Rfd_engine.Timeseries
+open Rfd_bgp
+
+let small_mesh = Scenario.Mesh { rows = 3; cols = 3 }
+
+let fast ?(damping = true) ?(mode = Config.Plain) () =
+  let base =
+    { Config.default with Config.mrai = 1.; link_delay = 0.01; link_jitter = 0.01 }
+  in
+  if damping then Config.with_damping ~mode Rfd_damping.Params.cisco base else base
+
+let test_scenario_validation () =
+  let bad = Scenario.make ~pulses:(-1) small_mesh in
+  Alcotest.(check bool) "negative pulses" true (Result.is_error (Scenario.validate bad));
+  let bad = Scenario.make ~flap_interval:0. small_mesh in
+  Alcotest.(check bool) "zero interval" true (Result.is_error (Scenario.validate bad));
+  let bad = Scenario.make (Scenario.Mesh { rows = 2; cols = 2 }) in
+  Alcotest.(check bool) "tiny mesh" true (Result.is_error (Scenario.validate bad));
+  let good = Scenario.make small_mesh in
+  Alcotest.(check bool) "default valid" true (Scenario.validate good = Ok ());
+  Alcotest.check_raises "runner surfaces validation"
+    (Invalid_argument "Runner.run: pulses must be non-negative") (fun () ->
+      ignore (Runner.run (Scenario.make ~pulses:(-1) small_mesh)))
+
+let test_run_no_damping () =
+  let scenario = Scenario.make ~name:"plain" ~config:(fast ~damping:false ()) small_mesh in
+  let r = Runner.run scenario in
+  Alcotest.(check int) "10 nodes with stub" 10 r.Runner.num_nodes;
+  Alcotest.(check int) "origin is appended node" 9 r.Runner.origin;
+  Alcotest.(check int) "isp is node 0 by default" 0 r.Runner.isp;
+  Alcotest.(check bool) "tup positive" true (r.Runner.tup > 0.);
+  Alcotest.(check bool) "messages flowed" true (r.Runner.message_count > 0);
+  (* without damping a single pulse converges quickly *)
+  Alcotest.(check bool) "fast convergence" true (r.Runner.convergence_time < 60.);
+  Alcotest.(check int) "no suppressions" 0 (Collector.suppress_events r.Runner.collector)
+
+let test_run_with_damping_extends_convergence () =
+  let no_damp = Runner.run (Scenario.make ~config:(fast ~damping:false ()) small_mesh) in
+  let damp = Runner.run (Scenario.make ~config:(fast ()) small_mesh) in
+  if Collector.suppress_events damp.Runner.collector > 0 then
+    Alcotest.(check bool) "damping slower than plain" true
+      (damp.Runner.convergence_time > no_damp.Runner.convergence_time)
+
+let test_run_zero_pulses () =
+  let r = Runner.run (Scenario.make ~pulses:0 ~config:(fast ()) small_mesh) in
+  Alcotest.(check int) "no flap messages" 0 r.Runner.message_count;
+  Alcotest.(check (float 0.)) "no convergence delay" 0. r.Runner.convergence_time
+
+let test_determinism () =
+  let scenario = Scenario.make ~config:(fast ()) ~pulses:2 small_mesh in
+  let a = Runner.run scenario and b = Runner.run scenario in
+  Alcotest.(check int) "same messages" a.Runner.message_count b.Runner.message_count;
+  Alcotest.(check (float 1e-9)) "same convergence" a.Runner.convergence_time
+    b.Runner.convergence_time
+
+let test_seed_changes_run () =
+  let config = fast () in
+  let a = Runner.run (Scenario.make ~config ~pulses:2 small_mesh) in
+  let config_b = { config with Config.seed = 4711 } in
+  let b = Runner.run (Scenario.make ~config:config_b ~pulses:2 small_mesh) in
+  (* jitter differs; counts almost surely differ at least slightly *)
+  Alcotest.(check bool) "different seeds differ" true
+    (a.Runner.message_count <> b.Runner.message_count
+    || a.Runner.convergence_time <> b.Runner.convergence_time)
+
+let test_collector_series_consistency () =
+  let r = Runner.run (Scenario.make ~config:(fast ()) ~pulses:2 small_mesh) in
+  let c = r.Runner.collector in
+  Alcotest.(check int) "series length = message count" (Collector.update_count c)
+    (Ts.length (Collector.update_series c));
+  Alcotest.(check int) "reuse series matches events" (Collector.reuse_events c)
+    (Ts.length (Collector.reuse_series c));
+  Alcotest.(check int) "suppress/reuse balance" (Collector.suppress_events c)
+    (Collector.reuse_events c);
+  Alcotest.(check int) "nothing damped at the end" 0 (Collector.damped_now c);
+  Alcotest.(check bool) "noisy <= total reuses" true
+    (Collector.noisy_reuse_events c <= Collector.reuse_events c);
+  let log = Collector.reuse_log c in
+  Alcotest.(check int) "reuse log length" (Collector.reuse_events c) (List.length log);
+  Alcotest.(check int) "noisy entries in log" (Collector.noisy_reuse_events c)
+    (List.length (List.filter (fun (_, _, _, noisy) -> noisy) log));
+  (* log is time-ordered *)
+  let times = List.map (fun (t, _, _, _) -> t) log in
+  Alcotest.(check bool) "log sorted" true (times = List.sort Float.compare times)
+
+let test_internet_topology_random_isp () =
+  let scenario =
+    Scenario.make ~name:"internet"
+      ~config:(fast ~damping:false ())
+      ~isp:`Random (Scenario.Internet { nodes = 30; m = 2 })
+  in
+  let r = Runner.run scenario in
+  Alcotest.(check int) "31 nodes with stub" 31 r.Runner.num_nodes;
+  Alcotest.(check bool) "isp within base graph" true (r.Runner.isp >= 0 && r.Runner.isp < 30);
+  Alcotest.(check bool) "converged fast" true (r.Runner.convergence_time < 120.)
+
+let test_no_valley_policy_runs () =
+  let scenario =
+    Scenario.make ~policy:Scenario.No_valley
+      ~config:(fast ~damping:false ())
+      (Scenario.Internet { nodes = 30; m = 2 })
+  in
+  let r = Runner.run scenario in
+  (* valley-free reachability to a stub customer is still universal *)
+  Alcotest.(check bool) "messages flowed" true (r.Runner.message_count > 0)
+
+let test_probe_at_distance () =
+  let scenario =
+    Scenario.make ~config:(fast ()) ~probe:(Scenario.At_distance 2) small_mesh
+  in
+  let r = Runner.run scenario in
+  let pairs = Collector.probed_pairs r.Runner.collector in
+  Alcotest.(check bool) "probe pairs resolved" true (pairs <> [])
+
+let test_spans_cover_episode () =
+  let r = Runner.run (Scenario.make ~config:(fast ()) ~pulses:3 small_mesh) in
+  match r.Runner.spans with
+  | [] -> Alcotest.fail "spans expected"
+  | first :: _ ->
+      Alcotest.(check (float 1e-6)) "starts at flap" r.Runner.flap_start first.Phases.start_time;
+      let last = List.nth r.Runner.spans (List.length r.Runner.spans - 1) in
+      Alcotest.(check bool) "ends converged" true
+        (last.Phases.kind = Phases.Converged && last.Phases.end_time = infinity)
+
+let test_sweep () =
+  let base = Scenario.make ~name:"sweep" ~config:(fast ~damping:false ()) small_mesh in
+  let sweep = Sweep.run ~pulses:[ 1; 2; 3 ] base in
+  Alcotest.(check int) "three points" 3 (List.length sweep.Sweep.points);
+  let msgs = Sweep.message_series sweep in
+  Alcotest.(check int) "series length" 3 (List.length msgs);
+  (* without damping, messages grow with pulses *)
+  let values = List.map snd msgs in
+  Alcotest.(check bool) "monotone-ish growth" true
+    (List.nth values 2 > List.hd values)
+
+let test_link_state_mechanism () =
+  (* Flapping the physical (isp, origin) link instead of the origin's
+     prefix must produce the same qualitative damping behaviour: the isp
+     entry charges 1000 per pulse (session withdrawal) and suppresses at
+     the third pulse. *)
+  let run mechanism pulses =
+    Runner.run (Scenario.make ~config:(fast ()) ~mechanism ~pulses small_mesh)
+  in
+  let by_link = run Scenario.Link_state 3 in
+  let by_updates = run Scenario.Origin_updates 3 in
+  Alcotest.(check bool) "link flaps reconverge" true
+    (by_link.Runner.convergence_time > 0.);
+  (* both mechanisms end fully reachable *)
+  Alcotest.(check bool) "suppression happened via link flaps" true
+    (Collector.suppress_events by_link.Runner.collector > 0);
+  Alcotest.(check bool) "suppression happened via update flaps" true
+    (Collector.suppress_events by_updates.Runner.collector > 0);
+  (* the dominating reuse delay is the isp's in both cases: same order *)
+  let ratio = by_link.Runner.convergence_time /. by_updates.Runner.convergence_time in
+  Alcotest.(check bool)
+    (Printf.sprintf "same order of magnitude (ratio %.2f)" ratio)
+    true
+    (ratio > 0.3 && ratio < 3.)
+
+let test_background_prefixes () =
+  (* A populated multi-prefix RIB must not change the flapping prefix's
+     damping dynamics, and the flaps must not damp the stable prefixes. *)
+  let plain = Runner.run (Scenario.make ~config:(fast ()) ~pulses:3 small_mesh) in
+  let loaded =
+    Runner.run (Scenario.make ~config:(fast ()) ~pulses:3 ~background_prefixes:5 small_mesh)
+  in
+  (* background traffic consumes link-jitter randomness, so runs are not
+     bit-identical — but stable prefixes are silent during the flap phase
+     and damping is per (peer, prefix), so the dynamics must be the same
+     in kind and magnitude *)
+  let ratio a b = if b = 0. then 1. else a /. b in
+  Alcotest.(check bool) "suppression happens in both" true
+    (Collector.suppress_events plain.Runner.collector > 0
+    && Collector.suppress_events loaded.Runner.collector > 0);
+  let conv_ratio = ratio loaded.Runner.convergence_time plain.Runner.convergence_time in
+  Alcotest.(check bool)
+    (Printf.sprintf "same magnitude convergence (ratio %.2f)" conv_ratio)
+    true
+    (conv_ratio > 0.5 && conv_ratio < 2.);
+  let msg_ratio =
+    ratio (float_of_int loaded.Runner.message_count) (float_of_int plain.Runner.message_count)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "same magnitude messages (ratio %.2f)" msg_ratio)
+    true
+    (msg_ratio > 0.5 && msg_ratio < 2.);
+  Alcotest.(check bool) "validation" true
+    (Result.is_error
+       (Scenario.validate (Scenario.make ~background_prefixes:(-1) small_mesh)))
+
+let test_custom_topology () =
+  let g = Rfd_topology.Builders.ring 5 in
+  let r =
+    Runner.run (Scenario.make ~config:(fast ~damping:false ()) (Scenario.Custom g))
+  in
+  Alcotest.(check int) "ring + stub" 6 r.Runner.num_nodes
+
+let suite =
+  [
+    Alcotest.test_case "scenario validation" `Quick test_scenario_validation;
+    Alcotest.test_case "run without damping" `Quick test_run_no_damping;
+    Alcotest.test_case "damping extends convergence" `Quick
+      test_run_with_damping_extends_convergence;
+    Alcotest.test_case "zero pulses" `Quick test_run_zero_pulses;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_run;
+    Alcotest.test_case "collector consistency" `Quick test_collector_series_consistency;
+    Alcotest.test_case "internet topology, random isp" `Quick test_internet_topology_random_isp;
+    Alcotest.test_case "no-valley policy" `Quick test_no_valley_policy_runs;
+    Alcotest.test_case "probe resolution" `Quick test_probe_at_distance;
+    Alcotest.test_case "spans cover episode" `Quick test_spans_cover_episode;
+    Alcotest.test_case "sweep over pulse counts" `Quick test_sweep;
+    Alcotest.test_case "link-state flap mechanism" `Quick test_link_state_mechanism;
+    Alcotest.test_case "background prefixes" `Quick test_background_prefixes;
+    Alcotest.test_case "custom topology" `Quick test_custom_topology;
+  ]

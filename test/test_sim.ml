@@ -1,0 +1,143 @@
+(* Tests for the discrete-event simulator core. *)
+
+module Sim = Rfd_engine.Sim
+
+let test_initial_state () =
+  let sim = Sim.create () in
+  Alcotest.(check (float 0.)) "clock at 0" 0. (Sim.now sim);
+  Alcotest.(check int) "no pending" 0 (Sim.pending sim);
+  Alcotest.(check (option (float 0.))) "no next" None (Sim.next_time sim);
+  Alcotest.(check bool) "step on empty" false (Sim.step sim)
+
+let test_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let mark tag = fun _ -> log := tag :: !log in
+  ignore (Sim.schedule_at sim ~time:3.0 (mark "c"));
+  ignore (Sim.schedule_at sim ~time:1.0 (mark "a"));
+  ignore (Sim.schedule_at sim ~time:2.0 (mark "b"));
+  Sim.run sim;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check (float 0.)) "clock at last event" 3.0 (Sim.now sim)
+
+let test_fifo_ties () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Sim.schedule_at sim ~time:1.0 (fun _ -> log := i :: !log))
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "FIFO at equal times" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_relative_delay () =
+  let sim = Sim.create () in
+  let seen = ref [] in
+  ignore
+    (Sim.schedule sim ~delay:1.0 (fun sim ->
+         seen := Sim.now sim :: !seen;
+         ignore (Sim.schedule sim ~delay:2.0 (fun sim -> seen := Sim.now sim :: !seen))));
+  Sim.run sim;
+  Alcotest.(check (list (float 1e-9))) "nested delays" [ 1.0; 3.0 ] (List.rev !seen)
+
+let test_past_rejected () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule_at sim ~time:5.0 (fun _ -> ()));
+  Sim.run sim;
+  Alcotest.check_raises "past" (Invalid_argument "Sim.schedule_at: time in the past")
+    (fun () -> ignore (Sim.schedule_at sim ~time:1.0 (fun _ -> ())));
+  Alcotest.check_raises "negative delay" (Invalid_argument "Sim.schedule: negative delay")
+    (fun () -> ignore (Sim.schedule sim ~delay:(-1.) (fun _ -> ())))
+
+let test_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let ev = Sim.schedule_at sim ~time:1.0 (fun _ -> fired := true) in
+  Alcotest.(check bool) "pending" true (Sim.is_pending sim ev);
+  Sim.cancel sim ev;
+  Alcotest.(check bool) "not pending" false (Sim.is_pending sim ev);
+  Alcotest.(check int) "live count" 0 (Sim.pending sim);
+  Sim.run sim;
+  Alcotest.(check bool) "never fired" false !fired;
+  (* double cancel is a no-op *)
+  Sim.cancel sim ev;
+  Alcotest.(check int) "still zero" 0 (Sim.pending sim)
+
+let test_cancel_one_of_many () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let _a = Sim.schedule_at sim ~time:1.0 (fun _ -> log := "a" :: !log) in
+  let b = Sim.schedule_at sim ~time:2.0 (fun _ -> log := "b" :: !log) in
+  let _c = Sim.schedule_at sim ~time:3.0 (fun _ -> log := "c" :: !log) in
+  Sim.cancel sim b;
+  Sim.run sim;
+  Alcotest.(check (list string)) "b skipped" [ "a"; "c" ] (List.rev !log)
+
+let test_run_until () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  List.iter
+    (fun time -> ignore (Sim.schedule_at sim ~time (fun _ -> log := time :: !log)))
+    [ 1.0; 2.0; 3.0; 10.0 ];
+  Sim.run ~until:5.0 sim;
+  Alcotest.(check (list (float 0.))) "events up to horizon" [ 1.0; 2.0; 3.0 ] (List.rev !log);
+  Alcotest.(check (float 0.)) "clock advanced to horizon" 5.0 (Sim.now sim);
+  Alcotest.(check int) "one pending left" 1 (Sim.pending sim);
+  Sim.run sim;
+  Alcotest.(check (float 0.)) "resumes past horizon" 10.0 (Sim.now sim)
+
+let test_schedule_from_action () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec tick sim =
+    incr count;
+    if !count < 10 then ignore (Sim.schedule sim ~delay:1.0 tick)
+  in
+  ignore (Sim.schedule sim ~delay:1.0 tick);
+  Sim.run sim;
+  Alcotest.(check int) "chain of 10" 10 !count;
+  Alcotest.(check (float 0.)) "clock" 10.0 (Sim.now sim);
+  Alcotest.(check int) "executed" 10 (Sim.events_executed sim)
+
+let test_same_time_as_now () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  ignore
+    (Sim.schedule sim ~delay:1.0 (fun sim ->
+         (* scheduling at the current instant is allowed and runs after *)
+         ignore (Sim.schedule sim ~delay:0. (fun _ -> fired := true))));
+  Sim.run sim;
+  Alcotest.(check bool) "zero-delay event ran" true !fired
+
+let test_nan_rejected () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "nan" (Invalid_argument "Sim.schedule_at: NaN time") (fun () ->
+      ignore (Sim.schedule_at sim ~time:Float.nan (fun _ -> ())))
+
+let prop_events_run_in_order =
+  QCheck.Test.make ~name:"arbitrary schedules run in time order" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 40) (float_range 0. 1000.))
+    (fun times ->
+      let sim = Sim.create () in
+      let seen = ref [] in
+      List.iter
+        (fun time -> ignore (Sim.schedule_at sim ~time (fun sim -> seen := Sim.now sim :: !seen)))
+        times;
+      Sim.run sim;
+      let ordered = List.rev !seen in
+      ordered = List.sort Float.compare times)
+
+let suite =
+  [
+    Alcotest.test_case "initial state" `Quick test_initial_state;
+    Alcotest.test_case "time ordering" `Quick test_ordering;
+    Alcotest.test_case "FIFO tie-break" `Quick test_fifo_ties;
+    Alcotest.test_case "relative delays nest" `Quick test_relative_delay;
+    Alcotest.test_case "past times rejected" `Quick test_past_rejected;
+    Alcotest.test_case "cancellation" `Quick test_cancel;
+    Alcotest.test_case "cancel one of many" `Quick test_cancel_one_of_many;
+    Alcotest.test_case "run ~until" `Quick test_run_until;
+    Alcotest.test_case "actions schedule more events" `Quick test_schedule_from_action;
+    Alcotest.test_case "zero-delay from action" `Quick test_same_time_as_now;
+    Alcotest.test_case "NaN rejected" `Quick test_nan_rejected;
+    QCheck_alcotest.to_alcotest prop_events_run_in_order;
+  ]

@@ -1,0 +1,88 @@
+(* Tests for statistics accumulators. *)
+
+module Stats = Rfd_engine.Stats
+
+let test_summary_empty () =
+  let s = Stats.Summary.create () in
+  Alcotest.(check int) "n" 0 (Stats.Summary.n s);
+  Alcotest.(check (float 0.)) "mean" 0. (Stats.Summary.mean s);
+  Alcotest.(check (float 0.)) "variance" 0. (Stats.Summary.variance s);
+  Alcotest.(check (float 0.)) "min" infinity (Stats.Summary.min s);
+  Alcotest.(check (float 0.)) "max" neg_infinity (Stats.Summary.max s)
+
+let test_summary_values () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "n" 8 (Stats.Summary.n s);
+  Alcotest.(check (float 1e-9)) "mean" 5. (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "sample variance" (32. /. 7.) (Stats.Summary.variance s);
+  Alcotest.(check (float 0.)) "min" 2. (Stats.Summary.min s);
+  Alcotest.(check (float 0.)) "max" 9. (Stats.Summary.max s);
+  Alcotest.(check (float 1e-9)) "total" 40. (Stats.Summary.total s)
+
+let test_summary_single () =
+  let s = Stats.Summary.create () in
+  Stats.Summary.add s 3.;
+  Alcotest.(check (float 0.)) "variance of one" 0. (Stats.Summary.variance s);
+  Alcotest.(check (float 0.)) "stddev of one" 0. (Stats.Summary.stddev s)
+
+let test_counters () =
+  let c = Stats.Counters.create () in
+  Alcotest.(check int) "unknown is 0" 0 (Stats.Counters.get c "x");
+  Stats.Counters.incr c "x";
+  Stats.Counters.incr c "x" ~by:4;
+  Stats.Counters.incr c "y";
+  Alcotest.(check int) "x" 5 (Stats.Counters.get c "x");
+  Alcotest.(check (list (pair string int)))
+    "alist sorted"
+    [ ("x", 5); ("y", 1) ]
+    (Stats.Counters.to_alist c);
+  Stats.Counters.reset c;
+  Alcotest.(check int) "after reset" 0 (Stats.Counters.get c "x")
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~bins:5 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 2.5; 9.9; -3.; 42. ];
+  let counts = Stats.Histogram.counts h in
+  Alcotest.(check int) "bin 0 (incl clamp below)" 3 counts.(0);
+  Alcotest.(check int) "bin 1" 1 counts.(1);
+  Alcotest.(check int) "bin 4 (incl clamp above)" 2 counts.(4);
+  Alcotest.(check int) "total" 6 (Stats.Histogram.total h);
+  let lo, hi = Stats.Histogram.bin_bounds h 2 in
+  Alcotest.(check (float 1e-9)) "bound lo" 4. lo;
+  Alcotest.(check (float 1e-9)) "bound hi" 6. hi
+
+let test_histogram_validation () =
+  Alcotest.check_raises "bins" (Invalid_argument "Histogram.create: bins must be positive")
+    (fun () -> ignore (Stats.Histogram.create ~lo:0. ~hi:1. ~bins:0));
+  Alcotest.check_raises "range" (Invalid_argument "Histogram.create: hi <= lo") (fun () ->
+      ignore (Stats.Histogram.create ~lo:1. ~hi:1. ~bins:3))
+
+let prop_mean_within_bounds =
+  QCheck.Test.make ~name:"mean within [min,max]" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let s = Stats.Summary.create () in
+      List.iter (Stats.Summary.add s) xs;
+      let m = Stats.Summary.mean s in
+      m >= Stats.Summary.min s -. 1e-9 && m <= Stats.Summary.max s +. 1e-9)
+
+let prop_variance_non_negative =
+  QCheck.Test.make ~name:"variance >= 0" ~count:200
+    QCheck.(list (float_range (-50.) 50.))
+    (fun xs ->
+      let s = Stats.Summary.create () in
+      List.iter (Stats.Summary.add s) xs;
+      Stats.Summary.variance s >= -1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "summary empty" `Quick test_summary_empty;
+    Alcotest.test_case "summary known values" `Quick test_summary_values;
+    Alcotest.test_case "summary single value" `Quick test_summary_single;
+    Alcotest.test_case "counters" `Quick test_counters;
+    Alcotest.test_case "histogram binning" `Quick test_histogram;
+    Alcotest.test_case "histogram validation" `Quick test_histogram_validation;
+    QCheck_alcotest.to_alcotest prop_mean_within_bounds;
+    QCheck_alcotest.to_alcotest prop_variance_non_negative;
+  ]

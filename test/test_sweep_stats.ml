@@ -1,0 +1,49 @@
+(* Tests for multi-seed sweep aggregation. *)
+
+module Scenario = Rfd_experiment.Scenario
+module Sweep = Rfd_experiment.Sweep
+module Summary = Rfd_engine.Stats.Summary
+open Rfd_bgp
+
+let base_scenario () =
+  let config = { Config.default with Config.mrai = 1.; link_delay = 0.01 } in
+  Scenario.make ~name:"agg" ~config (Scenario.Mesh { rows = 3; cols = 3 })
+
+let test_aggregation_counts () =
+  let aggs = Sweep.run_many ~pulses:[ 1; 2 ] ~seeds:[ 1; 2; 3 ] (base_scenario ()) in
+  Alcotest.(check int) "one aggregate per pulse count" 2 (List.length aggs);
+  List.iter
+    (fun a ->
+      Alcotest.(check int) "three samples" 3 (Summary.n a.Sweep.convergence);
+      Alcotest.(check int) "three message samples" 3 (Summary.n a.Sweep.messages);
+      Alcotest.(check bool) "messages positive" true (Summary.mean a.Sweep.messages > 0.))
+    aggs
+
+let test_mean_series_shapes () =
+  let aggs = Sweep.run_many ~pulses:[ 1; 3 ] ~seeds:[ 1; 2 ] (base_scenario ()) in
+  let conv = Sweep.mean_convergence_series aggs in
+  let msgs = Sweep.mean_message_series aggs in
+  Alcotest.(check (list (float 0.))) "x values" [ 1.; 3. ] (List.map fst conv);
+  Alcotest.(check int) "message series length" 2 (List.length msgs);
+  (* more pulses -> more messages on average (no damping here) *)
+  Alcotest.(check bool) "message growth" true (snd (List.nth msgs 1) > snd (List.hd msgs))
+
+let test_seed_variance_exists () =
+  let aggs = Sweep.run_many ~pulses:[ 2 ] ~seeds:[ 1; 2; 3; 4 ] (base_scenario ()) in
+  match aggs with
+  | [ a ] ->
+      (* jittered MRAIs make runs differ across seeds *)
+      Alcotest.(check bool) "non-zero spread" true (Summary.stddev a.Sweep.messages > 0.)
+  | _ -> Alcotest.fail "single aggregate expected"
+
+let test_empty_seeds_rejected () =
+  Alcotest.check_raises "empty seeds" (Invalid_argument "Sweep.run_many: empty seed list")
+    (fun () -> ignore (Sweep.run_many ~seeds:[] (base_scenario ())))
+
+let suite =
+  [
+    Alcotest.test_case "aggregation counts" `Quick test_aggregation_counts;
+    Alcotest.test_case "mean series shapes" `Quick test_mean_series_shapes;
+    Alcotest.test_case "seed variance" `Quick test_seed_variance_exists;
+    Alcotest.test_case "empty seeds rejected" `Quick test_empty_seeds_rejected;
+  ]

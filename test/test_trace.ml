@@ -1,0 +1,81 @@
+(* Tests for the trace facility. *)
+
+module Trace = Rfd_engine.Trace
+
+let test_record_and_entries () =
+  let t = Trace.create () in
+  Trace.record t ~time:1. ~topic:"bgp" "hello";
+  Trace.record t ~time:2. ~topic:"damp" "world";
+  let entries = Trace.entries t in
+  Alcotest.(check int) "count" 2 (Trace.length t);
+  (match entries with
+  | [ a; b ] ->
+      Alcotest.(check string) "first topic" "bgp" a.Trace.topic;
+      Alcotest.(check string) "second message" "world" b.Trace.message;
+      Alcotest.(check (float 0.)) "first time" 1. a.Trace.time
+  | _ -> Alcotest.fail "expected two entries")
+
+let test_disabled () =
+  let t = Trace.create ~enabled:false () in
+  let called = ref false in
+  Trace.subscribe t (fun _ -> called := true);
+  Trace.record t ~time:1. ~topic:"x" "dropped";
+  Alcotest.(check int) "nothing stored" 0 (Trace.length t);
+  Alcotest.(check bool) "subscriber not called" false !called;
+  Trace.set_enabled t true;
+  Trace.record t ~time:2. ~topic:"x" "kept";
+  Alcotest.(check int) "stored after enable" 1 (Trace.length t);
+  Alcotest.(check bool) "subscriber called" true !called
+
+let test_no_keep () =
+  let t = Trace.create ~keep:false () in
+  let seen = ref 0 in
+  Trace.subscribe t (fun _ -> incr seen);
+  Trace.record t ~time:1. ~topic:"x" "a";
+  Trace.record t ~time:2. ~topic:"x" "b";
+  Alcotest.(check int) "not stored" 0 (List.length (Trace.entries t));
+  Alcotest.(check int) "subscribers still fire" 2 !seen
+
+let test_subscriber_order () =
+  let t = Trace.create () in
+  let log = ref [] in
+  Trace.subscribe t (fun _ -> log := "first" :: !log);
+  Trace.subscribe t (fun _ -> log := "second" :: !log);
+  Trace.record t ~time:0. ~topic:"x" "m";
+  Alcotest.(check (list string)) "subscription order" [ "first"; "second" ] (List.rev !log)
+
+let test_recordf () =
+  let t = Trace.create () in
+  Trace.recordf t ~time:1. ~topic:"fmt" "n=%d s=%s" 42 "ok";
+  match Trace.entries t with
+  | [ e ] -> Alcotest.(check string) "formatted" "n=42 s=ok" e.Trace.message
+  | _ -> Alcotest.fail "expected one entry"
+
+let test_clear () =
+  let t = Trace.create () in
+  Trace.record t ~time:1. ~topic:"x" "a";
+  Trace.clear t;
+  Alcotest.(check int) "cleared" 0 (Trace.length t)
+
+(* Simple substring check to avoid extra dependencies. *)
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i = i + n <= h && (String.sub haystack i n = needle || loop (i + 1)) in
+  n = 0 || loop 0
+
+let test_pp () =
+  let e = { Trace.time = 1.5; topic = "bgp"; message = "update sent" } in
+  let s = Format.asprintf "%a" Trace.pp_entry e in
+  Alcotest.(check bool) "mentions topic" true (contains ~needle:"bgp" s);
+  Alcotest.(check bool) "mentions message" true (contains ~needle:"update sent" s)
+
+let suite =
+  [
+    Alcotest.test_case "record and read back" `Quick test_record_and_entries;
+    Alcotest.test_case "disabled trace drops" `Quick test_disabled;
+    Alcotest.test_case "keep:false streams only" `Quick test_no_keep;
+    Alcotest.test_case "subscribers in order" `Quick test_subscriber_order;
+    Alcotest.test_case "recordf formatting" `Quick test_recordf;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "pp_entry" `Quick test_pp;
+  ]

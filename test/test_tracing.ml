@@ -1,0 +1,99 @@
+(* Tests for protocol tracing composed with existing hooks. *)
+
+module Tracing = Rfd_experiment.Tracing
+module Trace = Rfd_engine.Trace
+open Rfd_bgp
+
+let p0 = Prefix.v 0
+
+let fast = { Config.default with Config.mrai = 0.; link_delay = 0.01; link_jitter = 0. }
+
+let topics trace =
+  Trace.entries trace |> List.map (fun e -> e.Trace.topic) |> List.sort_uniq String.compare
+
+let test_records_protocol_events () =
+  let sim = Rfd_engine.Sim.create () in
+  let net = Network.create ~config:fast sim (Rfd_topology.Builders.line 3) in
+  let trace = Trace.create () in
+  Tracing.attach trace (Network.hooks net);
+  Network.originate net ~node:0 p0;
+  Network.run net;
+  let seen = topics trace in
+  Alcotest.(check bool) "sends traced" true (List.mem "send" seen);
+  Alcotest.(check bool) "deliveries traced" true (List.mem "deliver" seen);
+  Alcotest.(check bool) "best changes traced" true (List.mem "best" seen);
+  Alcotest.(check bool) "non-empty transcript" true (Trace.length trace > 0);
+  let transcript = Format.asprintf "%a" Tracing.pp_transcript trace in
+  Alcotest.(check bool) "renders" true (String.length transcript > 0)
+
+let test_composes_with_collector () =
+  (* collector first, tracing second: both must observe every delivery *)
+  let sim = Rfd_engine.Sim.create () in
+  let net = Network.create ~config:fast sim (Rfd_topology.Builders.line 3) in
+  let collector = Rfd_experiment.Collector.create () in
+  Rfd_experiment.Collector.attach collector (Network.hooks net);
+  let trace = Trace.create () in
+  Tracing.attach trace (Network.hooks net);
+  Network.originate net ~node:0 p0;
+  Network.run net;
+  let traced_deliveries =
+    Trace.entries trace |> List.filter (fun e -> e.Trace.topic = "deliver") |> List.length
+  in
+  Alcotest.(check bool) "collector saw messages" true
+    (Rfd_experiment.Collector.update_count collector > 0);
+  Alcotest.(check int) "trace and collector agree"
+    (Rfd_experiment.Collector.update_count collector)
+    traced_deliveries
+
+let test_damping_topics () =
+  let config = Config.with_damping Rfd_damping.Params.cisco fast in
+  let sim = Rfd_engine.Sim.create () in
+  let net = Network.create ~config sim (Rfd_topology.Builders.line 3) in
+  let trace = Trace.create () in
+  Tracing.attach trace (Network.hooks net);
+  Network.originate net ~node:0 p0;
+  Network.run net;
+  let t0 = Rfd_engine.Sim.now sim +. 1. in
+  for i = 0 to 3 do
+    Network.schedule_withdraw net ~at:(t0 +. (120. *. float_of_int i)) ~node:0 p0;
+    Network.schedule_originate net ~at:(t0 +. (120. *. float_of_int i) +. 60.) ~node:0 p0
+  done;
+  Network.run net;
+  let seen = topics trace in
+  List.iter
+    (fun topic -> Alcotest.(check bool) (topic ^ " traced") true (List.mem topic seen))
+    [ "penalty"; "suppress"; "reuse" ]
+
+let test_disabled_trace_costs_nothing () =
+  let sim = Rfd_engine.Sim.create () in
+  let net = Network.create ~config:fast sim (Rfd_topology.Builders.line 3) in
+  let trace = Trace.create ~enabled:false () in
+  Tracing.attach trace (Network.hooks net);
+  Network.originate net ~node:0 p0;
+  Network.run net;
+  Alcotest.(check int) "nothing recorded" 0 (Trace.length trace)
+
+let test_runner_observe () =
+  (* the Runner's [observe] hook exposes the network for extra observers
+     during the measured flap phase *)
+  let trace = Trace.create () in
+  let observe net = Tracing.attach trace (Network.hooks net) in
+  let scenario =
+    Rfd_experiment.Scenario.make ~config:fast
+      (Rfd_experiment.Scenario.Mesh { rows = 3; cols = 3 })
+  in
+  let r = Rfd_experiment.Runner.run ~observe scenario in
+  let traced_deliveries =
+    Trace.entries trace |> List.filter (fun e -> e.Trace.topic = "deliver") |> List.length
+  in
+  Alcotest.(check int) "trace covers the flap phase exactly"
+    r.Rfd_experiment.Runner.message_count traced_deliveries
+
+let suite =
+  [
+    Alcotest.test_case "records protocol events" `Quick test_records_protocol_events;
+    Alcotest.test_case "composes with collector" `Quick test_composes_with_collector;
+    Alcotest.test_case "damping topics" `Quick test_damping_topics;
+    Alcotest.test_case "disabled trace" `Quick test_disabled_trace_costs_nothing;
+    Alcotest.test_case "runner observe hook" `Quick test_runner_observe;
+  ]
