@@ -11,6 +11,7 @@ module Params = Rfd.Params
 type opts = {
   quick : bool;  (** reduced scale for a fast smoke run *)
   seed : int;
+  jobs : int;  (** worker domains for sweep execution (1 = sequential) *)
   csv_dir : string option;  (** also dump each figure's data as CSV *)
   plot_dir : string option;  (** also emit gnuplot scripts + data *)
 }
@@ -49,7 +50,7 @@ let create opts =
     else Scenario.paper_internet_208
   in
   let pulses = List.init 10 (fun i -> i + 1) in
-  let sweep ~label sc = lazy (Sweep.run ~label ~pulses sc) in
+  let sweep ~label sc = lazy (Sweep.run ~label ~pulses ~jobs:opts.jobs sc) in
   {
     opts;
     mesh;
@@ -75,7 +76,7 @@ let create opts =
               ~probe:(Scenario.At_distance 7) ~pulses:1 mesh));
     fig10_runs =
       lazy
-        (List.map
+        (Rfd.Pool.run ~jobs:opts.jobs
            (fun n ->
              ( n,
                Runner.run

@@ -315,7 +315,7 @@ let fig15 ctx =
   let config = Context.damping_config ctx.Context.opts in
   let topology = ctx.Context.internet_large in
   let run_policy policy label =
-    Sweep.run ~label ~pulses:ctx.Context.pulses
+    Sweep.run ~label ~pulses:ctx.Context.pulses ~jobs:ctx.Context.opts.Context.jobs
       (Scenario.make ~name:label ~policy ~config ~isp:`Random topology)
   in
   let with_policy = run_policy Scenario.No_valley "with policy" in
@@ -418,9 +418,10 @@ let critical ctx =
 (* Ablations for the design choices called out in DESIGN.md. *)
 
 let ablation_sweep ctx ~name ~configs =
+  let jobs = ctx.Context.opts.Context.jobs in
   let sweeps =
     List.map
-      (fun (label, scenario) -> Sweep.run ~label ~pulses:[ 1; 2; 3; 5; 8 ] scenario)
+      (fun (label, scenario) -> Sweep.run ~label ~pulses:[ 1; 2; 3; 5; 8 ] ~jobs scenario)
       configs
   in
   let columns kind =
@@ -570,7 +571,7 @@ let ablation_size ctx =
     [ "mesh"; "n=1 conv(s)"; "n=1 msgs"; "n=1 damped"; "n=5 conv(s)"; "n=5 msgs" ]
   in
   let rows =
-    List.map
+    Rfd.Pool.run ~jobs:ctx.Context.opts.Context.jobs
       (fun side ->
         let config = Context.damping_config ctx.Context.opts in
         let run pulses =

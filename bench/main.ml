@@ -48,10 +48,12 @@ let lookup name =
 open Cmdliner
 
 let names_arg =
+  (* Generated from the experiment tables so the help text cannot drift. *)
   let doc =
-    "Experiments to run: table1, fig3, fig4, fig7, fig8, fig9, fig10, fig13, fig14, \
-     fig15, summary, ablation-{mrai,params,partial,selective,interval}, micro, paper \
-     (all tables and figures), ablations, all. Default: paper."
+    Printf.sprintf
+      "Experiments to run: %s, micro, paper (all tables and figures), ablations, all. \
+       Default: paper."
+      (String.concat ", " (List.map (fun (name, _, _) -> name) all))
   in
   Arg.(value & pos_all string [ "paper" ] & info [] ~docv:"EXPERIMENT" ~doc)
 
@@ -75,12 +77,21 @@ let micro_arg =
   let doc = "Additionally run the Bechamel micro-benchmarks." in
   Arg.(value & flag & info [ "micro" ] ~doc)
 
-let run names quick seed csv_dir plot_dir micro =
-  let opts = { Context.quick; seed; csv_dir; plot_dir } in
+let jobs_arg =
+  let doc =
+    "Worker domains executing simulation runs in parallel (results are \
+     bit-identical for any value). Default: all cores minus one; 1 runs strictly \
+     sequentially in the main domain."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let run names quick seed jobs csv_dir plot_dir micro =
+  let jobs = match jobs with Some j -> max 1 j | None -> Rfd.Pool.default_jobs () in
+  let opts = { Context.quick; seed; jobs; csv_dir; plot_dir } in
   let ctx = Context.create opts in
-  Printf.printf "Route Flap Damping reproduction harness (scale: %s, seed %d)\n"
+  Printf.printf "Route Flap Damping reproduction harness (scale: %s, seed %d, jobs %d)\n"
     (if quick then "quick" else "paper")
-    seed;
+    seed jobs;
   let outcome =
     List.fold_left
       (fun acc name ->
@@ -106,6 +117,8 @@ let cmd =
   let doc = "reproduce the tables and figures of 'Timer Interaction in Route Flap Damping'" in
   let info = Cmd.info "rfd-bench" ~doc in
   Cmd.v info
-    Term.(const run $ names_arg $ quick_arg $ seed_arg $ csv_arg $ plots_arg $ micro_arg)
+    Term.(
+      const run $ names_arg $ quick_arg $ seed_arg $ jobs_arg $ csv_arg $ plots_arg
+      $ micro_arg)
 
 let () = exit (Cmd.eval cmd)

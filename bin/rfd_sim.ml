@@ -210,13 +210,21 @@ let max_pulses_arg =
   let doc = "Sweep pulse counts 1..$(docv)." in
   Arg.(value & opt int 10 & info [ "max-pulses" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains running sweep points in parallel (0 = all cores minus one). \
+     Results are bit-identical for any value."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let sweep_cmd =
-  let action topology damping mode policy interval mrai seed isp max_pulses =
+  let action topology damping mode policy interval mrai seed isp max_pulses jobs =
     let scenario =
       build_scenario topology damping mode policy 1 interval mrai seed isp None
     in
+    let jobs = if jobs <= 0 then Rfd.Pool.default_jobs () else jobs in
     let pulses = List.init max_pulses (fun i -> i + 1) in
-    let sweep = Rfd.Sweep.run ~label:"cli" ~pulses scenario in
+    let sweep = Rfd.Sweep.run ~label:"cli" ~pulses ~jobs scenario in
     let tup =
       match sweep.Rfd.Sweep.points with
       | p :: _ -> p.Rfd.Sweep.result.Rfd.Runner.tup
@@ -239,7 +247,7 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const action $ topology_arg $ damping_arg $ mode_arg $ policy_arg $ interval_arg
-      $ mrai_arg $ seed_arg $ isp_arg $ max_pulses_arg)
+      $ mrai_arg $ seed_arg $ isp_arg $ max_pulses_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* intended                                                            *)

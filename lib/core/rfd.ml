@@ -2,6 +2,8 @@ let version = "1.0.0"
 
 module Sim = Rfd_engine.Sim
 module Rng = Rfd_engine.Rng
+module Pool = Rfd_engine.Pool
+module Clock = Rfd_engine.Clock
 module Timeseries = Rfd_engine.Timeseries
 module Stats = Rfd_engine.Stats
 module Trace = Rfd_engine.Trace

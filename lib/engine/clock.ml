@@ -1,0 +1,5 @@
+(* Monotonic_clock is bechamel's clock_gettime(CLOCK_MONOTONIC) binding,
+   returning nanoseconds as int64. *)
+
+let wall () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+let cpu () = Sys.time ()

@@ -1,0 +1,17 @@
+(** Host-time measurement for benchmarking harness code.
+
+    Simulation results use {e virtual} time from {!Sim}; this module is only
+    for measuring how long the simulator itself takes on the host.
+
+    Wall time and CPU time diverge in both directions: a run sharing a core
+    with other work has wall > cpu, while a multi-domain batch has
+    cpu > wall. Report both when comparing runs. *)
+
+val wall : unit -> float
+(** Seconds on the system monotonic clock ([CLOCK_MONOTONIC]). The absolute
+    value has an arbitrary origin — only differences are meaningful — but
+    unlike a time-of-day clock it never jumps backwards. *)
+
+val cpu : unit -> float
+(** Processor seconds consumed by the whole process ([Sys.time]), summed
+    over all domains. *)

@@ -1,0 +1,118 @@
+type t = {
+  jobs : int;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  wake : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* Workers block on [wake] until there is work or the pool closes; on close
+   they drain whatever is still queued before exiting, so [shutdown] never
+   drops submitted jobs. *)
+let worker t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.wake t.mutex
+    done;
+    match Queue.take_opt t.queue with
+    | Some job ->
+        Mutex.unlock t.mutex;
+        job ();
+        loop ()
+    | None -> Mutex.unlock t.mutex
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs = match jobs with None -> default_jobs () | Some j -> max 1 j in
+  let t =
+    {
+      jobs;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.jobs
+
+let submit t job =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.map: pool is shut down"
+  end;
+  Queue.add job t.queue;
+  Condition.signal t.wake;
+  Mutex.unlock t.mutex
+
+let check_open t =
+  Mutex.lock t.mutex;
+  let closed = t.closed in
+  Mutex.unlock t.mutex;
+  if closed then invalid_arg "Pool.map: pool is shut down"
+
+let map t f xs =
+  check_open t;
+  if t.jobs = 1 then List.map f xs
+  else
+    match xs with
+    | [] -> []
+    | _ ->
+        let inputs = Array.of_list xs in
+        let n = Array.length inputs in
+        let results = Array.make n None in
+        (* Per-batch completion state: several domains may run independent
+           batches on one pool, so nothing batch-local lives in [t]. *)
+        let finished = Mutex.create () in
+        let all_done = Condition.create () in
+        let remaining = ref n in
+        Array.iteri
+          (fun i x ->
+            submit t (fun () ->
+                let r =
+                  match f x with
+                  | v -> Ok v
+                  | exception e -> Error (e, Printexc.get_raw_backtrace ())
+                in
+                Mutex.lock finished;
+                results.(i) <- Some r;
+                decr remaining;
+                if !remaining = 0 then Condition.signal all_done;
+                Mutex.unlock finished))
+          inputs;
+        Mutex.lock finished;
+        while !remaining > 0 do
+          Condition.wait all_done finished
+        done;
+        Mutex.unlock finished;
+        Array.to_list results
+        |> List.map (function
+             | Some (Ok v) -> v
+             | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+             | None -> assert false)
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.closed then Mutex.unlock t.mutex
+  else begin
+    t.closed <- true;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run ?jobs f xs = with_pool ?jobs (fun t -> map t f xs)

@@ -1,0 +1,52 @@
+(** Fixed-size worker pool over OCaml 5 domains.
+
+    Simulation studies are embarrassingly parallel: every run builds its own
+    simulator, RNG and network from a seed, so independent runs share
+    nothing. The pool runs such jobs on [jobs] worker domains fed from a
+    single Mutex/Condition-protected queue (no work stealing — jobs are
+    coarse, seconds each, so a simple queue is contention-free in
+    practice).
+
+    Guarantees:
+    - {!map} preserves input order in its result list.
+    - A job's exception is captured and re-raised at collection time (after
+      every job of the batch has finished), never inside a worker — an
+      exception can therefore not kill the pool, and the pool stays usable
+      for further batches. When several jobs fail, the exception of the
+      earliest failing {e input} is the one re-raised.
+    - A pool with [jobs = 1] spawns no domains and runs everything
+      sequentially in the calling domain, so [~jobs:1] results are
+      trivially bit-identical to pre-pool sequential code.
+
+    Do not call {!map} from inside a job of the same pool: the nested batch
+    would wait for workers that are all busy with the outer batch. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1] (one worker per core, keeping
+    the calling domain free), clamped to at least 1. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1 >= 1 ? jobs : 1] worker domains
+    ([jobs] values below 1 are clamped to 1; default {!default_jobs}).
+    With [jobs = 1] no domain is spawned. *)
+
+val jobs : t -> int
+(** The (clamped) worker count the pool was created with. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] runs [f] on every element of [xs] on the pool's workers
+    and returns the results in input order. Blocks the calling domain until
+    the whole batch is done. Raises [Invalid_argument] if the pool has been
+    shut down. *)
+
+val shutdown : t -> unit
+(** Finish all queued work, then join the worker domains. Idempotent;
+    {!map} after [shutdown] raises [Invalid_argument]. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] is [f pool] with {!shutdown} guaranteed on exit. *)
+
+val run : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: [with_pool ~jobs (fun pool -> map pool f xs)]. *)

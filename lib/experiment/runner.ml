@@ -17,8 +17,10 @@ type result = {
   message_count : int;
   collector : Collector.t;
   spans : Phases.span list;
+  background : (int * Prefix.t) list;
   sim_events : int;
   wall_seconds : float;
+  cpu_seconds : float;
 }
 
 let origin_prefix = Prefix.v 0
@@ -80,7 +82,8 @@ let run ?observe scenario =
   (match Scenario.validate scenario with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Runner.run: " ^ msg));
-  let wall_start = Sys.time () in
+  let wall_start = Rfd_engine.Clock.wall () in
+  let cpu_start = Rfd_engine.Clock.cpu () in
   let rng = Rng.create scenario.Scenario.config.Config.seed in
   let base_graph = build_graph scenario (Rng.split rng) in
   let isp = pick_isp scenario (Rng.split rng) base_graph in
@@ -106,7 +109,6 @@ let run ?observe scenario =
         Network.originate net ~node prefix;
         (node, prefix))
   in
-  ignore background;
   Network.run net;
   let origin_announced_at = Sim.now sim in
   Network.originate net ~node:origin origin_prefix;
@@ -172,17 +174,19 @@ let run ?observe scenario =
     message_count = Collector.update_count collector;
     collector;
     spans;
+    background;
     sim_events = Sim.events_executed sim;
-    wall_seconds = Sys.time () -. wall_start;
+    wall_seconds = Rfd_engine.Clock.wall () -. wall_start;
+    cpu_seconds = Rfd_engine.Clock.cpu () -. cpu_start;
   }
 
 let pp_result ppf r =
   Format.fprintf ppf
     "%a@ origin=%d isp=%d nodes=%d tup=%.1fs@ convergence=%.0fs messages=%d peak-damped=%d \
-     suppressions=%d reuses=%d (noisy %d)@ events=%d wall=%.2fs"
+     suppressions=%d reuses=%d (noisy %d)@ events=%d wall=%.2fs cpu=%.2fs"
     Scenario.pp r.scenario r.origin r.isp r.num_nodes r.tup r.convergence_time r.message_count
     (Collector.peak_damped r.collector)
     (Collector.suppress_events r.collector)
     (Collector.reuse_events r.collector)
     (Collector.noisy_reuse_events r.collector)
-    r.sim_events r.wall_seconds
+    r.sim_events r.wall_seconds r.cpu_seconds

@@ -23,8 +23,18 @@ type result = {
   message_count : int;  (** updates observed during the flap phase *)
   collector : Collector.t;  (** full series and traces *)
   spans : Phases.span list;  (** four-state classification of the episode *)
+  background : (int * Rfd_bgp.Prefix.t) list;
+      (** (node, prefix) placement of every background prefix, in
+          origination order *)
   sim_events : int;
   wall_seconds : float;
+      (** elapsed host time ({!Rfd_engine.Clock.wall}, monotonic) — real
+          duration even when other runs execute concurrently on sibling
+          domains *)
+  cpu_seconds : float;
+      (** process CPU time consumed while this run executed; under a
+          parallel sweep this includes sibling domains' work and is only
+          an upper bound on this run's own cost *)
 }
 
 val run : ?observe:(Rfd_bgp.Network.t -> unit) -> Scenario.t -> result

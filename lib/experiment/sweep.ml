@@ -1,3 +1,6 @@
+module Rng = Rfd_engine.Rng
+module Pool = Rfd_engine.Pool
+
 type point = {
   pulses : int;
   convergence_time : float;
@@ -8,21 +11,72 @@ type point = {
 
 type t = { label : string; base : Scenario.t; points : point list }
 
-let run ?label ?(pulses = List.init 10 (fun i -> i + 1)) base =
-  let label = match label with Some l -> l | None -> base.Scenario.name in
-  let points =
-    List.map
-      (fun n ->
-        let result = Runner.run (Scenario.with_pulses base n) in
-        {
-          pulses = n;
-          convergence_time = result.Runner.convergence_time;
-          message_count = result.Runner.message_count;
-          peak_damped = Collector.peak_damped result.Runner.collector;
-          result;
-        })
-      pulses
+type job = { job_scenario : Scenario.t; job_seed : int; job_pulses : int }
+
+let default_pulses = List.init 10 (fun i -> i + 1)
+
+(* Pre-build the topology a job's run would construct, so the jobs of a
+   sweep that share a (topology, seed) pair reuse one graph instead of
+   rebuilding it per point. The build mirrors Runner.run exactly — the
+   graph comes from the first split of the config seed's stream — and the
+   split in Runner.build_graph still happens for Custom topologies, so the
+   substitution is bit-identical. Invalid scenarios are left untouched so
+   Runner.run reports their validation error unchanged. *)
+let materialize memo (scenario : Scenario.t) =
+  match (Scenario.validate scenario, scenario.Scenario.topology) with
+  | Error _, _ | Ok (), Scenario.Custom _ -> scenario
+  | Ok (), ((Scenario.Mesh _ | Scenario.Internet _) as topology) ->
+      let seed = scenario.Scenario.config.Rfd_bgp.Config.seed in
+      let key = (seed, topology) in
+      let graph =
+        match Hashtbl.find_opt memo key with
+        | Some graph -> graph
+        | None ->
+            let rng = Rng.split (Rng.create seed) in
+            let graph =
+              match topology with
+              | Scenario.Mesh { rows; cols } -> Rfd_topology.Builders.mesh ~rows ~cols
+              | Scenario.Internet { nodes; m } ->
+                  Rfd_topology.Random_graphs.barabasi_albert rng ~n:nodes ~m
+              | Scenario.Custom _ -> assert false
+            in
+            Hashtbl.add memo key graph;
+            graph
+      in
+      { scenario with Scenario.topology = Scenario.Custom graph }
+
+let plan ?(pulses = default_pulses) ?seeds base =
+  let memo = Hashtbl.create 7 in
+  let seeds =
+    match seeds with
+    | Some seeds -> seeds
+    | None -> [ base.Scenario.config.Rfd_bgp.Config.seed ]
   in
+  List.concat_map
+    (fun seed ->
+      let config = { base.Scenario.config with Rfd_bgp.Config.seed } in
+      let scenario = materialize memo { base with Scenario.config } in
+      List.map
+        (fun n ->
+          { job_scenario = Scenario.with_pulses scenario n; job_seed = seed; job_pulses = n })
+        pulses)
+    seeds
+
+let execute ?jobs plan = Pool.run ?jobs (fun job -> Runner.run job.job_scenario) plan
+
+let point_of_result job result =
+  {
+    pulses = job.job_pulses;
+    convergence_time = result.Runner.convergence_time;
+    message_count = result.Runner.message_count;
+    peak_damped = Collector.peak_damped result.Runner.collector;
+    result;
+  }
+
+let run ?label ?(pulses = default_pulses) ?jobs base =
+  let label = match label with Some l -> l | None -> base.Scenario.name in
+  let plan = plan ~pulses base in
+  let points = List.map2 point_of_result plan (execute ?jobs plan) in
   { label; base; points }
 
 let convergence_series t =
@@ -40,22 +94,27 @@ module Summary = Rfd_engine.Stats.Summary
 
 type aggregate = { agg_pulses : int; convergence : Summary.t; messages : Summary.t }
 
-let run_many ?(pulses = List.init 10 (fun i -> i + 1)) ~seeds base =
+let run_many ?(pulses = default_pulses) ?jobs ~seeds base =
   if seeds = [] then invalid_arg "Sweep.run_many: empty seed list";
+  let plan = plan ~pulses ~seeds base in
+  let results = Array.of_list (execute ?jobs plan) in
   let aggregates =
     List.map
       (fun n -> { agg_pulses = n; convergence = Summary.create (); messages = Summary.create () })
       pulses
   in
-  List.iter
-    (fun seed ->
-      let config = { base.Scenario.config with Rfd_bgp.Config.seed } in
-      let sweep = run ~pulses { base with Scenario.config } in
-      List.iter2
-        (fun agg point ->
-          Summary.add agg.convergence point.convergence_time;
-          Summary.add agg.messages (float_of_int point.message_count))
-        aggregates sweep.points)
+  (* The plan is seed-major, [pulses] points per seed, and execute preserves
+     order — so accumulation happens in seed order for any jobs count,
+     keeping the summaries bit-identical to sequential execution. *)
+  let per_seed = List.length pulses in
+  List.iteri
+    (fun s _seed ->
+      List.iteri
+        (fun i agg ->
+          let result = results.(s * per_seed + i) in
+          Summary.add agg.convergence result.Runner.convergence_time;
+          Summary.add agg.messages (float_of_int result.Runner.message_count))
+        aggregates)
     seeds;
   aggregates
 

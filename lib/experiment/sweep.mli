@@ -2,7 +2,15 @@
 
     A sweep runs a base scenario at every pulse count in a range and
     collects the two headline metrics (convergence time, message count) per
-    point. Several sweeps (one per configuration) form a figure. *)
+    point. Several sweeps (one per configuration) form a figure.
+
+    Execution is split into two layers: a sweep is first {e described} as a
+    list of pure {!job} values ({!plan}), then {e executed} on a
+    {!Rfd_engine.Pool} of worker domains ({!execute}). Every job carries a
+    fully resolved scenario — its own seed substituted into the config and
+    its topology pre-built — so jobs share nothing and can run in any order
+    on any domain. Results are deterministic and independent of the [jobs]
+    count: [~jobs:1] and [~jobs:n] produce bit-identical series. *)
 
 type point = {
   pulses : int;
@@ -14,9 +22,35 @@ type point = {
 
 type t = { label : string; base : Scenario.t; points : point list }
 
-val run : ?label:string -> ?pulses:int list -> Scenario.t -> t
-(** Default pulse counts: [1 .. 10] (the paper's x axis). The scenario's
-    own [pulses] field is ignored. *)
+(** {1 The declarative job layer} *)
+
+type job = {
+  job_scenario : Scenario.t;
+      (** resolved scenario: seed substituted, pulse count set, topology
+          materialized as [Scenario.Custom] (shared between the jobs of one
+          (topology, seed) pair instead of rebuilt per point) *)
+  job_seed : int;  (** the RNG seed in [job_scenario]'s config *)
+  job_pulses : int;
+}
+
+val plan : ?pulses:int list -> ?seeds:int list -> Scenario.t -> job list
+(** Describe a sweep as pure jobs, seed-major ([pulses] jobs per seed, in
+    order). Default pulse counts: [1 .. 10] (the paper's x axis); default
+    seeds: the base scenario's own config seed. The base scenario's
+    [pulses] field is ignored. Mesh and Internet topologies are built once
+    per (topology, seed) and shared by reference; the substitution is
+    bit-identical to letting {!Runner.run} build them (the graph comes from
+    the same split of the seed's RNG stream). *)
+
+val execute : ?jobs:int -> job list -> Runner.result list
+(** Run every job, in input order, on a worker pool of [jobs] domains
+    (default {!Rfd_engine.Pool.default_jobs}; [~jobs:1] is strictly
+    sequential in the calling domain). A job's exception is re-raised after
+    the batch completes. *)
+
+val run : ?label:string -> ?pulses:int list -> ?jobs:int -> Scenario.t -> t
+(** [plan] + [execute] + point assembly. Default pulse counts: [1 .. 10].
+    The scenario's own [pulses] field is ignored. *)
 
 val convergence_series : t -> (float * float) list
 (** [(pulses, convergence seconds)] pairs. *)
@@ -35,10 +69,12 @@ type aggregate = {
   messages : Rfd_engine.Stats.Summary.t;
 }
 
-val run_many : ?pulses:int list -> seeds:int list -> Scenario.t -> aggregate list
+val run_many : ?pulses:int list -> ?jobs:int -> seeds:int list -> Scenario.t -> aggregate list
 (** Run the sweep once per seed (the seed is substituted into the
     scenario's config) and aggregate convergence time and message count per
-    pulse count. Raises [Invalid_argument] on an empty seed list. *)
+    pulse count. All seeds' runs execute on one [jobs]-domain pool;
+    aggregates are accumulated in seed order regardless of [jobs]. Raises
+    [Invalid_argument] on an empty seed list. *)
 
 val mean_convergence_series : aggregate list -> (float * float) list
 val mean_message_series : aggregate list -> (float * float) list

@@ -9,6 +9,7 @@ let () =
       ("engine.timeseries", Test_timeseries.suite);
       ("engine.stats", Test_stats.suite);
       ("engine.trace", Test_trace.suite);
+      ("engine.pool", Test_pool.suite);
       ("topology.graph", Test_graph.suite);
       ("topology.builders", Test_builders.suite);
       ("topology.random_graphs", Test_random_graphs.suite);
@@ -29,6 +30,7 @@ let () =
       ("experiment.intended", Test_intended.suite);
       ("experiment.pulse", Test_pulse.suite);
       ("experiment.sweep", Test_sweep_stats.suite);
+      ("experiment.sweep_parallel", Test_sweep_parallel.suite);
       ("experiment.phases", Test_phases.suite);
       ("experiment.report", Test_report.suite);
       ("experiment.plot", Test_plot.suite);

@@ -1,0 +1,100 @@
+(* Tests for the Domain worker pool: ordering, sequential/parallel
+   equivalence, exception propagation, lifecycle. *)
+
+module Pool = Rfd_engine.Pool
+
+let test_default_jobs () =
+  Alcotest.(check bool) "at least one worker" true (Pool.default_jobs () >= 1)
+
+let test_jobs_clamped () =
+  Pool.with_pool ~jobs:0 (fun pool ->
+      Alcotest.(check int) "zero clamps to one" 1 (Pool.jobs pool));
+  Pool.with_pool ~jobs:(-3) (fun pool ->
+      Alcotest.(check int) "negative clamps to one" 1 (Pool.jobs pool));
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check int) "explicit count kept" 4 (Pool.jobs pool))
+
+let test_map_preserves_order () =
+  let xs = List.init 100 Fun.id in
+  let expected = List.map (fun x -> x * x) xs in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (list int)) "squares in order" expected
+        (Pool.map pool (fun x -> x * x) xs))
+
+let test_jobs_counts_agree () =
+  let xs = List.init 37 (fun i -> i - 5) in
+  let f x = (x * 7) mod 13 in
+  let sequential = Pool.run ~jobs:1 f xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d matches sequential" jobs)
+        sequential (Pool.run ~jobs f xs))
+    [ 2; 3; 8 ]
+
+let test_empty_input () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check (list int)) "empty in, empty out" [] (Pool.map pool succ []))
+
+let test_exception_propagates () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.check_raises "job failure surfaces" (Failure "boom") (fun () ->
+          ignore (Pool.map pool (fun x -> if x = 5 then failwith "boom" else x)
+                    (List.init 10 Fun.id))))
+
+let test_first_failure_by_input_order () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.check_raises "earliest failing input wins" (Failure "3") (fun () ->
+          ignore
+            (Pool.map pool
+               (fun x -> if x mod 2 = 1 then failwith (string_of_int x) else x)
+               [ 0; 2; 4; 3; 7; 9 ])))
+
+let test_pool_survives_exception () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      (try ignore (Pool.map pool (fun _ -> failwith "dead job") [ 1; 2; 3 ])
+       with Failure _ -> ());
+      Alcotest.(check (list int)) "pool still maps after a failure" [ 2; 3; 4 ]
+        (Pool.map pool succ [ 1; 2; 3 ]))
+
+let test_sequential_pool_spawns_inline () =
+  (* jobs=1 work runs in the calling domain, so it sees calling-domain
+     mutable state with no synchronization. *)
+  let acc = ref [] in
+  Pool.with_pool ~jobs:1 (fun pool ->
+      ignore (Pool.map pool (fun x -> acc := x :: !acc) [ 1; 2; 3 ]));
+  Alcotest.(check (list int)) "ran in submission order" [ 3; 2; 1 ] !acc
+
+let test_shutdown () =
+  let pool = Pool.create ~jobs:2 () in
+  Alcotest.(check (list int)) "works before shutdown" [ 1; 4; 9 ]
+    (Pool.map pool (fun x -> x * x) [ 1; 2; 3 ]);
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map pool succ [ 1 ]))
+
+let test_reuse_across_batches () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      for i = 1 to 5 do
+        let xs = List.init (10 * i) Fun.id in
+        Alcotest.(check (list int))
+          (Printf.sprintf "batch %d" i)
+          (List.map succ xs) (Pool.map pool succ xs)
+      done)
+
+let suite =
+  [
+    Alcotest.test_case "default jobs" `Quick test_default_jobs;
+    Alcotest.test_case "jobs clamped to >= 1" `Quick test_jobs_clamped;
+    Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+    Alcotest.test_case "jobs=1 vs jobs=N agree" `Quick test_jobs_counts_agree;
+    Alcotest.test_case "empty input" `Quick test_empty_input;
+    Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "first failure by input order" `Quick test_first_failure_by_input_order;
+    Alcotest.test_case "pool survives job exception" `Quick test_pool_survives_exception;
+    Alcotest.test_case "jobs=1 runs inline" `Quick test_sequential_pool_spawns_inline;
+    Alcotest.test_case "shutdown lifecycle" `Quick test_shutdown;
+    Alcotest.test_case "batch reuse" `Quick test_reuse_across_batches;
+  ]

@@ -1,0 +1,133 @@
+(* Tests for the declarative sweep job layer: plan shape, topology
+   memoization, and jobs=1 vs jobs=N determinism. *)
+
+module Scenario = Rfd_experiment.Scenario
+module Runner = Rfd_experiment.Runner
+module Sweep = Rfd_experiment.Sweep
+module Summary = Rfd_engine.Stats.Summary
+open Rfd_bgp
+
+let small_mesh = Scenario.Mesh { rows = 3; cols = 3 }
+
+let fast_config ?(damping = true) ?(seed = 42) () =
+  let base =
+    { Config.default with Config.mrai = 1.; link_delay = 0.01; link_jitter = 0.01; seed }
+  in
+  if damping then Config.with_damping Rfd_damping.Params.cisco base else base
+
+let base_scenario () = Scenario.make ~name:"par" ~config:(fast_config ()) small_mesh
+
+let test_plan_shape () =
+  let jobs = Sweep.plan ~pulses:[ 1; 2 ] ~seeds:[ 7; 8 ] (base_scenario ()) in
+  Alcotest.(check int) "pulses x seeds jobs" 4 (List.length jobs);
+  Alcotest.(check (list int)) "seed-major order" [ 7; 7; 8; 8 ]
+    (List.map (fun j -> j.Sweep.job_seed) jobs);
+  Alcotest.(check (list int)) "pulses cycle per seed" [ 1; 2; 1; 2 ]
+    (List.map (fun j -> j.Sweep.job_pulses) jobs);
+  List.iter
+    (fun j ->
+      Alcotest.(check int) "seed substituted into config" j.Sweep.job_seed
+        j.Sweep.job_scenario.Scenario.config.Config.seed;
+      Alcotest.(check int) "pulse count substituted" j.Sweep.job_pulses
+        j.Sweep.job_scenario.Scenario.pulses)
+    jobs
+
+let test_plan_materializes_topology () =
+  let jobs = Sweep.plan ~pulses:[ 1; 2; 3 ] (base_scenario ()) in
+  let graphs =
+    List.map
+      (fun j ->
+        match j.Sweep.job_scenario.Scenario.topology with
+        | Scenario.Custom g -> g
+        | _ -> Alcotest.fail "expected materialized Custom topology")
+      jobs
+  in
+  match graphs with
+  | g :: rest ->
+      List.iter
+        (fun g' -> Alcotest.(check bool) "one shared graph per seed" true (g == g'))
+        rest
+  | [] -> Alcotest.fail "no jobs planned"
+
+let test_plan_keeps_invalid_scenarios () =
+  (* Validation errors must still surface from Runner.run, unchanged. *)
+  let bad = Scenario.make ~name:"bad" (Scenario.Mesh { rows = 2; cols = 2 }) in
+  let jobs = Sweep.plan ~pulses:[ 1 ] bad in
+  match jobs with
+  | [ j ] ->
+      Alcotest.(check bool) "topology left symbolic" true
+        (j.Sweep.job_scenario.Scenario.topology = Scenario.Mesh { rows = 2; cols = 2 });
+      Alcotest.check_raises "runner still reports validation"
+        (Invalid_argument "Runner.run: mesh needs rows, cols >= 3") (fun () ->
+          ignore (Sweep.execute jobs))
+  | _ -> Alcotest.fail "one job expected"
+
+let test_memo_bit_identical () =
+  (* Materializing a Barabási–Albert topology as Custom must not change the
+     run: the graph comes from the same RNG split Runner would use. *)
+  let scenario =
+    Scenario.make ~name:"ba" ~config:(fast_config ()) (Scenario.Internet { nodes = 20; m = 2 })
+  in
+  let direct = Runner.run (Scenario.with_pulses scenario 2) in
+  let via_plan =
+    match Sweep.execute (Sweep.plan ~pulses:[ 2 ] scenario) with
+    | [ r ] -> r
+    | _ -> Alcotest.fail "one result expected"
+  in
+  Alcotest.(check int) "same messages" direct.Runner.message_count
+    via_plan.Runner.message_count;
+  Alcotest.(check (float 0.)) "same convergence" direct.Runner.convergence_time
+    via_plan.Runner.convergence_time;
+  Alcotest.(check int) "same isp" direct.Runner.isp via_plan.Runner.isp
+
+let check_series msg expected actual =
+  Alcotest.(check (list (pair (float 0.) (float 0.)))) msg expected actual
+
+let test_run_jobs_determinism () =
+  let base = base_scenario () in
+  let s1 = Sweep.run ~pulses:[ 1; 2; 3 ] ~jobs:1 base in
+  let s4 = Sweep.run ~pulses:[ 1; 2; 3 ] ~jobs:4 base in
+  check_series "convergence series identical" (Sweep.convergence_series s1)
+    (Sweep.convergence_series s4);
+  check_series "message series identical" (Sweep.message_series s1)
+    (Sweep.message_series s4)
+
+let test_run_many_jobs_determinism () =
+  let base = base_scenario () in
+  let seeds = [ 1; 2; 3; 4 ] in
+  let a1 = Sweep.run_many ~pulses:[ 1; 2 ] ~jobs:1 ~seeds base in
+  let a4 = Sweep.run_many ~pulses:[ 1; 2 ] ~jobs:4 ~seeds base in
+  check_series "mean convergence identical" (Sweep.mean_convergence_series a1)
+    (Sweep.mean_convergence_series a4);
+  check_series "mean messages identical" (Sweep.mean_message_series a1)
+    (Sweep.mean_message_series a4);
+  List.iter2
+    (fun x y ->
+      Alcotest.(check int) "same sample counts" (Summary.n x.Sweep.convergence)
+        (Summary.n y.Sweep.convergence);
+      Alcotest.(check (float 0.)) "same stddev" (Summary.stddev x.Sweep.messages)
+        (Summary.stddev y.Sweep.messages))
+    a1 a4
+
+let test_execute_order_matches_plan () =
+  let base = Scenario.make ~name:"ord" ~config:(fast_config ~damping:false ()) small_mesh in
+  let plan = Sweep.plan ~pulses:[ 1; 3 ] ~seeds:[ 5; 6 ] base in
+  let results = Sweep.execute ~jobs:4 plan in
+  Alcotest.(check int) "one result per job" (List.length plan) (List.length results);
+  List.iter2
+    (fun job result ->
+      Alcotest.(check int) "result matches its job's scenario seed" job.Sweep.job_seed
+        result.Runner.scenario.Scenario.config.Config.seed)
+    plan results
+
+let suite =
+  [
+    Alcotest.test_case "plan shape" `Quick test_plan_shape;
+    Alcotest.test_case "plan materializes topology" `Quick test_plan_materializes_topology;
+    Alcotest.test_case "invalid scenarios untouched" `Quick test_plan_keeps_invalid_scenarios;
+    Alcotest.test_case "memoized topology bit-identical" `Quick test_memo_bit_identical;
+    Alcotest.test_case "run: jobs=1 vs jobs=4 identical" `Quick test_run_jobs_determinism;
+    Alcotest.test_case "run_many: jobs=1 vs jobs=4 identical" `Quick
+      test_run_many_jobs_determinism;
+    Alcotest.test_case "execute preserves plan order" `Quick test_execute_order_matches_plan;
+  ]
