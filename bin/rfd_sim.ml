@@ -168,6 +168,9 @@ let run_cmd =
     let observe net = Rfd.Tracing.attach trace (Rfd.Network.hooks net) in
     let r = Rfd.Runner.run ~observe scenario in
     Format.printf "%a@.@." Rfd.Runner.pp_result r;
+    Format.printf "oracle: time-to-stable=%.1fs time-to-quiet=%.1fs final=%s@."
+      r.Rfd.Runner.time_to_stable r.Rfd.Runner.time_to_quiet
+      (Rfd.Oracle.level_to_string r.Rfd.Runner.final_status);
     Format.printf "phases:@.";
     List.iter (fun s -> Format.printf "  %a@." Rfd.Phases.pp_span s) r.Rfd.Runner.spans;
     (match Rfd.Collector.probed_pairs r.Rfd.Runner.collector with
@@ -233,6 +236,8 @@ let sweep_cmd =
     let columns =
       [
         ("convergence(s)", Rfd.Sweep.convergence_series sweep);
+        ("stable(s)", Rfd.Sweep.stable_series sweep);
+        ("quiet(s)", Rfd.Sweep.quiet_series sweep);
         ("messages", Rfd.Sweep.message_series sweep);
       ]
       @

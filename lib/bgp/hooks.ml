@@ -1,13 +1,37 @@
+type mrai_action =
+  | Mrai_queued
+  | Mrai_sent
+  | Mrai_superseded
+  | Mrai_cancelled
+  | Flush_armed
+  | Flush_fired
+  | Flush_cancelled
+
+let mrai_action_to_string = function
+  | Mrai_queued -> "queued"
+  | Mrai_sent -> "sent"
+  | Mrai_superseded -> "superseded"
+  | Mrai_cancelled -> "cancelled"
+  | Flush_armed -> "flush-armed"
+  | Flush_fired -> "flush-fired"
+  | Flush_cancelled -> "flush-cancelled"
+
+let pp_mrai_action ppf a = Format.pp_print_string ppf (mrai_action_to_string a)
+
 type t = {
   mutable on_send : time:float -> src:int -> dst:int -> Update.t -> unit;
   mutable on_deliver : time:float -> src:int -> dst:int -> Update.t -> unit;
   mutable on_suppress : time:float -> router:int -> peer:int -> prefix:Prefix.t -> unit;
   mutable on_reuse :
     time:float -> router:int -> peer:int -> prefix:Prefix.t -> noisy:bool -> unit;
+  mutable on_reuse_schedule :
+    time:float -> router:int -> peer:int -> prefix:Prefix.t -> at:float -> unit;
   mutable on_penalty :
     time:float -> router:int -> peer:int -> prefix:Prefix.t -> penalty:float -> unit;
   mutable on_best_change :
     time:float -> router:int -> prefix:Prefix.t -> best:Route.t option -> unit;
+  mutable on_mrai :
+    time:float -> router:int -> peer:int -> prefix:Prefix.t -> mrai_action -> unit;
 }
 
 let create () =
@@ -16,6 +40,8 @@ let create () =
     on_deliver = (fun ~time:_ ~src:_ ~dst:_ _ -> ());
     on_suppress = (fun ~time:_ ~router:_ ~peer:_ ~prefix:_ -> ());
     on_reuse = (fun ~time:_ ~router:_ ~peer:_ ~prefix:_ ~noisy:_ -> ());
+    on_reuse_schedule = (fun ~time:_ ~router:_ ~peer:_ ~prefix:_ ~at:_ -> ());
     on_penalty = (fun ~time:_ ~router:_ ~peer:_ ~prefix:_ ~penalty:_ -> ());
     on_best_change = (fun ~time:_ ~router:_ ~prefix:_ ~best:_ -> ());
+    on_mrai = (fun ~time:_ ~router:_ ~peer:_ ~prefix:_ _ -> ());
   }

@@ -4,6 +4,26 @@
     these hooks, keeping protocol code free of metrics concerns. All hooks
     default to no-ops; assign the fields you need. *)
 
+(** Lifecycle of MRAI machinery: what happened to a (router, peer, prefix)
+    pending slot or its flush timer. Pending-queue occupancy changes by +1
+    on [Mrai_queued] and -1 on [Mrai_sent] / [Mrai_superseded] /
+    [Mrai_cancelled]; armed-flush count changes by +1 on [Flush_armed] and
+    -1 on [Flush_fired] / [Flush_cancelled]. The {!Oracle} counts are the
+    live totals of exactly these balances. *)
+type mrai_action =
+  | Mrai_queued  (** an update was parked behind the MRAI deadline *)
+  | Mrai_sent  (** a parked update was sent by its flush *)
+  | Mrai_superseded
+      (** a parked update was dropped because a newer decision made it
+          moot (same state as RIB-Out, or a direct send replaced it) *)
+  | Mrai_cancelled  (** a parked update was dropped by a session failure *)
+  | Flush_armed  (** a flush timer event was scheduled *)
+  | Flush_fired  (** a flush timer event ran *)
+  | Flush_cancelled  (** a flush timer event was cancelled (session failure) *)
+
+val mrai_action_to_string : mrai_action -> string
+val pp_mrai_action : Format.formatter -> mrai_action -> unit
+
 type t = {
   mutable on_send : time:float -> src:int -> dst:int -> Update.t -> unit;
       (** an update leaves a router *)
@@ -16,11 +36,19 @@ type t = {
     time:float -> router:int -> peer:int -> prefix:Prefix.t -> noisy:bool -> unit;
       (** a reuse timer fired and the entry was released; [noisy] when the
           release changed the best path and propagated updates *)
+  mutable on_reuse_schedule :
+    time:float -> router:int -> peer:int -> prefix:Prefix.t -> at:float -> unit;
+      (** a reuse timer was armed for a newly suppressed entry, due to fire
+          at absolute time [at]; it stays outstanding (re-arming itself as
+          recharging postpones reuse) until {!on_reuse} reports its release *)
   mutable on_penalty :
     time:float -> router:int -> peer:int -> prefix:Prefix.t -> penalty:float -> unit;
       (** the penalty was incremented (fires after the increment) *)
   mutable on_best_change :
     time:float -> router:int -> prefix:Prefix.t -> best:Route.t option -> unit;
+  mutable on_mrai :
+    time:float -> router:int -> peer:int -> prefix:Prefix.t -> mrai_action -> unit;
+      (** MRAI pending-queue / flush-timer lifecycle, see {!mrai_action} *)
 }
 
 val create : unit -> t

@@ -178,15 +178,26 @@ let schedule_restore_link t ~at u v =
 
 let run ?until t = Sim.run ?until t.sim
 
-let converged t prefix =
-  t.in_flight = 0
-  && Array.for_all
-       (fun r ->
-         match (Router.best r prefix, Router.recompute_best r prefix) with
-         | None, None -> true
-         | Some a, Some b -> Route.equal a b
-         | Some _, None | None, Some _ -> false)
-       t.routers
+let in_flight t = t.in_flight
+
+let activity t =
+  Array.fold_left
+    (fun acc r -> Oracle.add acc (Router.activity r))
+    { Oracle.zero with Oracle.in_flight = t.in_flight }
+    t.routers
+
+let rib_fixpoint t prefix =
+  Array.for_all
+    (fun r ->
+      match (Router.best r prefix, Router.recompute_best r prefix) with
+      | None, None -> true
+      | Some a, Some b -> Route.equal a b
+      | Some _, None | None, Some _ -> false)
+    t.routers
+
+let status t prefix = Oracle.classify ~rib_fixpoint:(rib_fixpoint t prefix) (activity t)
+let converged t prefix = Oracle.is_stable (status t prefix)
+let quiescent t prefix = Oracle.is_quiet (status t prefix)
 
 let reachable_count t prefix =
   Array.fold_left

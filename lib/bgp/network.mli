@@ -50,14 +50,39 @@ val schedule_restore_link : t -> at:float -> int -> int -> unit
 val run : ?until:float -> t -> unit
 (** Run the simulator to quiescence (or to [until]). *)
 
-(** {1 Whole-network checks} *)
+(** {1 Whole-network checks}
+
+    Built on the {!Oracle}: routing is only declared settled when the
+    Loc-RIB fixpoint holds {e and} every queue the protocol machinery can
+    reopen routing from is empty. In particular, an update parked in an
+    MRAI pending queue blocks convergence even with zero messages in
+    flight — the failure mode the old fixpoint-only check missed. *)
+
+val in_flight : t -> int
+(** Messages currently on the wire. *)
+
+val activity : t -> Oracle.counts
+(** Exact live totals: in-flight messages plus every router's parked MRAI
+    updates, armed flush timers and outstanding reuse timers. *)
+
+val status : t -> Prefix.t -> Oracle.level
+(** The oracle's verdict for a prefix: [Active], [Stable] (routing
+    fixpoint reached, MRAI machinery drained, reuse timers may remain —
+    the paper's releasing tail) or [Quiet] (nothing left that could ever
+    touch routing). *)
 
 val converged : t -> Prefix.t -> bool
-(** Every router's Loc-RIB entry equals what its decision process would
-    select right now, and no messages or MRAI flushes are in flight. (Reuse
-    timers may still be pending; like the paper, a network is converged when
-    remaining timers are silent — which this check does not prove; it checks
-    the Loc-RIB fixpoint only.) *)
+(** [Oracle.is_stable (status t prefix)]: every router's Loc-RIB entry
+    equals what its decision process would select right now, no messages
+    in flight, no updates parked in MRAI pending queues, no armed flush
+    timers. Outstanding reuse timers are allowed (routing is stable but
+    suppressed paths may still be released later); use {!quiescent} to
+    also require those drained. *)
+
+val quiescent : t -> Prefix.t -> bool
+(** [Oracle.is_quiet (status t prefix)]: {!converged} and no outstanding
+    reuse timers — fully quiet, the simulation can produce no further
+    routing activity for any prefix. *)
 
 val reachable_count : t -> Prefix.t -> int
 (** Routers with a best route to the prefix (including the originator). *)

@@ -1,0 +1,38 @@
+type counts = {
+  in_flight : int;
+  mrai_pending : int;
+  scheduled_flushes : int;
+  reuse_timers : int;
+}
+
+let zero = { in_flight = 0; mrai_pending = 0; scheduled_flushes = 0; reuse_timers = 0 }
+
+let add a b =
+  {
+    in_flight = a.in_flight + b.in_flight;
+    mrai_pending = a.mrai_pending + b.mrai_pending;
+    scheduled_flushes = a.scheduled_flushes + b.scheduled_flushes;
+    reuse_timers = a.reuse_timers + b.reuse_timers;
+  }
+
+let pp_counts ppf c =
+  Format.fprintf ppf "in-flight=%d mrai-pending=%d flushes=%d reuse-timers=%d" c.in_flight
+    c.mrai_pending c.scheduled_flushes c.reuse_timers
+
+type level = Active | Stable | Quiet
+
+let classify ~rib_fixpoint c =
+  if (not rib_fixpoint) || c.in_flight > 0 || c.mrai_pending > 0 || c.scheduled_flushes > 0
+  then Active
+  else if c.reuse_timers > 0 then Stable
+  else Quiet
+
+let is_stable = function Stable | Quiet -> true | Active -> false
+let is_quiet = function Quiet -> true | Stable | Active -> false
+
+let level_to_string = function
+  | Active -> "active"
+  | Stable -> "stable"
+  | Quiet -> "quiet"
+
+let pp_level ppf l = Format.pp_print_string ppf (level_to_string l)

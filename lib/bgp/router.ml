@@ -22,7 +22,8 @@ type peer_state = {
   rib_out : (Prefix.t, Route.t) Hashtbl.t; (* absent = withdrawn / never sent *)
   mrai_deadline : (Prefix.t, float) Hashtbl.t;
   pending : (Prefix.t, pending_out) Hashtbl.t;
-  flush_scheduled : (Prefix.t, unit) Hashtbl.t;
+  flush_scheduled : (Prefix.t, Sim.event_id) Hashtbl.t;
+      (* armed flush timer per prefix, cancellable on session failure *)
   rcn_history : Root_cause.t History.t;
   mutable peer_deadline : float; (* shared MRAI deadline in per-peer mode *)
   mutable up : bool;
@@ -170,9 +171,18 @@ let dispatch t ps msg =
   | Some send -> send msg
   | None -> invalid_arg (Printf.sprintf "Router %d: peer %d has no transport" t.id ps.peer_id)
 
+let mrai_hook t ps prefix action =
+  t.hooks.Hooks.on_mrai ~time:(Sim.now t.sim) ~router:t.id ~peer:ps.peer_id ~prefix action
+
+let drop_pending t ps prefix action =
+  if Hashtbl.mem ps.pending prefix then begin
+    Hashtbl.remove ps.pending prefix;
+    mrai_hook t ps prefix action
+  end
+
 let send_now t ps prefix desired rc =
   let now = Sim.now t.sim in
-  Hashtbl.remove ps.pending prefix;
+  drop_pending t ps prefix Hooks.Mrai_superseded;
   match desired with
   | D_withdraw ->
       Hashtbl.remove ps.rib_out prefix;
@@ -209,7 +219,7 @@ let rec emit t ps prefix desired rc =
   in
   if same then begin
     (* A pending older update is superseded by "nothing to do". *)
-    Hashtbl.remove ps.pending prefix;
+    drop_pending t ps prefix Hooks.Mrai_superseded;
     0
   end
   else begin
@@ -229,10 +239,13 @@ let rec emit t ps prefix desired rc =
       1
     end
     else begin
+      let fresh = not (Hashtbl.mem ps.pending prefix) in
       Hashtbl.replace ps.pending prefix { desired; rc };
+      if fresh then mrai_hook t ps prefix Hooks.Mrai_queued;
       if not (Hashtbl.mem ps.flush_scheduled prefix) then begin
-        Hashtbl.replace ps.flush_scheduled prefix ();
-        ignore (Sim.schedule_at t.sim ~time:deadline (fun _ -> flush t ps prefix))
+        let ev = Sim.schedule_at t.sim ~time:deadline (fun _ -> flush t ps prefix) in
+        Hashtbl.replace ps.flush_scheduled prefix ev;
+        mrai_hook t ps prefix Hooks.Flush_armed
       end;
       1
     end
@@ -240,11 +253,13 @@ let rec emit t ps prefix desired rc =
 
 and flush t ps prefix =
   Hashtbl.remove ps.flush_scheduled prefix;
+  mrai_hook t ps prefix Hooks.Flush_fired;
   if ps.up then
     match Hashtbl.find_opt ps.pending prefix with
     | None -> ()
     | Some { desired; rc } ->
         Hashtbl.remove ps.pending prefix;
+        mrai_hook t ps prefix Hooks.Mrai_sent;
         ignore (emit t ps prefix desired rc)
 
 (* Run the decision process for [prefix]; on a best-path change, reconcile
@@ -305,8 +320,11 @@ let schedule_reuse t ps prefix entry =
     | None -> ()
     | Some damper ->
         entry.reuse_pending <- true;
-        let time = Damper.reuse_time damper ~now:(Sim.now t.sim) +. 1e-6 in
-        ignore (Sim.schedule_at t.sim ~time (fun _ -> reuse_fire t ps prefix entry))
+        let now = Sim.now t.sim in
+        let time = Damper.reuse_time damper ~now +. 1e-6 in
+        ignore (Sim.schedule_at t.sim ~time (fun _ -> reuse_fire t ps prefix entry));
+        t.hooks.Hooks.on_reuse_schedule ~time:now ~router:t.id ~peer:ps.peer_id ~prefix
+          ~at:time
   end
 
 (* Apply a damping event to an entry. [count] is false when the RCN or
@@ -449,9 +467,27 @@ let peer_down t ~peer =
   let ps = peer_state t peer in
   if ps.up then begin
     ps.up <- false;
-    Hashtbl.reset ps.pending;
+    (* Tear down the whole output path for the session: parked updates are
+       dropped, their flush timers cancelled (a stale timer firing at an
+       obsolete deadline would flush post-restore updates early, violating
+       the MRAI), and both MRAI deadline forms reset so the restored
+       session starts with a fresh rate-limit budget. *)
+    let parked = Hashtbl.fold (fun prefix _ acc -> prefix :: acc) ps.pending [] in
+    List.iter
+      (fun prefix -> drop_pending t ps prefix Hooks.Mrai_cancelled)
+      (List.sort Prefix.compare parked);
+    let armed =
+      Hashtbl.fold (fun prefix ev acc -> (prefix, ev) :: acc) ps.flush_scheduled []
+    in
+    List.iter
+      (fun (prefix, ev) ->
+        Sim.cancel t.sim ev;
+        Hashtbl.remove ps.flush_scheduled prefix;
+        mrai_hook t ps prefix Hooks.Flush_cancelled)
+      (List.sort (fun (a, _) (b, _) -> Prefix.compare a b) armed);
     Hashtbl.reset ps.rib_out;
     Hashtbl.reset ps.mrai_deadline;
+    ps.peer_deadline <- 0.;
     let rc = fresh_link_rc t ~peer ~status:Root_cause.Link_down in
     let affected =
       Hashtbl.fold
@@ -542,3 +578,22 @@ let known_prefixes t =
   Hashtbl.fold (fun prefix _ acc -> prefix :: acc) set [] |> List.sort Prefix.compare
 
 let recompute_best t prefix = Option.map snd (compute_best t prefix)
+
+(* ------------------------------------------------------------------ *)
+(* Convergence-oracle introspection                                    *)
+
+let peer_state_activity ps =
+  let reuse_timers =
+    Hashtbl.fold (fun _ entry acc -> if entry.reuse_pending then acc + 1 else acc) ps.rib_in 0
+  in
+  {
+    Oracle.in_flight = 0;
+    mrai_pending = Hashtbl.length ps.pending;
+    scheduled_flushes = Hashtbl.length ps.flush_scheduled;
+    reuse_timers;
+  }
+
+let peer_activity t ~peer = peer_state_activity (peer_state t peer)
+
+let activity t =
+  Hashtbl.fold (fun _ ps acc -> Oracle.add acc (peer_state_activity ps)) t.peers Oracle.zero

@@ -62,8 +62,9 @@ val receive : t -> from_peer:int -> Update.t -> unit
 
 val peer_down : t -> peer:int -> unit
 (** Session to [peer] lost: RIB-In entries from it are withdrawn (with
-    damping penalties), pending output is dropped, and nothing more is sent
-    to it until {!peer_up}. *)
+    damping penalties), pending output is dropped, armed flush timers are
+    cancelled, both MRAI deadline forms (per-prefix and shared per-peer)
+    are reset, and nothing more is sent to it until {!peer_up}. *)
 
 val peer_up : t -> peer:int -> unit
 (** Session restored: RIB-Out for the peer is reset and current best routes
@@ -93,3 +94,17 @@ val known_prefixes : t -> Prefix.t list
 val recompute_best : t -> Prefix.t -> Route.t option
 (** What the decision process would select right now (ignoring the cached
     Loc-RIB) — used by convergence checks. *)
+
+(** {1 Convergence-oracle introspection}
+
+    Exact live counts of this router's outstanding timer work, summed into
+    {!Oracle.counts} (with [in_flight = 0]; messages on the wire belong to
+    the transport and are counted by {!Network}). *)
+
+val activity : t -> Oracle.counts
+(** Parked MRAI updates, armed flush timers and outstanding reuse timers
+    across all peers. *)
+
+val peer_activity : t -> peer:int -> Oracle.counts
+(** Same, restricted to one peering session. Raises [Invalid_argument] on
+    an unknown peer. *)

@@ -23,6 +23,7 @@ module Config = Rfd_bgp.Config
 module Router = Rfd_bgp.Router
 module Network = Rfd_bgp.Network
 module Hooks = Rfd_bgp.Hooks
+module Oracle = Rfd_bgp.Oracle
 module Params = Rfd_damping.Params
 module Damper = Rfd_damping.Damper
 module History = Rfd_damping.History

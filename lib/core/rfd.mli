@@ -49,6 +49,7 @@ module Config = Rfd_bgp.Config
 module Router = Rfd_bgp.Router
 module Network = Rfd_bgp.Network
 module Hooks = Rfd_bgp.Hooks
+module Oracle = Rfd_bgp.Oracle
 
 (** {1 Damping} *)
 

@@ -17,6 +17,18 @@ type t = {
   mutable reuse_log : (float * int * int * bool) list; (* newest first *)
   reuse_series : Timeseries.t;
   probes : (int * int, Timeseries.t) Hashtbl.t;
+  (* Oracle-state accounting: running balances of the timer machinery,
+     maintained from the MRAI and reuse-timer lifecycle hooks. *)
+  mutable mrai_pending_now : int;
+  mutable flush_armed_now : int;
+  mutable reuse_timers_now : int;
+  mutable mrai_queued_events : int;
+  mutable mrai_flushed_events : int;
+  mutable last_mrai : float option;
+  mutable last_timer : float option;
+  mrai_pending_series : Timeseries.t;
+  flush_armed_series : Timeseries.t;
+  reuse_timer_series : Timeseries.t;
 }
 
 let create ?(probe_pairs = []) () =
@@ -42,6 +54,16 @@ let create ?(probe_pairs = []) () =
     reuse_log = [];
     reuse_series = Timeseries.create ~name:"reuses" ();
     probes;
+    mrai_pending_now = 0;
+    flush_armed_now = 0;
+    reuse_timers_now = 0;
+    mrai_queued_events = 0;
+    mrai_flushed_events = 0;
+    last_mrai = None;
+    last_timer = None;
+    mrai_pending_series = Timeseries.create ~name:"mrai-pending" ();
+    flush_armed_series = Timeseries.create ~name:"armed-flushes" ();
+    reuse_timer_series = Timeseries.create ~name:"reuse-timers" ();
   }
 
 let attach t (hooks : Hooks.t) =
@@ -65,7 +87,36 @@ let attach t (hooks : Hooks.t) =
       if t.first_reuse = None then t.first_reuse <- Some time;
       Timeseries.add t.reuse_series ~time 1.;
       t.damped_now <- t.damped_now - 1;
-      Timeseries.add t.damped_series ~time (float_of_int t.damped_now));
+      Timeseries.add t.damped_series ~time (float_of_int t.damped_now);
+      t.reuse_timers_now <- t.reuse_timers_now - 1;
+      t.last_timer <- Some time;
+      Timeseries.add t.reuse_timer_series ~time (float_of_int t.reuse_timers_now));
+  hooks.Hooks.on_reuse_schedule <-
+    (fun ~time ~router:_ ~peer:_ ~prefix:_ ~at:_ ->
+      t.reuse_timers_now <- t.reuse_timers_now + 1;
+      t.last_timer <- Some time;
+      Timeseries.add t.reuse_timer_series ~time (float_of_int t.reuse_timers_now));
+  hooks.Hooks.on_mrai <-
+    (fun ~time ~router:_ ~peer:_ ~prefix:_ action ->
+      t.last_mrai <- Some time;
+      (match action with
+      | Hooks.Mrai_queued ->
+          t.mrai_queued_events <- t.mrai_queued_events + 1;
+          t.mrai_pending_now <- t.mrai_pending_now + 1
+      | Hooks.Mrai_sent ->
+          t.mrai_flushed_events <- t.mrai_flushed_events + 1;
+          t.mrai_pending_now <- t.mrai_pending_now - 1
+      | Hooks.Mrai_superseded | Hooks.Mrai_cancelled ->
+          t.mrai_pending_now <- t.mrai_pending_now - 1
+      | Hooks.Flush_armed -> t.flush_armed_now <- t.flush_armed_now + 1
+      | Hooks.Flush_fired | Hooks.Flush_cancelled ->
+          t.flush_armed_now <- t.flush_armed_now - 1);
+      match action with
+      | Hooks.Mrai_queued | Hooks.Mrai_sent | Hooks.Mrai_superseded | Hooks.Mrai_cancelled
+        ->
+          Timeseries.add t.mrai_pending_series ~time (float_of_int t.mrai_pending_now)
+      | Hooks.Flush_armed | Hooks.Flush_fired | Hooks.Flush_cancelled ->
+          Timeseries.add t.flush_armed_series ~time (float_of_int t.flush_armed_now));
   hooks.Hooks.on_penalty <-
     (fun ~time ~router ~peer ~prefix:_ ~penalty ->
       if penalty > t.peak_penalty then t.peak_penalty <- penalty;
@@ -74,6 +125,16 @@ let attach t (hooks : Hooks.t) =
       | None -> ())
 
 let update_count t = t.updates
+let mrai_pending_now t = t.mrai_pending_now
+let flush_armed_now t = t.flush_armed_now
+let reuse_timers_now t = t.reuse_timers_now
+let mrai_queued_events t = t.mrai_queued_events
+let mrai_flushed_events t = t.mrai_flushed_events
+let last_mrai_time t = t.last_mrai
+let last_timer_time t = t.last_timer
+let mrai_pending_series t = t.mrai_pending_series
+let flush_armed_series t = t.flush_armed_series
+let reuse_timer_series t = t.reuse_timer_series
 let first_update_time t = t.first_update
 let last_update_time t = t.last_update
 let update_series t = t.update_series

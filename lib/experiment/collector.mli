@@ -44,3 +44,46 @@ val penalty_trace : t -> router:int -> peer:int -> Rfd_engine.Timeseries.t optio
 (** Post-increment penalty samples for a probed pair. *)
 
 val probed_pairs : t -> (int * int) list
+
+(** {1 Oracle-state accounting}
+
+    Running balances of the timer machinery, maintained from the MRAI and
+    reuse-timer lifecycle hooks ({!Rfd_bgp.Hooks.t.on_mrai},
+    [on_reuse_schedule], [on_reuse]). They mirror {!Rfd_bgp.Oracle.counts}
+    exactly {e provided} the collector was attached while the network was
+    fully drained (as {!Runner.run} does between phases); attaching
+    mid-activity starts the balances at zero regardless of outstanding
+    work. *)
+
+val mrai_pending_now : t -> int
+(** Updates currently parked in MRAI pending queues. *)
+
+val flush_armed_now : t -> int
+(** Currently armed MRAI flush timer events. *)
+
+val reuse_timers_now : t -> int
+(** Currently outstanding damping reuse timers. *)
+
+val mrai_queued_events : t -> int
+(** Total updates that were ever parked behind an MRAI deadline. *)
+
+val mrai_flushed_events : t -> int
+(** Parked updates that were eventually sent by their flush (the rest were
+    superseded or dropped by session failures). *)
+
+val last_mrai_time : t -> float option
+(** Time of the last MRAI lifecycle event of any kind — after it, the MRAI
+    machinery is inert. *)
+
+val last_timer_time : t -> float option
+(** Time of the last reuse-timer arming or release — after it (and
+    {!last_mrai_time}), the network can produce no further activity. *)
+
+val mrai_pending_series : t -> Rfd_engine.Timeseries.t
+(** Step series of {!mrai_pending_now} over time. *)
+
+val flush_armed_series : t -> Rfd_engine.Timeseries.t
+(** Step series of {!flush_armed_now} over time. *)
+
+val reuse_timer_series : t -> Rfd_engine.Timeseries.t
+(** Step series of {!reuse_timers_now} over time. *)

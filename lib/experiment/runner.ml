@@ -14,6 +14,9 @@ type result = {
   flap_start : float;
   final_announcement : float;
   convergence_time : float;
+  time_to_stable : float;
+  time_to_quiet : float;
+  final_status : Oracle.level;
   message_count : int;
   collector : Collector.t;
   spans : Phases.span list;
@@ -154,6 +157,19 @@ let run ?observe scenario =
     | Some t -> Float.max 0. (t -. final_announcement)
     | None -> 0.
   in
+  (* Oracle summary: the run drains the event queue completely, so the
+     last observed activity of each kind marks the transition into the
+     corresponding oracle level. Stable = routing and MRAI machinery
+     inert; quiet = additionally every reuse timer fired. *)
+  let final_status = Network.status net origin_prefix in
+  let fold_last acc = function Some t -> Float.max acc t | None -> acc in
+  let stable_abs =
+    List.fold_left fold_last final_announcement
+      [ Collector.last_update_time collector; Collector.last_mrai_time collector ]
+  in
+  let quiet_abs = fold_last stable_abs (Collector.last_timer_time collector) in
+  let time_to_stable = stable_abs -. final_announcement in
+  let time_to_quiet = quiet_abs -. final_announcement in
   let update_times =
     Array.map fst (Rfd_engine.Timeseries.points (Collector.update_series collector))
   in
@@ -171,6 +187,9 @@ let run ?observe scenario =
     flap_start;
     final_announcement;
     convergence_time;
+    time_to_stable;
+    time_to_quiet;
+    final_status;
     message_count = Collector.update_count collector;
     collector;
     spans;
@@ -182,9 +201,11 @@ let run ?observe scenario =
 
 let pp_result ppf r =
   Format.fprintf ppf
-    "%a@ origin=%d isp=%d nodes=%d tup=%.1fs@ convergence=%.0fs messages=%d peak-damped=%d \
-     suppressions=%d reuses=%d (noisy %d)@ events=%d wall=%.2fs cpu=%.2fs"
-    Scenario.pp r.scenario r.origin r.isp r.num_nodes r.tup r.convergence_time r.message_count
+    "%a@ origin=%d isp=%d nodes=%d tup=%.1fs@ convergence=%.0fs time-to-stable=%.0fs \
+     time-to-quiet=%.0fs oracle=%a@ messages=%d peak-damped=%d suppressions=%d reuses=%d \
+     (noisy %d)@ events=%d wall=%.2fs cpu=%.2fs"
+    Scenario.pp r.scenario r.origin r.isp r.num_nodes r.tup r.convergence_time
+    r.time_to_stable r.time_to_quiet Oracle.pp_level r.final_status r.message_count
     (Collector.peak_damped r.collector)
     (Collector.suppress_events r.collector)
     (Collector.reuse_events r.collector)

@@ -20,6 +20,19 @@ type result = {
   convergence_time : float;
       (** last flap-phase update minus [final_announcement] (0. if no
           update followed the final announcement) *)
+  time_to_stable : float;
+      (** seconds after [final_announcement] until the network became
+          permanently {e stable} per the {!Rfd_bgp.Oracle}: routing
+          fixpoint reached, no messages in flight, MRAI pending queues and
+          flush timers drained. Reuse timers may still be outstanding. *)
+  time_to_quiet : float;
+      (** seconds after [final_announcement] until the network became
+          fully {e quiet}: stable and every reuse timer fired (the paper's
+          converged-vs-releasing distinction; [time_to_quiet >=
+          time_to_stable] always) *)
+  final_status : Rfd_bgp.Oracle.level;
+      (** the oracle's verdict at the end of the run — [Quiet] for every
+          run driven to full quiescence *)
   message_count : int;  (** updates observed during the flap phase *)
   collector : Collector.t;  (** full series and traces *)
   spans : Phases.span list;  (** four-state classification of the episode *)

@@ -85,6 +85,12 @@ let convergence_series t =
 let message_series t =
   List.map (fun p -> (float_of_int p.pulses, float_of_int p.message_count)) t.points
 
+let stable_series t =
+  List.map (fun p -> (float_of_int p.pulses, p.result.Runner.time_to_stable)) t.points
+
+let quiet_series t =
+  List.map (fun p -> (float_of_int p.pulses, p.result.Runner.time_to_quiet)) t.points
+
 let intended_series params ~interval ~tup ~pulses =
   List.map
     (fun n -> (float_of_int n, Intended.convergence_time params ~pulses:n ~interval ~tup))

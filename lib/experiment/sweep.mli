@@ -57,6 +57,14 @@ val convergence_series : t -> (float * float) list
 
 val message_series : t -> (float * float) list
 
+val stable_series : t -> (float * float) list
+(** [(pulses, {!Runner.result.time_to_stable})] pairs — when routing and
+    the MRAI machinery went permanently inert. *)
+
+val quiet_series : t -> (float * float) list
+(** [(pulses, {!Runner.result.time_to_quiet})] pairs — when additionally
+    every reuse timer had fired. *)
+
 val intended_series :
   Rfd_damping.Params.t -> interval:float -> tup:float -> pulses:int list -> (float * float) list
 (** The paper's "calculation" curve from {!Intended.convergence_time}. *)

@@ -26,6 +26,19 @@ let attach trace (hooks : Hooks.t) =
         peer Rfd_bgp.Prefix.pp prefix
         (if noisy then "noisy" else "silent");
       prev_reuse ~time ~router ~peer ~prefix ~noisy);
+  let prev_reuse_schedule = hooks.Hooks.on_reuse_schedule in
+  hooks.Hooks.on_reuse_schedule <-
+    (fun ~time ~router ~peer ~prefix ~at ->
+      Trace.recordf trace ~time ~topic:"reuse" "router %d arms reuse timer peer %d %a fires %.2f"
+        router peer Rfd_bgp.Prefix.pp prefix at;
+      prev_reuse_schedule ~time ~router ~peer ~prefix ~at);
+  let prev_mrai = hooks.Hooks.on_mrai in
+  hooks.Hooks.on_mrai <-
+    (fun ~time ~router ~peer ~prefix action ->
+      Trace.recordf trace ~time ~topic:"mrai" "router %d peer %d %a: %s" router peer
+        Rfd_bgp.Prefix.pp prefix
+        (Rfd_bgp.Hooks.mrai_action_to_string action);
+      prev_mrai ~time ~router ~peer ~prefix action);
   let prev_penalty = hooks.Hooks.on_penalty in
   hooks.Hooks.on_penalty <-
     (fun ~time ~router ~peer ~prefix ~penalty ->

@@ -26,6 +26,8 @@ let () =
       ("bgp.network", Test_network.suite);
       ("bgp.damping", Test_damping_network.suite);
       ("bgp.edge_cases", Test_router_edge.suite);
+      ("bgp.oracle", Test_oracle.suite);
+      ("bgp.session_flap", Test_session_flap.suite);
       ("bgp.transport", Test_transport.suite);
       ("experiment.intended", Test_intended.suite);
       ("experiment.pulse", Test_pulse.suite);

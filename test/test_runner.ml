@@ -91,6 +91,24 @@ let test_collector_series_consistency () =
   let times = List.map (fun (t, _, _, _) -> t) log in
   Alcotest.(check bool) "log sorted" true (times = List.sort Float.compare times)
 
+let test_stable_and_quiet_metrics () =
+  (* With damping, suppressed entries hold reuse timers long after routing
+     settles: time-to-quiet must strictly exceed time-to-stable. The run
+     drains fully, so the final oracle status is always Quiet. *)
+  let r = Runner.run (Scenario.make ~config:(fast ()) ~pulses:3 small_mesh) in
+  Alcotest.(check bool) "stable >= 0" true (r.Runner.time_to_stable >= 0.);
+  Alcotest.(check bool) "quiet >= stable" true
+    (r.Runner.time_to_quiet >= r.Runner.time_to_stable);
+  Alcotest.(check bool) "drained run ends quiet" true
+    (Oracle.is_quiet r.Runner.final_status);
+  if Collector.suppress_events r.Runner.collector > 0 then
+    Alcotest.(check bool) "reuse timers outlast routing stability" true
+      (r.Runner.time_to_quiet > r.Runner.time_to_stable);
+  (* without damping there are no reuse timers: the metrics coincide *)
+  let plain = Runner.run (Scenario.make ~config:(fast ~damping:false ()) ~pulses:1 small_mesh) in
+  Alcotest.(check (float 1e-9)) "no damping: quiet = stable" plain.Runner.time_to_stable
+    plain.Runner.time_to_quiet
+
 let test_internet_topology_random_isp () =
   let scenario =
     Scenario.make ~name:"internet"
@@ -213,6 +231,7 @@ let suite =
     Alcotest.test_case "determinism" `Quick test_determinism;
     Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_run;
     Alcotest.test_case "collector consistency" `Quick test_collector_series_consistency;
+    Alcotest.test_case "stable vs quiet metrics" `Quick test_stable_and_quiet_metrics;
     Alcotest.test_case "internet topology, random isp" `Quick test_internet_topology_random_isp;
     Alcotest.test_case "no-valley policy" `Quick test_no_valley_policy_runs;
     Alcotest.test_case "probe resolution" `Quick test_probe_at_distance;

@@ -90,7 +90,14 @@ let test_run_jobs_determinism () =
   check_series "convergence series identical" (Sweep.convergence_series s1)
     (Sweep.convergence_series s4);
   check_series "message series identical" (Sweep.message_series s1)
-    (Sweep.message_series s4)
+    (Sweep.message_series s4);
+  check_series "time-to-stable series identical" (Sweep.stable_series s1)
+    (Sweep.stable_series s4);
+  check_series "time-to-quiet series identical" (Sweep.quiet_series s1)
+    (Sweep.quiet_series s4);
+  List.iter
+    (fun (_, q) -> Alcotest.(check bool) "quiet >= 0" true (q >= 0.))
+    (Sweep.quiet_series s4)
 
 let test_run_many_jobs_determinism () =
   let base = base_scenario () in
