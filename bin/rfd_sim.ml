@@ -140,7 +140,77 @@ let probe_arg =
   let doc = "Trace penalties at the first router at this hop distance from the origin." in
   Arg.(value & opt (some int) None & info [ "probe-distance" ] ~doc)
 
-let build_scenario topology damping mode policy pulses interval mrai seed isp probe =
+(* ------------------------------------------------------------------ *)
+(* Run budgets and fault injection (shared by run and sweep)           *)
+
+let max_events_arg =
+  let doc =
+    "Stop a run after $(docv) simulator events (reported as \
+     budget-exceeded); off by default."
+  in
+  Arg.(value & opt (some int) None & info [ "max-events" ] ~docv:"N" ~doc)
+
+let max_sim_time_arg =
+  let doc =
+    "Stop a run once the virtual clock would pass $(docv) seconds \
+     (reported as budget-exceeded); off by default."
+  in
+  Arg.(value & opt (some float) None & info [ "max-sim-time" ] ~docv:"SECONDS" ~doc)
+
+let budget_term =
+  let make max_events max_sim_time =
+    Rfd.Runner.budget ?max_events ?max_sim_time ()
+  in
+  Term.(const make $ max_events_arg $ max_sim_time_arg)
+
+let loss_arg =
+  let doc = "Per-message loss probability on every directed link." in
+  Arg.(value & opt float 0. & info [ "loss" ] ~docv:"P" ~doc)
+
+let dup_arg =
+  let doc = "Per-message duplication probability on every directed link." in
+  Arg.(value & opt float 0. & info [ "dup" ] ~docv:"P" ~doc)
+
+let chaos_flaps_arg =
+  let doc = "Seeded-random background link fail/recover cycles during the flap phase." in
+  Arg.(value & opt int 0 & info [ "chaos-flaps" ] ~docv:"N" ~doc)
+
+let chaos_window_arg =
+  let doc = "Window (seconds after the flap start) in which random failures begin." in
+  Arg.(value & opt float 120. & info [ "chaos-window" ] ~docv:"SECONDS" ~doc)
+
+let chaos_downtime_arg =
+  let doc = "Mean outage duration of a random link failure (exponential)." in
+  Arg.(value & opt float 30. & info [ "chaos-downtime" ] ~docv:"SECONDS" ~doc)
+
+let chaos_seed_arg =
+  let doc = "Seed for the fault plan's random parts (independent of --seed)." in
+  Arg.(value & opt int 1 & info [ "chaos-seed" ] ~docv:"SEED" ~doc)
+
+let faults_term =
+  let make loss dup flaps window downtime seed =
+    if loss = 0. && dup = 0. && flaps = 0 then None
+    else
+      Some
+        (Rfd.Fault_plan.make ~name:"cli-chaos" ~seed
+           ~degradation:{ Rfd.Fault_plan.loss; duplication = dup }
+           ?random_flaps:
+             (if flaps > 0 then
+                Some
+                  {
+                    Rfd.Fault_plan.cycles = flaps;
+                    window;
+                    down_mean = downtime;
+                    candidates = [];
+                  }
+              else None)
+           ())
+  in
+  Term.(
+    const make $ loss_arg $ dup_arg $ chaos_flaps_arg $ chaos_window_arg
+    $ chaos_downtime_arg $ chaos_seed_arg)
+
+let build_scenario ?faults topology damping mode policy pulses interval mrai seed isp probe =
   let base = { Config.default with Config.mrai; seed } in
   let config =
     match damping with None -> base | Some params -> Config.with_damping ~mode params base
@@ -150,7 +220,7 @@ let build_scenario topology damping mode policy pulses interval mrai seed isp pr
   in
   Scenario.make ~name:"cli" ~policy ~config
     ~isp:(if isp < 0 then `Random else `Node isp)
-    ~pulses ~flap_interval:interval ~probe topology
+    ~pulses ~flap_interval:interval ~probe ?faults topology
 
 (* ------------------------------------------------------------------ *)
 (* run                                                                 *)
@@ -160,17 +230,26 @@ let transcript_arg =
   Arg.(value & opt (some int) None & info [ "transcript" ] ~docv:"N" ~doc)
 
 let run_cmd =
-  let action topology damping mode policy pulses interval mrai seed isp probe transcript =
+  let action topology damping mode policy pulses interval mrai seed isp probe transcript
+      budget faults =
     let scenario =
-      build_scenario topology damping mode policy pulses interval mrai seed isp probe
+      build_scenario ?faults topology damping mode policy pulses interval mrai seed isp
+        probe
     in
     let trace = Rfd.Trace.create ~enabled:(transcript <> None) () in
     let observe net = Rfd.Tracing.attach trace (Rfd.Network.hooks net) in
-    let r = Rfd.Runner.run ~observe scenario in
+    let r = Rfd.Runner.run ~budget ~observe scenario in
     Format.printf "%a@.@." Rfd.Runner.pp_result r;
+    (match
+       ( Rfd.Collector.dropped_updates r.Rfd.Runner.collector,
+         Rfd.Collector.duplicated_updates r.Rfd.Runner.collector )
+     with
+    | 0, 0 -> ()
+    | dropped, duplicated ->
+        Format.printf "faults: dropped=%d duplicated=%d@." dropped duplicated);
     Format.printf "oracle: time-to-stable=%.1fs time-to-quiet=%.1fs final=%s@."
       r.Rfd.Runner.time_to_stable r.Rfd.Runner.time_to_quiet
-      (Rfd.Oracle.level_to_string r.Rfd.Runner.final_status);
+      (Rfd.Runner.status_to_string r.Rfd.Runner.final_status);
     Format.printf "phases:@.";
     List.iter (fun s -> Format.printf "  %a@." Rfd.Phases.pp_span s) r.Rfd.Runner.spans;
     (match Rfd.Collector.probed_pairs r.Rfd.Runner.collector with
@@ -204,7 +283,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const action $ topology_arg $ damping_arg $ mode_arg $ policy_arg $ pulses_arg
-      $ interval_arg $ mrai_arg $ seed_arg $ isp_arg $ probe_arg $ transcript_arg)
+      $ interval_arg $ mrai_arg $ seed_arg $ isp_arg $ probe_arg $ transcript_arg
+      $ budget_term $ faults_term)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
@@ -221,13 +301,14 @@ let jobs_arg =
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let sweep_cmd =
-  let action topology damping mode policy interval mrai seed isp max_pulses jobs =
+  let action topology damping mode policy interval mrai seed isp max_pulses jobs budget
+      faults =
     let scenario =
-      build_scenario topology damping mode policy 1 interval mrai seed isp None
+      build_scenario ?faults topology damping mode policy 1 interval mrai seed isp None
     in
     let jobs = if jobs <= 0 then Rfd.Pool.default_jobs () else jobs in
     let pulses = List.init max_pulses (fun i -> i + 1) in
-    let sweep = Rfd.Sweep.run ~label:"cli" ~pulses ~jobs scenario in
+    let sweep = Rfd.Sweep.run ~label:"cli" ~pulses ~jobs ~budget scenario in
     let tup =
       match sweep.Rfd.Sweep.points with
       | p :: _ -> p.Rfd.Sweep.result.Rfd.Runner.tup
@@ -246,13 +327,20 @@ let sweep_cmd =
           [ ("intended(s)", Rfd.Sweep.intended_series params ~interval ~tup ~pulses) ]
       | None -> []
     in
-    print_string (Rfd.Report.series ~x_label:"pulses" ~columns ())
+    print_string (Rfd.Report.series ~x_label:"pulses" ~columns ());
+    match sweep.Rfd.Sweep.failures with
+    | [] -> ()
+    | failures ->
+        Format.printf "@.failures: %d of %d point(s) produced no clean data@."
+          (List.length failures) (List.length pulses);
+        List.iter (fun f -> Format.printf "  %a@." Rfd.Sweep.pp_failure f) failures
   in
   let doc = "sweep pulse counts and print convergence/message series" in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const action $ topology_arg $ damping_arg $ mode_arg $ policy_arg $ interval_arg
-      $ mrai_arg $ seed_arg $ isp_arg $ max_pulses_arg $ jobs_arg)
+      $ mrai_arg $ seed_arg $ isp_arg $ max_pulses_arg $ jobs_arg $ budget_term
+      $ faults_term)
 
 (* ------------------------------------------------------------------ *)
 (* intended                                                            *)

@@ -21,6 +21,8 @@ let pp_mrai_action ppf a = Format.pp_print_string ppf (mrai_action_to_string a)
 type t = {
   mutable on_send : time:float -> src:int -> dst:int -> Update.t -> unit;
   mutable on_deliver : time:float -> src:int -> dst:int -> Update.t -> unit;
+  mutable on_drop : time:float -> src:int -> dst:int -> Update.t -> unit;
+  mutable on_duplicate : time:float -> src:int -> dst:int -> Update.t -> unit;
   mutable on_suppress : time:float -> router:int -> peer:int -> prefix:Prefix.t -> unit;
   mutable on_reuse :
     time:float -> router:int -> peer:int -> prefix:Prefix.t -> noisy:bool -> unit;
@@ -38,6 +40,8 @@ let create () =
   {
     on_send = (fun ~time:_ ~src:_ ~dst:_ _ -> ());
     on_deliver = (fun ~time:_ ~src:_ ~dst:_ _ -> ());
+    on_drop = (fun ~time:_ ~src:_ ~dst:_ _ -> ());
+    on_duplicate = (fun ~time:_ ~src:_ ~dst:_ _ -> ());
     on_suppress = (fun ~time:_ ~router:_ ~peer:_ ~prefix:_ -> ());
     on_reuse = (fun ~time:_ ~router:_ ~peer:_ ~prefix:_ ~noisy:_ -> ());
     on_reuse_schedule = (fun ~time:_ ~router:_ ~peer:_ ~prefix:_ ~at:_ -> ());

@@ -30,6 +30,12 @@ type t = {
   mutable on_deliver : time:float -> src:int -> dst:int -> Update.t -> unit;
       (** an update reaches its neighbour (the paper's "updates observed in
           the network" counts these) *)
+  mutable on_drop : time:float -> src:int -> dst:int -> Update.t -> unit;
+      (** an update was lost to injected transport loss (fault model); sends
+          swallowed by a down link are {e not} reported here *)
+  mutable on_duplicate : time:float -> src:int -> dst:int -> Update.t -> unit;
+      (** injected duplication made the transport emit a second copy of this
+          update (each copy is still subject to loss and delivery hooks) *)
   mutable on_suppress : time:float -> router:int -> peer:int -> prefix:Prefix.t -> unit;
       (** a RIB-In entry crossed the cut-off threshold *)
   mutable on_reuse :

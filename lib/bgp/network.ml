@@ -4,10 +4,12 @@ module Graph = Rfd_topology.Graph
 
 type directed_link = {
   mutable last_delivery : float; (* FIFO floor for this direction *)
+  mutable loss : float; (* fault-injected per-message loss probability *)
+  mutable duplication : float; (* fault-injected duplication probability *)
 }
 
 type link_state = {
-  mutable up : bool;
+  mutable up : bool; (* administrative: not failed by fail_link *)
   mutable epoch : int; (* bumped on failure to void in-flight messages *)
 }
 
@@ -17,10 +19,12 @@ type t = {
   config : Config.t;
   hooks : Hooks.t;
   routers : Router.t array;
+  routers_up : bool array; (* false while crashed *)
   damping_deployed : bool array;
   links : (int * int, link_state) Hashtbl.t; (* canonical (min, max) key *)
   directed : (int * int, directed_link) Hashtbl.t;
   delay_rng : Rng.t;
+  fault_rng : Rng.t; (* loss/duplication sampling, untouched when faults are off *)
   mutable in_flight : int;
 }
 
@@ -30,6 +34,20 @@ let link_state_exn t u v =
   match Hashtbl.find_opt t.links (canonical u v) with
   | Some ls -> ls
   | None -> invalid_arg (Printf.sprintf "Network: (%d,%d) is not a link" u v)
+
+(* A link carries traffic only when it is administratively up and neither
+   endpoint router is crashed. All up/down session transitions below are in
+   terms of this predicate, so link faults and router crashes compose. *)
+let operational t ls u v = ls.up && t.routers_up.(u) && t.routers_up.(v)
+
+let down_transition t ls u v =
+  ls.epoch <- ls.epoch + 1;
+  Router.peer_down t.routers.(u) ~peer:v;
+  Router.peer_down t.routers.(v) ~peer:u
+
+let up_transition t u v =
+  Router.peer_up t.routers.(u) ~peer:v;
+  Router.peer_up t.routers.(v) ~peer:u
 
 let deployment_flags config rng n =
   let flags = Array.make n false in
@@ -53,13 +71,22 @@ let deployment_flags config rng n =
   flags
 
 (* The transport for direction src -> dst: sample a delay, keep per-direction
-   FIFO order, and drop the message if the link failed either before sending
-   or while in flight (epoch check). *)
+   FIFO order, and drop the message if the link failed (or an endpoint
+   crashed) either before sending or while in flight (epoch check).
+
+   Fault injection happens here: a message may be duplicated (a second copy
+   follows the first) and each copy is independently subject to loss. Every
+   surviving copy goes through the same FIFO floor, so deliveries on a
+   directed link never reorder even under duplication. The fault RNG is only
+   consumed when the corresponding probability is non-zero, so fault-free
+   runs are bit-identical to runs on a build without fault injection. *)
 let make_sender t src dst =
   let ls = Hashtbl.find t.links (canonical src dst) in
   let dl = Hashtbl.find t.directed (src, dst) in
-  fun update ->
-    if ls.up then begin
+  let send_copy update =
+    if dl.loss > 0. && Rng.float t.fault_rng 1.0 < dl.loss then
+      t.hooks.Hooks.on_drop ~time:(Sim.now t.sim) ~src ~dst update
+    else begin
       let now = Sim.now t.sim in
       let delay =
         t.config.Config.link_delay
@@ -74,10 +101,19 @@ let make_sender t src dst =
       ignore
         (Sim.schedule_at t.sim ~time:at (fun _ ->
              t.in_flight <- t.in_flight - 1;
-             if ls.up && ls.epoch = epoch then begin
+             if operational t ls src dst && ls.epoch = epoch then begin
                t.hooks.Hooks.on_deliver ~time:(Sim.now t.sim) ~src ~dst update;
                Router.receive t.routers.(dst) ~from_peer:src update
              end))
+    end
+  in
+  fun update ->
+    if operational t ls src dst then begin
+      send_copy update;
+      if dl.duplication > 0. && Rng.float t.fault_rng 1.0 < dl.duplication then begin
+        t.hooks.Hooks.on_duplicate ~time:(Sim.now t.sim) ~src ~dst update;
+        send_copy update
+      end
     end
 
 let create ?policy ~config sim graph =
@@ -103,6 +139,10 @@ let create ?policy ~config sim graph =
         Router.create ~sim ~id:node ~policy ~config ~damping:(params_at node)
           ~rng:(Rng.split master) ~hooks)
   in
+  (* The fault RNG is derived from the seed without consuming a split of the
+     master stream, so runs without fault injection are bit-identical to
+     historical (pre-fault) results. *)
+  let fault_rng = Rng.create (config.Config.seed lxor 0x7fa9_1e55) in
   let t =
     {
       sim;
@@ -110,18 +150,20 @@ let create ?policy ~config sim graph =
       config;
       hooks;
       routers;
+      routers_up = Array.make n true;
       damping_deployed;
       links = Hashtbl.create (max 16 (Graph.num_edges graph));
       directed = Hashtbl.create (max 16 (2 * Graph.num_edges graph));
       delay_rng;
+      fault_rng;
       in_flight = 0;
     }
   in
   Array.iter
     (fun (u, v) ->
       Hashtbl.replace t.links (u, v) { up = true; epoch = 0 };
-      Hashtbl.replace t.directed (u, v) { last_delivery = 0. };
-      Hashtbl.replace t.directed (v, u) { last_delivery = 0. })
+      Hashtbl.replace t.directed (u, v) { last_delivery = 0.; loss = 0.; duplication = 0. };
+      Hashtbl.replace t.directed (v, u) { last_delivery = 0.; loss = 0.; duplication = 0. })
     (Graph.edges graph);
   Array.iter
     (fun (u, v) ->
@@ -154,27 +196,93 @@ let schedule_withdraw t ~at ~node prefix =
 let fail_link t u v =
   let ls = link_state_exn t u v in
   if ls.up then begin
+    let was = operational t ls u v in
     ls.up <- false;
-    ls.epoch <- ls.epoch + 1;
-    Router.peer_down t.routers.(u) ~peer:v;
-    Router.peer_down t.routers.(v) ~peer:u
+    if was then down_transition t ls u v
   end
 
 let restore_link t u v =
   let ls = link_state_exn t u v in
   if not ls.up then begin
     ls.up <- true;
-    Router.peer_up t.routers.(u) ~peer:v;
-    Router.peer_up t.routers.(v) ~peer:u
+    (* Only a session whose endpoints are both alive comes back; a restore
+       under a crashed endpoint takes effect when that router restarts. *)
+    if operational t ls u v then up_transition t u v
   end
 
 let link_up t u v = (link_state_exn t u v).up
+let link_operational t u v = operational t (link_state_exn t u v) u v
 
 let schedule_fail_link t ~at u v =
   ignore (Sim.schedule_at t.sim ~time:at (fun _ -> fail_link t u v))
 
 let schedule_restore_link t ~at u v =
   ignore (Sim.schedule_at t.sim ~time:at (fun _ -> restore_link t u v))
+
+(* ------------------------------------------------------------------ *)
+(* Router crash / restart                                              *)
+
+let check_node t node =
+  if node < 0 || node >= Array.length t.routers then
+    invalid_arg (Printf.sprintf "Network: node %d out of range" node)
+
+let router_is_up t node =
+  check_node t node;
+  t.routers_up.(node)
+
+let crash_router t node =
+  check_node t node;
+  if t.routers_up.(node) then begin
+    (* Tear down every operational incident session (both endpoints observe
+       peer_down, exactly as for a link failure), then mark the router dead
+       so nothing is delivered to or sent from it until restart. *)
+    Array.iter
+      (fun peer ->
+        let ls = link_state_exn t node peer in
+        if operational t ls node peer then down_transition t ls node peer)
+      (Graph.neighbors t.graph node);
+    t.routers_up.(node) <- false
+  end
+
+let restart_router t node =
+  check_node t node;
+  if not t.routers_up.(node) then begin
+    t.routers_up.(node) <- true;
+    (* Sessions whose link is administratively up and whose other endpoint
+       is alive come back with full-table re-advertisement. *)
+    Array.iter
+      (fun peer ->
+        let ls = link_state_exn t node peer in
+        if operational t ls node peer then up_transition t node peer)
+      (Graph.neighbors t.graph node)
+  end
+
+let schedule_crash t ~at node =
+  ignore (Sim.schedule_at t.sim ~time:at (fun _ -> crash_router t node))
+
+let schedule_restart t ~at node =
+  ignore (Sim.schedule_at t.sim ~time:at (fun _ -> restart_router t node))
+
+(* ------------------------------------------------------------------ *)
+(* Transport degradation (fault injection)                             *)
+
+let check_probability name p =
+  if Float.is_nan p || p < 0. || p > 1. then
+    invalid_arg
+      (Printf.sprintf "Network.set_degradation: %s probability %g outside [0, 1]" name p)
+
+let set_degradation t ~src ~dst ~loss ~duplication =
+  check_probability "loss" loss;
+  check_probability "duplication" duplication;
+  ignore (link_state_exn t src dst);
+  let dl = Hashtbl.find t.directed (src, dst) in
+  dl.loss <- loss;
+  dl.duplication <- duplication
+
+let degradation t ~src ~dst =
+  ignore (link_state_exn t src dst);
+  let dl = Hashtbl.find t.directed (src, dst) in
+  (dl.loss, dl.duplication)
 
 let run ?until t = Sim.run ?until t.sim
 

@@ -43,9 +43,48 @@ val fail_link : t -> int -> int -> unit
 
 val restore_link : t -> int -> int -> unit
 val link_up : t -> int -> int -> bool
+(** Administrative link state (not failed by {!fail_link}); the link may
+    still be non-operational because an endpoint router is crashed. *)
+
+val link_operational : t -> int -> int -> bool
+(** [link_up] {e and} both endpoint routers alive — the predicate that
+    gates message transport and session state. *)
 
 val schedule_fail_link : t -> at:float -> int -> int -> unit
 val schedule_restore_link : t -> at:float -> int -> int -> unit
+
+(** {1 Router crash / restart}
+
+    A crash tears down every operational session of the router (both
+    endpoints observe BGP session failure, with implicit withdrawals and
+    damping charges at the surviving peers) and blackholes the node until
+    restart. A restart brings back exactly the sessions whose link is
+    administratively up and whose other endpoint is alive, with full-table
+    re-advertisement — the same semantics as {!restore_link}, applied to
+    every incident session at once. *)
+
+val crash_router : t -> int -> unit
+(** Idempotent. Raises [Invalid_argument] on an out-of-range node. *)
+
+val restart_router : t -> int -> unit
+val router_is_up : t -> int -> bool
+val schedule_crash : t -> at:float -> int -> unit
+val schedule_restart : t -> at:float -> int -> unit
+
+(** {1 Transport degradation (fault injection)} *)
+
+val set_degradation : t -> src:int -> dst:int -> loss:float -> duplication:float -> unit
+(** Configure the directed link [src -> dst]: every message sent on it is
+    duplicated with probability [duplication], and every copy is then lost
+    with probability [loss]. Surviving copies still obey the per-direction
+    FIFO no-reorder guarantee. Sampling uses a dedicated seed-derived RNG,
+    so a given [(config.seed, degradation)] is fully deterministic and
+    zero probabilities leave the run bit-identical to a fault-free one.
+    Raises [Invalid_argument] on probabilities outside [0, 1] or when the
+    nodes are not adjacent. *)
+
+val degradation : t -> src:int -> dst:int -> float * float
+(** Current [(loss, duplication)] of the directed link. *)
 
 val run : ?until:float -> t -> unit
 (** Run the simulator to quiescence (or to [until]). *)

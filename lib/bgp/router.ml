@@ -531,6 +531,7 @@ let peer_up t ~peer =
 (* Inspection                                                          *)
 
 let best t prefix = Option.map snd (Hashtbl.find_opt t.loc_rib prefix)
+let session_up t ~peer = (peer_state t peer).up
 
 let best_peer t prefix =
   match Hashtbl.find_opt t.loc_rib prefix with

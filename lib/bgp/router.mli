@@ -72,6 +72,11 @@ val peer_up : t -> peer:int -> unit
 
 (** {1 Inspection} *)
 
+val session_up : t -> peer:int -> bool
+(** Whether the session to [peer] is currently up (not torn down by a link
+    failure or a crash of either endpoint). Raises [Invalid_argument] on an
+    unknown peer. *)
+
 val best : t -> Prefix.t -> Route.t option
 (** Best route (as stored, without this router's own AS prepended);
     self-originated prefixes report an empty-path route. *)

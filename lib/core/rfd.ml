@@ -24,6 +24,8 @@ module Router = Rfd_bgp.Router
 module Network = Rfd_bgp.Network
 module Hooks = Rfd_bgp.Hooks
 module Oracle = Rfd_bgp.Oracle
+module Fault_plan = Rfd_faults.Fault_plan
+module Injector = Rfd_faults.Injector
 module Params = Rfd_damping.Params
 module Damper = Rfd_damping.Damper
 module History = Rfd_damping.History

@@ -51,6 +51,11 @@ module Network = Rfd_bgp.Network
 module Hooks = Rfd_bgp.Hooks
 module Oracle = Rfd_bgp.Oracle
 
+(** {1 Fault injection} *)
+
+module Fault_plan = Rfd_faults.Fault_plan
+module Injector = Rfd_faults.Injector
+
 (** {1 Damping} *)
 
 module Params = Rfd_damping.Params

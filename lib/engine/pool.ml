@@ -60,9 +60,18 @@ let check_open t =
   Mutex.unlock t.mutex;
   if closed then invalid_arg "Pool.map: pool is shut down"
 
-let map t f xs =
+(* Shared batch core: run every job to completion (even when some raise)
+   and return captured outcomes in input order. Both [map] and
+   [map_result] sit on top, so the jobs = 1 path has exactly the same
+   whole-batch-runs semantics as the parallel one. *)
+let run_batch t f xs =
   check_open t;
-  if t.jobs = 1 then List.map f xs
+  let capture x =
+    match f x with
+    | v -> Ok v
+    | exception e -> Error (e, Printexc.get_raw_backtrace ())
+  in
+  if t.jobs = 1 then List.map capture xs
   else
     match xs with
     | [] -> []
@@ -78,11 +87,7 @@ let map t f xs =
         Array.iteri
           (fun i x ->
             submit t (fun () ->
-                let r =
-                  match f x with
-                  | v -> Ok v
-                  | exception e -> Error (e, Printexc.get_raw_backtrace ())
-                in
+                let r = capture x in
                 Mutex.lock finished;
                 results.(i) <- Some r;
                 decr remaining;
@@ -95,10 +100,17 @@ let map t f xs =
         done;
         Mutex.unlock finished;
         Array.to_list results
-        |> List.map (function
-             | Some (Ok v) -> v
-             | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-             | None -> assert false)
+        |> List.map (function Some r -> r | None -> assert false)
+
+let map t f xs =
+  run_batch t f xs
+  |> List.map (function
+       | Ok v -> v
+       | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+
+let map_result t f xs =
+  run_batch t f xs
+  |> List.map (function Ok v -> Ok v | Error (e, _bt) -> Error e)
 
 let shutdown t =
   Mutex.lock t.mutex;

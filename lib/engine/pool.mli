@@ -16,7 +16,9 @@
       earliest failing {e input} is the one re-raised.
     - A pool with [jobs = 1] spawns no domains and runs everything
       sequentially in the calling domain, so [~jobs:1] results are
-      trivially bit-identical to pre-pool sequential code.
+      trivially bit-identical to pre-pool sequential code. Exception
+      semantics are identical at any [jobs]: even with [jobs = 1], the
+      whole batch runs before a captured exception is re-raised.
 
     Do not call {!map} from inside a job of the same pool: the nested batch
     would wait for workers that are all busy with the outer batch. *)
@@ -40,6 +42,12 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     and returns the results in input order. Blocks the calling domain until
     the whole batch is done. Raises [Invalid_argument] if the pool has been
     shut down. *)
+
+val map_result : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** Like {!map}, but never re-raises: each job's outcome is reported in
+    input order as [Ok result] or [Error exn]. One crashing job therefore
+    costs exactly its own slot — the rest of the batch still completes and
+    is returned. This is the primitive behind graceful sweep degradation. *)
 
 val shutdown : t -> unit
 (** Finish all queued work, then join the worker domains. Idempotent;

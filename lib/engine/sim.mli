@@ -51,6 +51,23 @@ val run : ?until:float -> t -> unit
 val events_executed : t -> int
 (** Number of event actions executed so far (excludes cancelled events). *)
 
+val run_budgeted :
+  ?until:float -> ?max_events:int -> t -> [ `Drained | `Horizon | `Budget ]
+(** Run guardrails: execute events in order until one of three outcomes.
+
+    - [`Drained]: no live event remains — the normal quiescent finish.
+    - [`Horizon]: the next live event lies strictly beyond [until]. Unlike
+      {!run}[ ~until], the clock is {e not} advanced to the horizon — it
+      stays at the last executed event, so a budget-terminated run reports
+      the time it actually reached.
+    - [`Budget]: {!events_executed} reached [max_events] (a total cap, not
+      an increment — callers running multiple phases share one budget by
+      passing the same cap each time).
+
+    Both limits optional; with neither, behaves as {!run} and returns
+    [`Drained]. Raises [Invalid_argument] on a negative [max_events] or a
+    NaN [until]. *)
+
 type repeating
 (** Handle to a periodic task started with {!every}. *)
 

@@ -3,6 +3,8 @@ module Hooks = Rfd_bgp.Hooks
 
 type t = {
   mutable updates : int;
+  mutable dropped : int;
+  mutable duplicated : int;
   mutable first_update : float option;
   mutable last_update : float option;
   update_series : Timeseries.t;
@@ -40,6 +42,8 @@ let create ?(probe_pairs = []) () =
     probe_pairs;
   {
     updates = 0;
+    dropped = 0;
+    duplicated = 0;
     first_update = None;
     last_update = None;
     update_series = Timeseries.create ~name:"updates" ();
@@ -73,6 +77,9 @@ let attach t (hooks : Hooks.t) =
       if t.first_update = None then t.first_update <- Some time;
       t.last_update <- Some time;
       Timeseries.add t.update_series ~time 1.);
+  hooks.Hooks.on_drop <- (fun ~time:_ ~src:_ ~dst:_ _ -> t.dropped <- t.dropped + 1);
+  hooks.Hooks.on_duplicate <-
+    (fun ~time:_ ~src:_ ~dst:_ _ -> t.duplicated <- t.duplicated + 1);
   hooks.Hooks.on_suppress <-
     (fun ~time ~router:_ ~peer:_ ~prefix:_ ->
       t.suppress_events <- t.suppress_events + 1;
@@ -125,6 +132,8 @@ let attach t (hooks : Hooks.t) =
       | None -> ())
 
 let update_count t = t.updates
+let dropped_updates t = t.dropped
+let duplicated_updates t = t.duplicated
 let mrai_pending_now t = t.mrai_pending_now
 let flush_armed_now t = t.flush_armed_now
 let reuse_timers_now t = t.reuse_timers_now

@@ -16,6 +16,15 @@ val attach : t -> Rfd_bgp.Hooks.t -> unit
 (** Overwrite the hooks' fields with this collector's recorders. *)
 
 val update_count : t -> int
+
+val dropped_updates : t -> int
+(** Updates lost to fault-injected transport loss
+    ({!Rfd_bgp.Hooks.t.on_drop}); zero in fault-free runs. *)
+
+val duplicated_updates : t -> int
+(** Fault-injected duplications ({!Rfd_bgp.Hooks.t.on_duplicate}); each one
+    adds one extra copy on the wire. *)
+
 val first_update_time : t -> float option
 val last_update_time : t -> float option
 

@@ -4,6 +4,31 @@ module Graph = Rfd_topology.Graph
 module Relations = Rfd_topology.Relations
 open Rfd_bgp
 
+type budget = { max_events : int option; max_sim_time : float option }
+
+let no_budget = { max_events = None; max_sim_time = None }
+
+let budget ?max_events ?max_sim_time () =
+  (match max_events with
+  | Some m when m <= 0 -> invalid_arg "Runner.budget: max_events must be positive"
+  | Some _ | None -> ());
+  (match max_sim_time with
+  | Some s when Float.is_nan s || s <= 0. ->
+      invalid_arg "Runner.budget: max_sim_time must be positive"
+  | Some _ | None -> ());
+  { max_events; max_sim_time }
+
+type status = Finished of Oracle.level | Budget_exceeded of Oracle.level
+
+let status_level = function Finished l | Budget_exceeded l -> l
+let status_is_budget_exceeded = function Budget_exceeded _ -> true | Finished _ -> false
+
+let status_to_string = function
+  | Finished l -> Oracle.level_to_string l
+  | Budget_exceeded l -> Printf.sprintf "budget-exceeded(%s)" (Oracle.level_to_string l)
+
+let pp_status ppf s = Format.pp_print_string ppf (status_to_string s)
+
 type result = {
   scenario : Scenario.t;
   origin : int;
@@ -16,7 +41,7 @@ type result = {
   convergence_time : float;
   time_to_stable : float;
   time_to_quiet : float;
-  final_status : Oracle.level;
+  final_status : status;
   message_count : int;
   collector : Collector.t;
   spans : Phases.span list;
@@ -81,7 +106,7 @@ let resolve_probe scenario graph ~origin =
       in
       find 0
 
-let run ?observe scenario =
+let run ?(budget = no_budget) ?observe scenario =
   (match Scenario.validate scenario with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Runner.run: " ^ msg));
@@ -99,6 +124,20 @@ let run ?observe scenario =
   in
   let sim = Sim.create () in
   let net = Network.create ~policy ~config:scenario.Scenario.config sim graph in
+  (* One budget spans the whole run: [max_events] caps the total executed
+     event count (the simulator counts cumulatively) and [max_sim_time] is
+     an absolute clock horizon, so every phase just re-presents the same
+     limits. Once either trips, the remaining phases are skipped and the
+     result is partial — timers may still be armed, RIBs mid-convergence. *)
+  let exceeded = ref false in
+  let drive () =
+    if not !exceeded then
+      match
+        Sim.run_budgeted ?until:budget.max_sim_time ?max_events:budget.max_events sim
+      with
+      | `Drained -> ()
+      | `Horizon | `Budget -> exceeded := true
+  in
   (* Phase 1: initial route propagation, measured as Tup. Background
      prefixes (stable, from sampled nodes) are originated first so the
      flapping prefix converges over a populated RIB. *)
@@ -112,10 +151,10 @@ let run ?observe scenario =
         Network.originate net ~node prefix;
         (node, prefix))
   in
-  Network.run net;
+  drive ();
   let origin_announced_at = Sim.now sim in
   Network.originate net ~node:origin origin_prefix;
-  Network.run net;
+  drive ();
   let tup =
     match Collector.last_update_time initial with
     | Some t -> Float.max 0. (t -. origin_announced_at)
@@ -151,7 +190,12 @@ let run ?observe scenario =
         | [] -> flap_start
         | last :: _ -> flap_start +. last.Pulse.at)
   in
-  Network.run net;
+  (* Fault injection shares the flap phase's time origin, so plan event
+     times compose with the pulse pattern's. *)
+  (match scenario.Scenario.faults with
+  | Some plan -> Rfd_faults.Injector.install ~start:flap_start plan net
+  | None -> ());
+  drive ();
   let convergence_time =
     match Collector.last_update_time collector with
     | Some t -> Float.max 0. (t -. final_announcement)
@@ -161,7 +205,10 @@ let run ?observe scenario =
      last observed activity of each kind marks the transition into the
      corresponding oracle level. Stable = routing and MRAI machinery
      inert; quiet = additionally every reuse timer fired. *)
-  let final_status = Network.status net origin_prefix in
+  let final_status =
+    let level = Network.status net origin_prefix in
+    if !exceeded then Budget_exceeded level else Finished level
+  in
   let fold_last acc = function Some t -> Float.max acc t | None -> acc in
   let stable_abs =
     List.fold_left fold_last final_announcement
@@ -205,7 +252,7 @@ let pp_result ppf r =
      time-to-quiet=%.0fs oracle=%a@ messages=%d peak-damped=%d suppressions=%d reuses=%d \
      (noisy %d)@ events=%d wall=%.2fs cpu=%.2fs"
     Scenario.pp r.scenario r.origin r.isp r.num_nodes r.tup r.convergence_time
-    r.time_to_stable r.time_to_quiet Oracle.pp_level r.final_status r.message_count
+    r.time_to_stable r.time_to_quiet pp_status r.final_status r.message_count
     (Collector.peak_damped r.collector)
     (Collector.suppress_events r.collector)
     (Collector.reuse_events r.collector)

@@ -6,6 +6,47 @@
     run the simulator until fully quiescent (every reuse timer fired).
     Metrics count only flap-phase traffic. *)
 
+(** {1 Run guardrails}
+
+    Damping interactions can keep a network busy far longer than expected —
+    and a fault-injected run (loss, duplication, crash/restart churn) may
+    not converge at all. A budget bounds the run so a sweep never spins
+    forever: when either limit trips, the run stops where it is and
+    returns a {e partial} result flagged [Budget_exceeded]. *)
+
+type budget = {
+  max_events : int option;
+      (** cap on the total number of simulator events executed over the
+          whole run (all phases — initial convergence included) *)
+  max_sim_time : float option;
+      (** absolute virtual-time horizon (seconds); the simulation clock
+          starts at [0.] *)
+}
+
+val no_budget : budget
+(** Both limits off — the default: runs drain to full quiescence. *)
+
+val budget : ?max_events:int -> ?max_sim_time:float -> unit -> budget
+(** Checked constructor; raises [Invalid_argument] on non-positive limits. *)
+
+type status =
+  | Finished of Rfd_bgp.Oracle.level
+      (** the event queue drained; every complete run ends [Finished Quiet] *)
+  | Budget_exceeded of Rfd_bgp.Oracle.level
+      (** a budget limit tripped first; the level is the oracle's verdict
+          at the moment the run was cut off, and every metric in the
+          result reflects only the truncated prefix of the run *)
+
+val status_level : status -> Rfd_bgp.Oracle.level
+val status_is_budget_exceeded : status -> bool
+
+val status_to_string : status -> string
+(** [Finished l] prints as {!Rfd_bgp.Oracle.level_to_string} (so existing
+    [final=quiet] consumers keep working); [Budget_exceeded l] prints as
+    ["budget-exceeded(" ^ level ^ ")"]. *)
+
+val pp_status : Format.formatter -> status -> unit
+
 type result = {
   scenario : Scenario.t;
   origin : int;  (** node id of the attached origin stub *)
@@ -30,9 +71,9 @@ type result = {
           fully {e quiet}: stable and every reuse timer fired (the paper's
           converged-vs-releasing distinction; [time_to_quiet >=
           time_to_stable] always) *)
-  final_status : Rfd_bgp.Oracle.level;
-      (** the oracle's verdict at the end of the run — [Quiet] for every
-          run driven to full quiescence *)
+  final_status : status;
+      (** [Finished Quiet] for every run driven to full quiescence;
+          [Budget_exceeded _] marks a partial result *)
   message_count : int;  (** updates observed during the flap phase *)
   collector : Collector.t;  (** full series and traces *)
   spans : Phases.span list;  (** four-state classification of the episode *)
@@ -50,12 +91,14 @@ type result = {
           an upper bound on this run's own cost *)
 }
 
-val run : ?observe:(Rfd_bgp.Network.t -> unit) -> Scenario.t -> result
+val run : ?budget:budget -> ?observe:(Rfd_bgp.Network.t -> unit) -> Scenario.t -> result
 (** Raises [Invalid_argument] when the scenario fails validation.
-    [observe] is called once, after initial convergence and right after
-    the flap-phase collector is attached — wrap additional observers (e.g.
-    {!Tracing.attach}) around the hooks there; they stay active for the
-    whole measured flap phase. *)
+    [budget] (default {!no_budget}) bounds the whole run; see {!status}.
+    The scenario's fault plan, if any, is installed with the flap start as
+    its time origin. [observe] is called once, after initial convergence
+    and right after the flap-phase collector is attached — wrap additional
+    observers (e.g. {!Tracing.attach}) around the hooks there; they stay
+    active for the whole measured flap phase. *)
 
 val origin_prefix : Rfd_bgp.Prefix.t
 (** The prefix the origin stub announces (constant across runs). *)

@@ -22,12 +22,40 @@ type t = {
   background_prefixes : int;
   probe : probe;
   settle_gap : float;
+  faults : Rfd_faults.Fault_plan.t option;
 }
+
+let topology_nodes = function
+  | Mesh { rows; cols } -> rows * cols
+  | Internet { nodes; _ } -> nodes
+  | Custom g -> Rfd_topology.Graph.num_nodes g
+
+(* Eager construction-time checks: these mistakes used to surface late (as a
+   generic [Invalid_argument] deep in the runner) or not at all (an
+   out-of-range isp silently clamped by graph lookups). Failing in [make]
+   points at the call site that wrote the bad value. *)
+let check_make ~pulses ~flap_interval ~background_prefixes ~settle_gap ~isp topology =
+  let fail fmt = Format.kasprintf invalid_arg ("Scenario.make: " ^^ fmt) in
+  if pulses < 0 then fail "pulses must be non-negative (got %d)" pulses;
+  if background_prefixes < 0 then
+    fail "background_prefixes must be non-negative (got %d)" background_prefixes;
+  if Float.is_nan flap_interval || flap_interval <= 0. then
+    fail "flap_interval must be positive (got %g)" flap_interval;
+  if Float.is_nan settle_gap || settle_gap <= 0. then
+    fail "settle_gap must be positive (got %g)" settle_gap;
+  match isp with
+  | `Random -> ()
+  | `Node node ->
+      let n = topology_nodes topology in
+      if node < 0 || node >= n then
+        fail "isp node %d is out of range for a %d-node topology (want 0..%d)" node n
+          (n - 1)
 
 let make ?(name = "scenario") ?(policy = Announce_all) ?(config = Rfd_bgp.Config.default)
     ?(isp = `Node 0) ?(pulses = 1) ?(flap_interval = 60.) ?pattern
     ?(mechanism = Origin_updates) ?(background_prefixes = 0) ?(probe = No_probe)
-    ?(settle_gap = 10.) topology =
+    ?(settle_gap = 10.) ?faults topology =
+  check_make ~pulses ~flap_interval ~background_prefixes ~settle_gap ~isp topology;
   {
     name;
     topology;
@@ -41,6 +69,7 @@ let make ?(name = "scenario") ?(policy = Announce_all) ?(config = Rfd_bgp.Config
     background_prefixes;
     probe;
     settle_gap;
+    faults;
   }
 
 let with_pulses t pulses = { t with pulses }
@@ -52,8 +81,10 @@ let paper_internet_208 = Internet { nodes = 208; m = 2 }
 let validate t =
   if t.pulses < 0 then Error "pulses must be non-negative"
   else if t.background_prefixes < 0 then Error "background_prefixes must be non-negative"
-  else if t.flap_interval <= 0. then Error "flap_interval must be positive"
-  else if t.settle_gap < 0. then Error "settle_gap must be non-negative"
+  else if Float.is_nan t.flap_interval || t.flap_interval <= 0. then
+    Error "flap_interval must be positive"
+  else if Float.is_nan t.settle_gap || t.settle_gap <= 0. then
+    Error "settle_gap must be positive"
   else begin
     match t.topology with
     | Mesh { rows; cols } when rows < 3 || cols < 3 -> Error "mesh needs rows, cols >= 3"
@@ -64,14 +95,27 @@ let validate t =
         | Error e -> Error ("config: " ^ e)
         | Ok () -> (
             match t.isp with
-            | `Node node when node < 0 -> Error "isp node must be non-negative"
+            | `Node node when node < 0 || node >= topology_nodes t.topology ->
+                Error
+                  (Printf.sprintf "isp node %d is out of range for a %d-node topology"
+                     node (topology_nodes t.topology))
             | `Node _ | `Random -> (
-                match t.pattern with
-                | None -> Ok ()
-                | Some pattern -> (
-                    match Pulse.events pattern with
-                    | (_ : Pulse.event list) -> Ok ()
-                    | exception Invalid_argument msg -> Error msg))))
+                match
+                  match t.pattern with
+                  | None -> Ok ()
+                  | Some pattern -> (
+                      match Pulse.events pattern with
+                      | (_ : Pulse.event list) -> Ok ()
+                      | exception Invalid_argument msg -> Error msg)
+                with
+                | Error _ as e -> e
+                | Ok () -> (
+                    match t.faults with
+                    | None -> Ok ()
+                    | Some plan -> (
+                        match Rfd_faults.Fault_plan.validate plan with
+                        | Error e -> Error ("faults: " ^ e)
+                        | Ok () -> Ok ())))))
   end
 
 let pp_topology ppf = function
@@ -80,7 +124,7 @@ let pp_topology ppf = function
   | Custom g -> Format.fprintf ppf "custom %a" Rfd_topology.Graph.pp g
 
 let pp ppf t =
-  Format.fprintf ppf "%s: %a, %s policy, %a%s, damping=%s" t.name pp_topology t.topology
+  Format.fprintf ppf "%s: %a, %s policy, %a%s, damping=%s%s" t.name pp_topology t.topology
     (match t.policy with Announce_all -> "announce-all" | No_valley -> "no-valley")
     (fun ppf () ->
       match t.pattern with
@@ -97,3 +141,7 @@ let pp ppf t =
         | Rfd_bgp.Config.Plain -> ""
         | Rfd_bgp.Config.Rcn -> "+rcn"
         | Rfd_bgp.Config.Selective -> "+selective"))
+    (match t.faults with
+    | Some plan when not (Rfd_faults.Fault_plan.is_trivial plan) ->
+        ", faults=" ^ plan.Rfd_faults.Fault_plan.name
+    | Some _ | None -> "")

@@ -52,6 +52,10 @@ type t = {
   probe : probe;
   settle_gap : float;
       (** idle time inserted between initial convergence and the first flap *)
+  faults : Rfd_faults.Fault_plan.t option;
+      (** fault-injection plan, installed by {!Runner.run} with the flap
+          start as its time origin; [None] (and trivial plans) leave the
+          run bit-identical to a fault-free one *)
 }
 
 val make :
@@ -66,11 +70,20 @@ val make :
   ?background_prefixes:int ->
   ?probe:probe ->
   ?settle_gap:float ->
+  ?faults:Rfd_faults.Fault_plan.t ->
   topology ->
   t
 (** Defaults: announce-all policy, {!Rfd_bgp.Config.default} (no damping),
     isp at node 0, one pulse, 60 s interval, origin-update flaps, no probe,
-    10 s settle gap. *)
+    10 s settle gap, no faults.
+
+    Raises [Invalid_argument "Scenario.make: ..."] eagerly — at the call
+    site that wrote the bad value — on a negative [pulses] or
+    [background_prefixes], a non-positive (or NaN) [flap_interval] or
+    [settle_gap], or an [isp] node outside the topology's node range.
+    Structural topology/config/pattern/fault problems are still reported by
+    {!validate} (and by {!Runner.run}), so records built by hand or via
+    [{ s with ... }] updates are checked too. *)
 
 val with_pulses : t -> int -> t
 val paper_mesh : topology

@@ -9,9 +9,18 @@ type point = {
   result : Runner.result;
 }
 
-type t = { label : string; base : Scenario.t; points : point list }
-
 type job = { job_scenario : Scenario.t; job_seed : int; job_pulses : int }
+
+type failure_reason = Crashed of string | Budget_exceeded of Runner.result
+
+type failure = { failed_seed : int; failed_pulses : int; reason : failure_reason }
+
+type t = {
+  label : string;
+  base : Scenario.t;
+  points : point list;
+  failures : failure list;
+}
 
 let default_pulses = List.init 10 (fun i -> i + 1)
 
@@ -62,7 +71,13 @@ let plan ?(pulses = default_pulses) ?seeds base =
         pulses)
     seeds
 
-let execute ?jobs plan = Pool.run ?jobs (fun job -> Runner.run job.job_scenario) plan
+let execute ?jobs ?budget plan =
+  Pool.run ?jobs (fun job -> Runner.run ?budget job.job_scenario) plan
+
+let execute_results ?jobs ?budget plan =
+  Pool.with_pool ?jobs (fun pool ->
+      Pool.map_result pool (fun job -> Runner.run ?budget job.job_scenario) plan)
+  |> List.map (function Ok r -> Ok r | Error e -> Error (Printexc.to_string e))
 
 let point_of_result job result =
   {
@@ -73,11 +88,44 @@ let point_of_result job result =
     result;
   }
 
-let run ?label ?(pulses = default_pulses) ?jobs base =
+(* Split job outcomes into clean points and structured failures: a crashed
+   job carries its exception text, a budget-exceeded run carries its
+   partial result. Either way, one bad point costs exactly itself — the
+   rest of the sweep still produces data. *)
+let partition_outcomes plan outcomes =
+  let points, failures =
+    List.fold_left2
+      (fun (points, failures) job outcome ->
+        let fail reason =
+          ( points,
+            { failed_seed = job.job_seed; failed_pulses = job.job_pulses; reason }
+            :: failures )
+        in
+        match outcome with
+        | Error msg -> fail (Crashed msg)
+        | Ok result ->
+            if Runner.status_is_budget_exceeded result.Runner.final_status then
+              fail (Budget_exceeded result)
+            else (point_of_result job result :: points, failures))
+      ([], []) plan outcomes
+  in
+  (List.rev points, List.rev failures)
+
+let run ?label ?(pulses = default_pulses) ?jobs ?budget base =
   let label = match label with Some l -> l | None -> base.Scenario.name in
   let plan = plan ~pulses base in
-  let points = List.map2 point_of_result plan (execute ?jobs plan) in
-  { label; base; points }
+  let points, failures = partition_outcomes plan (execute_results ?jobs ?budget plan) in
+  { label; base; points; failures }
+
+let pp_failure ppf f =
+  Format.fprintf ppf "seed=%d pulses=%d: %a" f.failed_seed f.failed_pulses
+    (fun ppf -> function
+      | Crashed msg -> Format.fprintf ppf "crashed: %s" msg
+      | Budget_exceeded r ->
+          Format.fprintf ppf "%s after %d events, %d updates observed"
+            (Runner.status_to_string r.Runner.final_status)
+            r.Runner.sim_events r.Runner.message_count)
+    f.reason
 
 let convergence_series t =
   List.map (fun p -> (float_of_int p.pulses, p.convergence_time)) t.points
@@ -100,10 +148,10 @@ module Summary = Rfd_engine.Stats.Summary
 
 type aggregate = { agg_pulses : int; convergence : Summary.t; messages : Summary.t }
 
-let run_many ?(pulses = default_pulses) ?jobs ~seeds base =
+let run_many ?(pulses = default_pulses) ?jobs ?budget ~seeds base =
   if seeds = [] then invalid_arg "Sweep.run_many: empty seed list";
   let plan = plan ~pulses ~seeds base in
-  let results = Array.of_list (execute ?jobs plan) in
+  let results = Array.of_list (execute_results ?jobs ?budget plan) in
   let aggregates =
     List.map
       (fun n -> { agg_pulses = n; convergence = Summary.create (); messages = Summary.create () })
@@ -111,15 +159,20 @@ let run_many ?(pulses = default_pulses) ?jobs ~seeds base =
   in
   (* The plan is seed-major, [pulses] points per seed, and execute preserves
      order — so accumulation happens in seed order for any jobs count,
-     keeping the summaries bit-identical to sequential execution. *)
+     keeping the summaries bit-identical to sequential execution. Crashed
+     or budget-exceeded runs contribute no sample: their absence shows up
+     as a lower [Summary.n] instead of poisoning the means. *)
   let per_seed = List.length pulses in
   List.iteri
     (fun s _seed ->
       List.iteri
         (fun i agg ->
-          let result = results.(s * per_seed + i) in
-          Summary.add agg.convergence result.Runner.convergence_time;
-          Summary.add agg.messages (float_of_int result.Runner.message_count))
+          match results.(s * per_seed + i) with
+          | Ok result
+            when not (Runner.status_is_budget_exceeded result.Runner.final_status) ->
+              Summary.add agg.convergence result.Runner.convergence_time;
+              Summary.add agg.messages (float_of_int result.Runner.message_count)
+          | Ok _ | Error _ -> ())
         aggregates)
     seeds;
   aggregates

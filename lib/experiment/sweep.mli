@@ -20,7 +20,23 @@ type point = {
   result : Runner.result;
 }
 
-type t = { label : string; base : Scenario.t; points : point list }
+type failure_reason =
+  | Crashed of string  (** the run raised; the exception, printed *)
+  | Budget_exceeded of Runner.result
+      (** the run hit its {!Runner.budget}; the partial result is kept so
+          the truncated prefix's metrics stay inspectable *)
+
+type failure = { failed_seed : int; failed_pulses : int; reason : failure_reason }
+(** One sweep point that produced no clean data, identified by its plan
+    coordinates. *)
+
+type t = {
+  label : string;
+  base : Scenario.t;
+  points : point list;  (** clean points only, in plan order *)
+  failures : failure list;
+      (** the rest, in plan order — empty for a fully healthy sweep *)
+}
 
 (** {1 The declarative job layer} *)
 
@@ -42,15 +58,31 @@ val plan : ?pulses:int list -> ?seeds:int list -> Scenario.t -> job list
     bit-identical to letting {!Runner.run} build them (the graph comes from
     the same split of the seed's RNG stream). *)
 
-val execute : ?jobs:int -> job list -> Runner.result list
+val execute : ?jobs:int -> ?budget:Runner.budget -> job list -> Runner.result list
 (** Run every job, in input order, on a worker pool of [jobs] domains
     (default {!Rfd_engine.Pool.default_jobs}; [~jobs:1] is strictly
     sequential in the calling domain). A job's exception is re-raised after
     the batch completes. *)
 
-val run : ?label:string -> ?pulses:int list -> ?jobs:int -> Scenario.t -> t
-(** [plan] + [execute] + point assembly. Default pulse counts: [1 .. 10].
-    The scenario's own [pulses] field is ignored. *)
+val execute_results :
+  ?jobs:int -> ?budget:Runner.budget -> job list -> (Runner.result, string) result list
+(** Like {!execute}, but degrades gracefully: a job that raises becomes
+    [Error (printed exception)] in its slot instead of aborting the batch,
+    so every other job's result is still returned (in input order). Note a
+    budget-exceeded run is an [Ok] here — it returned a partial result;
+    {!run} is what reclassifies it as a {!failure}. *)
+
+val run :
+  ?label:string -> ?pulses:int list -> ?jobs:int -> ?budget:Runner.budget -> Scenario.t -> t
+(** [plan] + {!execute_results} + point assembly. Default pulse counts:
+    [1 .. 10]. The scenario's own [pulses] field is ignored. Crashed jobs
+    and budget-exceeded runs land in {!t.failures} as structured records;
+    the remaining points are unaffected (and bit-identical to a sweep that
+    never had the bad points). *)
+
+val pp_failure : Format.formatter -> failure -> unit
+(** One-line human summary, e.g.
+    ["seed=7 pulses=3: budget-exceeded(active) after 50000 events, ..."]. *)
 
 val convergence_series : t -> (float * float) list
 (** [(pulses, convergence seconds)] pairs. *)
@@ -77,12 +109,20 @@ type aggregate = {
   messages : Rfd_engine.Stats.Summary.t;
 }
 
-val run_many : ?pulses:int list -> ?jobs:int -> seeds:int list -> Scenario.t -> aggregate list
+val run_many :
+  ?pulses:int list ->
+  ?jobs:int ->
+  ?budget:Runner.budget ->
+  seeds:int list ->
+  Scenario.t ->
+  aggregate list
 (** Run the sweep once per seed (the seed is substituted into the
     scenario's config) and aggregate convergence time and message count per
     pulse count. All seeds' runs execute on one [jobs]-domain pool;
-    aggregates are accumulated in seed order regardless of [jobs]. Raises
-    [Invalid_argument] on an empty seed list. *)
+    aggregates are accumulated in seed order regardless of [jobs]. Crashed
+    or budget-exceeded runs contribute no sample — compare
+    {!Rfd_engine.Stats.Summary.n} against [List.length seeds] to detect
+    them. Raises [Invalid_argument] on an empty seed list. *)
 
 val mean_convergence_series : aggregate list -> (float * float) list
 val mean_message_series : aggregate list -> (float * float) list

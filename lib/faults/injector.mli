@@ -1,0 +1,18 @@
+(** Apply a {!Fault_plan} to a live network.
+
+    Installation is two things: configure per-directed-link transport
+    degradation (loss/duplication probabilities, effective immediately),
+    and schedule every expanded fault event — scheduled and seeded-random
+    link fail/recover, router crash/restart — into the network's simulator
+    at [start +. event.at].
+
+    Everything is range-checked against the concrete topology before any
+    state is touched, so a bad plan fails loudly at install time with an
+    actionable message instead of mid-run. *)
+
+val install : ?start:float -> Fault_plan.t -> Rfd_bgp.Network.t -> unit
+(** [install ~start plan net]. [start] defaults to [0.] (event times in the
+    plan are relative to it). Random flap cycles with an empty candidate
+    list draw from every link of [net]'s topology. Raises
+    [Invalid_argument] when the plan fails {!Fault_plan.validate}, when a
+    link/node is outside the topology, or when [start] is negative. *)

@@ -29,6 +29,7 @@ let () =
       ("bgp.oracle", Test_oracle.suite);
       ("bgp.session_flap", Test_session_flap.suite);
       ("bgp.transport", Test_transport.suite);
+      ("faults.plans", Test_faults.suite);
       ("experiment.intended", Test_intended.suite);
       ("experiment.pulse", Test_pulse.suite);
       ("experiment.sweep", Test_sweep_stats.suite);

@@ -57,6 +57,56 @@ let test_pool_survives_exception () =
       Alcotest.(check (list int)) "pool still maps after a failure" [ 2; 3; 4 ]
         (Pool.map pool succ [ 1; 2; 3 ]))
 
+let test_multi_failure_guarantees () =
+  (* Several jobs raise: the whole batch still runs to completion first,
+     the earliest failing *input* (not the first to finish) is re-raised,
+     and the pool stays usable — at any jobs count, including 1. *)
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let completed = Atomic.make 0 in
+          let work x =
+            Atomic.incr completed;
+            if x mod 3 = 0 then failwith (string_of_int x) else x
+          in
+          let xs = [ 1; 2; 9; 4; 6; 5; 3 ] in
+          Alcotest.check_raises
+            (Printf.sprintf "jobs=%d: earliest failing input wins" jobs)
+            (Failure "9")
+            (fun () -> ignore (Pool.map pool work xs));
+          Alcotest.(check int)
+            (Printf.sprintf "jobs=%d: every job ran despite three failures" jobs)
+            (List.length xs) (Atomic.get completed);
+          Alcotest.(check (list int))
+            (Printf.sprintf "jobs=%d: pool usable after multi-failure batch" jobs)
+            [ 2; 3; 4 ]
+            (Pool.map pool succ [ 1; 2; 3 ])))
+    [ 1; 4 ]
+
+let test_map_result_reports_per_job () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let outcomes =
+            Pool.map_result pool
+              (fun x -> if x mod 2 = 0 then failwith (string_of_int x) else x * 10)
+              [ 1; 2; 3; 4; 5 ]
+          in
+          let show = function
+            | Ok v -> Printf.sprintf "ok:%d" v
+            | Error (Failure m) -> "fail:" ^ m
+            | Error e -> "exn:" ^ Printexc.to_string e
+          in
+          Alcotest.(check (list string))
+            (Printf.sprintf "jobs=%d: per-job outcomes in input order" jobs)
+            [ "ok:10"; "fail:2"; "ok:30"; "fail:4"; "ok:50" ]
+            (List.map show outcomes);
+          Alcotest.(check (list string))
+            (Printf.sprintf "jobs=%d: all-failure batch returns, never raises" jobs)
+            [ "fail:0"; "fail:0" ]
+            (List.map show (Pool.map_result pool (fun _ -> failwith "0") [ 1; 2 ]))))
+    [ 1; 3 ]
+
 let test_sequential_pool_spawns_inline () =
   (* jobs=1 work runs in the calling domain, so it sees calling-domain
      mutable state with no synchronization. *)
@@ -94,6 +144,8 @@ let suite =
     Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
     Alcotest.test_case "first failure by input order" `Quick test_first_failure_by_input_order;
     Alcotest.test_case "pool survives job exception" `Quick test_pool_survives_exception;
+    Alcotest.test_case "multi-failure guarantees" `Quick test_multi_failure_guarantees;
+    Alcotest.test_case "map_result per-job outcomes" `Quick test_map_result_reports_per_job;
     Alcotest.test_case "jobs=1 runs inline" `Quick test_sequential_pool_spawns_inline;
     Alcotest.test_case "shutdown lifecycle" `Quick test_shutdown;
     Alcotest.test_case "batch reuse" `Quick test_reuse_across_batches;

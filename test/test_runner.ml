@@ -17,10 +17,14 @@ let fast ?(damping = true) ?(mode = Config.Plain) () =
   in
   if damping then Config.with_damping ~mode Rfd_damping.Params.cisco base else base
 
+(* [Scenario.make] rejects bad field values eagerly; records mutated by
+   hand (via [{ s with ... }]) are still caught by [validate] and by
+   [Runner.run]. *)
 let test_scenario_validation () =
-  let bad = Scenario.make ~pulses:(-1) small_mesh in
+  let hand_made mutate = mutate (Scenario.make small_mesh) in
+  let bad = hand_made (fun s -> { s with Scenario.pulses = -1 }) in
   Alcotest.(check bool) "negative pulses" true (Result.is_error (Scenario.validate bad));
-  let bad = Scenario.make ~flap_interval:0. small_mesh in
+  let bad = hand_made (fun s -> { s with Scenario.flap_interval = 0. }) in
   Alcotest.(check bool) "zero interval" true (Result.is_error (Scenario.validate bad));
   let bad = Scenario.make (Scenario.Mesh { rows = 2; cols = 2 }) in
   Alcotest.(check bool) "tiny mesh" true (Result.is_error (Scenario.validate bad));
@@ -28,7 +32,31 @@ let test_scenario_validation () =
   Alcotest.(check bool) "default valid" true (Scenario.validate good = Ok ());
   Alcotest.check_raises "runner surfaces validation"
     (Invalid_argument "Runner.run: pulses must be non-negative") (fun () ->
-      ignore (Runner.run (Scenario.make ~pulses:(-1) small_mesh)))
+      ignore (Runner.run (hand_made (fun s -> { s with Scenario.pulses = -1 }))))
+
+let test_scenario_make_rejects_eagerly () =
+  Alcotest.check_raises "negative pulses"
+    (Invalid_argument "Scenario.make: pulses must be non-negative (got -1)") (fun () ->
+      ignore (Scenario.make ~pulses:(-1) small_mesh));
+  Alcotest.check_raises "negative background prefixes"
+    (Invalid_argument "Scenario.make: background_prefixes must be non-negative (got -3)")
+    (fun () -> ignore (Scenario.make ~background_prefixes:(-3) small_mesh));
+  Alcotest.check_raises "zero flap interval"
+    (Invalid_argument "Scenario.make: flap_interval must be positive (got 0)") (fun () ->
+      ignore (Scenario.make ~flap_interval:0. small_mesh));
+  Alcotest.check_raises "zero settle gap"
+    (Invalid_argument "Scenario.make: settle_gap must be positive (got 0)") (fun () ->
+      ignore (Scenario.make ~settle_gap:0. small_mesh));
+  Alcotest.check_raises "isp beyond topology"
+    (Invalid_argument
+       "Scenario.make: isp node 9 is out of range for a 9-node topology (want 0..8)")
+    (fun () -> ignore (Scenario.make ~isp:(`Node 9) small_mesh));
+  Alcotest.check_raises "negative isp"
+    (Invalid_argument
+       "Scenario.make: isp node -1 is out of range for a 9-node topology (want 0..8)")
+    (fun () -> ignore (Scenario.make ~isp:(`Node (-1)) small_mesh));
+  (* boundary values stay accepted *)
+  ignore (Scenario.make ~isp:(`Node 8) ~pulses:0 ~background_prefixes:0 small_mesh)
 
 let test_run_no_damping () =
   let scenario = Scenario.make ~name:"plain" ~config:(fast ~damping:false ()) small_mesh in
@@ -100,7 +128,9 @@ let test_stable_and_quiet_metrics () =
   Alcotest.(check bool) "quiet >= stable" true
     (r.Runner.time_to_quiet >= r.Runner.time_to_stable);
   Alcotest.(check bool) "drained run ends quiet" true
-    (Oracle.is_quiet r.Runner.final_status);
+    (Oracle.is_quiet (Runner.status_level r.Runner.final_status));
+  Alcotest.(check bool) "drained run is not budget-limited" true
+    (not (Runner.status_is_budget_exceeded r.Runner.final_status));
   if Collector.suppress_events r.Runner.collector > 0 then
     Alcotest.(check bool) "reuse timers outlast routing stability" true
       (r.Runner.time_to_quiet > r.Runner.time_to_stable);
@@ -108,6 +138,50 @@ let test_stable_and_quiet_metrics () =
   let plain = Runner.run (Scenario.make ~config:(fast ~damping:false ()) ~pulses:1 small_mesh) in
   Alcotest.(check (float 1e-9)) "no damping: quiet = stable" plain.Runner.time_to_stable
     plain.Runner.time_to_quiet
+
+let test_run_budgets () =
+  let scenario = Scenario.make ~config:(fast ()) ~pulses:2 small_mesh in
+  let full = Runner.run scenario in
+  Alcotest.(check string) "drained status prints the bare level" "quiet"
+    (Runner.status_to_string full.Runner.final_status);
+  (* Event budget: cut the run off well before it drains. The cap is a
+     total over all phases, and the simulator stops exactly on it. *)
+  let cap = full.Runner.sim_events / 4 in
+  let partial = Runner.run ~budget:(Runner.budget ~max_events:cap ()) scenario in
+  Alcotest.(check bool) "event budget trips" true
+    (Runner.status_is_budget_exceeded partial.Runner.final_status);
+  Alcotest.(check int) "stopped exactly at the cap" cap partial.Runner.sim_events;
+  let s = Runner.status_to_string partial.Runner.final_status in
+  Alcotest.(check bool)
+    (Printf.sprintf "status string marks the budget (%s)" s)
+    true
+    (String.length s > 16 && String.sub s 0 16 = "budget-exceeded(");
+  (* Sim-time budget: the horizon lands inside the settle gap, before the
+     first flap. *)
+  let timed = Runner.run ~budget:(Runner.budget ~max_sim_time:5. ()) scenario in
+  Alcotest.(check bool) "time budget trips" true
+    (Runner.status_is_budget_exceeded timed.Runner.final_status);
+  Alcotest.(check int) "nothing measured in the flap phase" 0
+    timed.Runner.message_count;
+  (* A generous budget must leave the run bit-identical to an unbudgeted
+     one. *)
+  let generous =
+    Runner.run
+      ~budget:(Runner.budget ~max_events:(full.Runner.sim_events * 2) ~max_sim_time:1e9 ())
+      scenario
+  in
+  Alcotest.(check bool) "generous budget finishes" true
+    (not (Runner.status_is_budget_exceeded generous.Runner.final_status));
+  Alcotest.(check int) "generous budget: same events" full.Runner.sim_events
+    generous.Runner.sim_events;
+  Alcotest.(check int) "generous budget: same messages" full.Runner.message_count
+    generous.Runner.message_count;
+  Alcotest.check_raises "zero max_events rejected"
+    (Invalid_argument "Runner.budget: max_events must be positive") (fun () ->
+      ignore (Runner.budget ~max_events:0 ()));
+  Alcotest.check_raises "negative max_sim_time rejected"
+    (Invalid_argument "Runner.budget: max_sim_time must be positive") (fun () ->
+      ignore (Runner.budget ~max_sim_time:(-1.) ()))
 
 let test_internet_topology_random_isp () =
   let scenario =
@@ -212,7 +286,8 @@ let test_background_prefixes () =
     (msg_ratio > 0.5 && msg_ratio < 2.);
   Alcotest.(check bool) "validation" true
     (Result.is_error
-       (Scenario.validate (Scenario.make ~background_prefixes:(-1) small_mesh)))
+       (Scenario.validate
+          { (Scenario.make small_mesh) with Scenario.background_prefixes = -1 }))
 
 let test_custom_topology () =
   let g = Rfd_topology.Builders.ring 5 in
@@ -224,6 +299,9 @@ let test_custom_topology () =
 let suite =
   [
     Alcotest.test_case "scenario validation" `Quick test_scenario_validation;
+    Alcotest.test_case "scenario make rejects eagerly" `Quick
+      test_scenario_make_rejects_eagerly;
+    Alcotest.test_case "run budgets" `Quick test_run_budgets;
     Alcotest.test_case "run without damping" `Quick test_run_no_damping;
     Alcotest.test_case "damping extends convergence" `Quick
       test_run_with_damping_extends_convergence;

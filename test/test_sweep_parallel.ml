@@ -127,6 +127,121 @@ let test_execute_order_matches_plan () =
         result.Runner.scenario.Scenario.config.Config.seed)
     plan results
 
+let chaos_faults () =
+  Rfd_faults.Fault_plan.make ~name:"sweep-chaos" ~seed:5
+    ~degradation:{ Rfd_faults.Fault_plan.loss = 0.05; duplication = 0.05 }
+    ~random_flaps:
+      { Rfd_faults.Fault_plan.cycles = 3; window = 40.; down_mean = 5.; candidates = [] }
+    ()
+
+let test_execute_results_partial () =
+  (* One poisoned job in the middle of the batch: its slot reports the
+     error, every other slot still carries its result — identically at any
+     jobs count. *)
+  let good = Sweep.plan ~pulses:[ 1; 2 ] (base_scenario ()) in
+  let bad =
+    List.hd (Sweep.plan ~pulses:[ 1 ] (Scenario.make ~name:"bad" (Scenario.Mesh { rows = 2; cols = 2 })))
+  in
+  let jobs_list = [ List.nth good 0; bad; List.nth good 1 ] in
+  let shape outcomes =
+    List.map
+      (function
+        | Ok r -> Printf.sprintf "ok:%d" r.Runner.message_count
+        | Error msg ->
+            Alcotest.(check bool) "error carries the printed exception" true
+              (String.length msg > 0
+              && String.sub msg 0 16 = "Invalid_argument");
+            "error")
+      outcomes
+  in
+  let r1 = shape (Sweep.execute_results ~jobs:1 jobs_list) in
+  let r4 = shape (Sweep.execute_results ~jobs:4 jobs_list) in
+  Alcotest.(check (list string)) "jobs=1 vs jobs=4 identical outcomes" r1 r4;
+  match r1 with
+  | [ a; "error"; c ] ->
+      Alcotest.(check bool) "healthy slots survive" true (a <> "error" && c <> "error")
+  | _ -> Alcotest.fail "expected ok/error/ok"
+
+let test_run_collects_crash_failures () =
+  let bad = Scenario.make ~name:"bad" (Scenario.Mesh { rows = 2; cols = 2 }) in
+  let sweep = Sweep.run ~pulses:[ 1; 2; 3 ] ~jobs:4 bad in
+  Alcotest.(check int) "no clean points" 0 (List.length sweep.Sweep.points);
+  Alcotest.(check int) "every point is a failure" 3 (List.length sweep.Sweep.failures);
+  Alcotest.(check (list int)) "failures keep plan order" [ 1; 2; 3 ]
+    (List.map (fun f -> f.Sweep.failed_pulses) sweep.Sweep.failures);
+  List.iter
+    (fun f ->
+      match f.Sweep.reason with
+      | Sweep.Crashed msg ->
+          Alcotest.(check bool) "crash reason is the printed exception" true
+            (String.length msg > 0)
+      | Sweep.Budget_exceeded _ -> Alcotest.fail "expected Crashed")
+    sweep.Sweep.failures;
+  Alcotest.(check (list (pair (float 0.) (float 0.)))) "series are empty" []
+    (Sweep.convergence_series sweep)
+
+let test_run_budget_partial_sweep () =
+  (* Pick an event budget between the cheapest and the dearest point: the
+     cheap point stays clean, the dear one becomes a structured failure
+     carrying its partial result. Identical at jobs=1 and jobs=4. *)
+  let base = base_scenario () in
+  let healthy = Sweep.run ~pulses:[ 1; 4 ] ~jobs:1 base in
+  let events p = (List.nth healthy.Sweep.points p).Sweep.result.Runner.sim_events in
+  let cap = (events 0 + events 1) / 2 in
+  Alcotest.(check bool) "cap separates the two points" true
+    (events 0 < cap && cap < events 1);
+  let budget = Runner.budget ~max_events:cap () in
+  let check label sweep =
+    Alcotest.(check (list int)) (label ^ ": clean points") [ 1 ]
+      (List.map (fun (p : Sweep.point) -> p.Sweep.pulses) sweep.Sweep.points);
+    match sweep.Sweep.failures with
+    | [ { Sweep.failed_pulses = 4; reason = Sweep.Budget_exceeded partial; _ } ] ->
+        Alcotest.(check int) (label ^ ": partial stopped at the cap") cap
+          partial.Runner.sim_events;
+        Alcotest.(check bool) (label ^ ": status says budget-exceeded") true
+          (match partial.Runner.final_status with
+          | Runner.Budget_exceeded _ -> true
+          | Runner.Finished _ -> false)
+    | _ -> Alcotest.failf "%s: expected one budget failure at pulses=4" label
+  in
+  let s1 = Sweep.run ~pulses:[ 1; 4 ] ~jobs:1 ~budget base in
+  let s4 = Sweep.run ~pulses:[ 1; 4 ] ~jobs:4 ~budget base in
+  check "jobs=1" s1;
+  check "jobs=4" s4;
+  check_series "clean series identical across jobs" (Sweep.convergence_series s1)
+    (Sweep.convergence_series s4)
+
+let test_run_many_budget_skips_samples () =
+  let base = base_scenario () in
+  let budget = Runner.budget ~max_events:10 () in
+  let aggs = Sweep.run_many ~pulses:[ 1; 2 ] ~jobs:2 ~seeds:[ 1; 2; 3 ] ~budget base in
+  Alcotest.(check int) "aggregates still cover every pulse count" 2 (List.length aggs);
+  List.iter
+    (fun a ->
+      Alcotest.(check int) "budget-exceeded runs contribute no sample" 0
+        (Summary.n a.Sweep.convergence))
+    aggs
+
+let test_chaos_sweep_jobs_determinism () =
+  (* The full fault stack — loss, duplication, seeded random flaps — must
+     not disturb jobs-count invariance. *)
+  let base =
+    Scenario.make ~name:"chaos" ~config:(fast_config ()) ~faults:(chaos_faults ())
+      small_mesh
+  in
+  let s1 = Sweep.run ~pulses:[ 1; 2; 3 ] ~jobs:1 base in
+  let s4 = Sweep.run ~pulses:[ 1; 2; 3 ] ~jobs:4 base in
+  Alcotest.(check int) "chaos sweep stays healthy" 0 (List.length s1.Sweep.failures);
+  check_series "chaos convergence series identical" (Sweep.convergence_series s1)
+    (Sweep.convergence_series s4);
+  check_series "chaos message series identical" (Sweep.message_series s1)
+    (Sweep.message_series s4);
+  List.iter2
+    (fun (a : Sweep.point) (b : Sweep.point) ->
+      Alcotest.(check int) "per-point events identical" a.Sweep.result.Runner.sim_events
+        b.Sweep.result.Runner.sim_events)
+    s1.Sweep.points s4.Sweep.points
+
 let suite =
   [
     Alcotest.test_case "plan shape" `Quick test_plan_shape;
@@ -137,4 +252,12 @@ let suite =
     Alcotest.test_case "run_many: jobs=1 vs jobs=4 identical" `Quick
       test_run_many_jobs_determinism;
     Alcotest.test_case "execute preserves plan order" `Quick test_execute_order_matches_plan;
+    Alcotest.test_case "execute_results degrades per slot" `Quick test_execute_results_partial;
+    Alcotest.test_case "run collects crash failures" `Quick test_run_collects_crash_failures;
+    Alcotest.test_case "run survives a budget-exceeded point" `Quick
+      test_run_budget_partial_sweep;
+    Alcotest.test_case "run_many skips budget-exceeded samples" `Quick
+      test_run_many_budget_skips_samples;
+    Alcotest.test_case "chaos sweep: jobs=1 vs jobs=4 identical" `Quick
+      test_chaos_sweep_jobs_determinism;
   ]
