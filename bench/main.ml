@@ -30,11 +30,14 @@ let ablations =
     ("ablation-interval", "flap-interval sensitivity", Experiments.ablation_interval);
     ("ablation-size", "topology-size sensitivity", Experiments.ablation_size);
     ("ablation-mechanism", "origin-update vs link-state flaps", Experiments.ablation_mechanism);
+    ( "ablation-reuse-tick",
+      "exact vs tick-wheel reuse scheduling",
+      Experiments.ablation_reuse_tick );
   ]
 
 let all = experiments @ ablations
 
-let lookup name =
+let lookup ~tick name =
   match List.find_opt (fun (n, _, _) -> n = name) all with
   | Some (_, _, f) -> Ok f
   | None -> (
@@ -43,6 +46,7 @@ let lookup name =
       | "ablations" -> Ok (fun ctx -> List.iter (fun (_, _, f) -> f ctx) ablations)
       | "all" -> Ok (fun ctx -> List.iter (fun (_, _, f) -> f ctx) all)
       | "micro" -> Ok (fun _ -> Micro.run ())
+      | "perf" -> Ok (fun ctx -> Perf.print (Perf.measure ~tick ctx))
       | _ -> Error (Printf.sprintf "unknown experiment %S" name))
 
 open Cmdliner
@@ -77,6 +81,19 @@ let micro_arg =
   let doc = "Additionally run the Bechamel micro-benchmarks." in
   Arg.(value & flag & info [ "micro" ] ~doc)
 
+let json_arg =
+  let doc =
+    "Write a machine-readable perf baseline to $(docv): the fig8 \
+     exact-vs-tick-wheel comparison plus Bechamel micro-benchmark medians \
+     (schema documented in EXPERIMENTS.md). Runs in addition to the \
+     selected experiments."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let tick_arg =
+  let doc = "Tick period (seconds) of the wheel side of the perf comparison." in
+  Arg.(value & opt float 15. & info [ "tick" ] ~docv:"SECONDS" ~doc)
+
 let jobs_arg =
   let doc =
     "Worker domains executing simulation runs in parallel (results are \
@@ -85,7 +102,26 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
-let run names quick seed jobs csv_dir plot_dir micro =
+let write_json ctx ~file ~tick ~quick ~seed ~jobs =
+  let perf = Perf.measure ~tick ctx in
+  Perf.print perf;
+  let micro = Micro.estimates () in
+  let doc =
+    Rfd.Json.Obj
+      [
+        ("schema", Rfd.Json.String "rfd-bench/1");
+        ("scale", Rfd.Json.String (if quick then "quick" else "paper"));
+        ("seed", Rfd.Json.Int seed);
+        ("jobs", Rfd.Json.Int jobs);
+        ("fig8_reuse", Perf.to_json perf);
+        ( "micro_ns",
+          Rfd.Json.Obj (List.map (fun (name, ns) -> (name, Rfd.Json.Float ns)) micro) );
+      ]
+  in
+  Rfd.Json.write_file file doc;
+  Printf.printf "[json baseline written to %s]\n" file
+
+let run names quick seed jobs csv_dir plot_dir micro json tick =
   let jobs = match jobs with Some j -> max 1 j | None -> Rfd.Pool.default_jobs () in
   let opts = { Context.quick; seed; jobs; csv_dir; plot_dir } in
   let ctx = Context.create opts in
@@ -98,7 +134,7 @@ let run names quick seed jobs csv_dir plot_dir micro =
         match acc with
         | Error _ -> acc
         | Ok () -> (
-            match lookup name with
+            match lookup ~tick name with
             | Ok f ->
                 f ctx;
                 Ok ()
@@ -111,6 +147,9 @@ let run names quick seed jobs csv_dir plot_dir micro =
       exit 2
   | Ok () ->
       if micro then Micro.run ();
+      (match json with
+      | Some file -> write_json ctx ~file ~tick ~quick ~seed ~jobs
+      | None -> ());
       print_newline ()
 
 let cmd =
@@ -119,6 +158,6 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ names_arg $ quick_arg $ seed_arg $ jobs_arg $ csv_arg $ plots_arg
-      $ micro_arg)
+      $ micro_arg $ json_arg $ tick_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -67,7 +67,9 @@ let tests =
     Test.make ~name:"substrate/mesh-build" (Staged.stage graph_build);
   ]
 
-let run () =
+(* (workload name, OLS time-per-run estimate in nanoseconds) rows, sorted
+   by name — the data behind both the printed table and the JSON artefact. *)
+let estimates () =
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
   let grouped = Test.make_grouped ~name:"rfd" ~fmt:"%s %s" tests in
@@ -76,16 +78,17 @@ let run () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
-    Hashtbl.fold
-      (fun name ols acc ->
-        let nanos =
-          match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> nan
-        in
-        (name, nanos) :: acc)
-      results []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  in
+  Hashtbl.fold
+    (fun name ols acc ->
+      let nanos =
+        match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> nan
+      in
+      (name, nanos) :: acc)
+    results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let run () =
+  let rows = estimates () in
   print_string
     (Rfd.Report.table ~title:"Micro-benchmarks (Bechamel, monotonic clock)"
        ~header:[ "workload"; "time/run" ]

@@ -1,0 +1,154 @@
+(* Macro perf baseline: exact per-entry reuse timers vs the RFC 2439 tick
+   wheel on the Figure 8 suppression workload (damped mesh, pulse counts
+   1..10). The headline metric is the suppression machinery itself — the
+   simulator events spent on reuse scheduling plus their peak heap
+   residency — because that is the cost the tick wheel collapses: one
+   event per occupied slot instead of one (repeatedly re-armed) timer per
+   suppressed route. Total simulator load is reported alongside for
+   context; it is dominated by message deliveries and MRAI flushes, which
+   both modes share. *)
+
+module Scenario = Rfd.Scenario
+module Sweep = Rfd.Sweep
+module Runner = Rfd.Runner
+module Config = Rfd.Config
+module Params = Rfd.Params
+module Report = Rfd.Report
+module Json = Rfd.Json
+
+type side = {
+  events : int;  (** all simulator events executed *)
+  peak_heap : int;  (** peak simulator-heap residency (all event kinds) *)
+  timer_events : int;  (** reuse-scheduling events executed *)
+  timer_peak : int;  (** peak heap-resident reuse-scheduling events *)
+  quiet : float;
+}
+
+type point = { pulses : int; exact : side; tick : side }
+
+type t = {
+  tick : float;
+  points : point list;
+  (* sums over points of timer_events + timer_peak *)
+  exact_timer_load : int;
+  tick_timer_load : int;
+  (* sums over points of events + peak_heap *)
+  exact_total_load : int;
+  tick_total_load : int;
+}
+
+let side_of (r : Runner.result) =
+  {
+    events = r.Runner.sim_events;
+    peak_heap = r.Runner.peak_heap;
+    timer_events = r.Runner.reuse_timer_events;
+    timer_peak = r.Runner.peak_reuse_timers;
+    quiet = r.Runner.time_to_quiet;
+  }
+
+let measure ?(tick = 15.) (ctx : Context.t) =
+  let opts = ctx.Context.opts in
+  let scenario reuse name =
+    let config = Config.with_damping ~reuse Params.cisco (Context.base_config opts) in
+    Scenario.make ~name ~config ctx.Context.mesh
+  in
+  let sweep reuse name =
+    Sweep.run ~label:name ~pulses:ctx.Context.pulses ~jobs:opts.Context.jobs
+      (scenario reuse name)
+  in
+  let exact = sweep Config.Exact "fig8-reuse-exact" in
+  let ticked = sweep (Config.Tick tick) "fig8-reuse-tick" in
+  let points =
+    List.filter_map
+      (fun (e : Sweep.point) ->
+        List.find_opt
+          (fun (t : Sweep.point) -> t.Sweep.pulses = e.Sweep.pulses)
+          ticked.Sweep.points
+        |> Option.map (fun (t : Sweep.point) ->
+               {
+                 pulses = e.Sweep.pulses;
+                 exact = side_of e.Sweep.result;
+                 tick = side_of t.Sweep.result;
+               }))
+      exact.Sweep.points
+  in
+  let total f = List.fold_left (fun acc p -> acc + f p) 0 points in
+  {
+    tick;
+    points;
+    exact_timer_load = total (fun p -> p.exact.timer_events + p.exact.timer_peak);
+    tick_timer_load = total (fun p -> p.tick.timer_events + p.tick.timer_peak);
+    exact_total_load = total (fun p -> p.exact.events + p.exact.peak_heap);
+    tick_total_load = total (fun p -> p.tick.events + p.tick.peak_heap);
+  }
+
+let pct ~exact ~tick =
+  if exact = 0 then 0. else 100. *. (1. -. (float_of_int tick /. float_of_int exact))
+
+let timer_reduction_pct t = pct ~exact:t.exact_timer_load ~tick:t.tick_timer_load
+let total_reduction_pct t = pct ~exact:t.exact_total_load ~tick:t.tick_total_load
+
+let print t =
+  Printf.printf "\n=== Perf: exact reuse timers vs tick wheel (tick = %gs) ===\n\n" t.tick;
+  let header =
+    [ "n"; "timer-ev exact"; "timer-ev tick"; "timer-peak exact"; "timer-peak tick";
+      "events exact"; "events tick"; "quiet exact(s)"; "quiet tick(s)" ]
+  in
+  let rows =
+    List.map
+      (fun p ->
+        [
+          string_of_int p.pulses;
+          string_of_int p.exact.timer_events;
+          string_of_int p.tick.timer_events;
+          string_of_int p.exact.timer_peak;
+          string_of_int p.tick.timer_peak;
+          string_of_int p.exact.events;
+          string_of_int p.tick.events;
+          Report.float_cell p.exact.quiet;
+          Report.float_cell p.tick.quiet;
+        ])
+      t.points
+  in
+  print_string (Report.table ~header rows);
+  Printf.printf
+    "\nreuse-timer load (executed + peak heap-resident, summed): exact %d, tick %d — \
+     %.1f%% lower with the tick wheel\n"
+    t.exact_timer_load t.tick_timer_load (timer_reduction_pct t);
+  Printf.printf
+    "total simulator load (same metric over all event kinds):   exact %d, tick %d — \
+     %.1f%% lower\n"
+    t.exact_total_load t.tick_total_load (total_reduction_pct t)
+
+let side_json s =
+  [
+    ("events", Json.Int s.events);
+    ("peak_heap", Json.Int s.peak_heap);
+    ("reuse_timer_events", Json.Int s.timer_events);
+    ("peak_reuse_timers", Json.Int s.timer_peak);
+    ("time_to_quiet_s", Json.Float s.quiet);
+  ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("workload", Json.String "fig8 damped-mesh sweep");
+      ("tick_seconds", Json.Float t.tick);
+      ( "points",
+        Json.List
+          (List.map
+             (fun p ->
+               Json.Obj
+                 [
+                   ("pulses", Json.Int p.pulses);
+                   ("exact", Json.Obj (side_json p.exact));
+                   ("tick", Json.Obj (side_json p.tick));
+                 ])
+             t.points) );
+      ("exact_timer_load", Json.Int t.exact_timer_load);
+      ("tick_timer_load", Json.Int t.tick_timer_load);
+      ("timer_reduction_pct", Json.Float (timer_reduction_pct t));
+      ("exact_total_load", Json.Int t.exact_total_load);
+      ("tick_total_load", Json.Int t.tick_total_load);
+      ("total_reduction_pct", Json.Float (total_reduction_pct t));
+    ]

@@ -140,6 +140,14 @@ let probe_arg =
   let doc = "Trace penalties at the first router at this hop distance from the origin." in
   Arg.(value & opt (some int) None & info [ "probe-distance" ] ~doc)
 
+let reuse_tick_arg =
+  let doc =
+    "Schedule reuse timers on an RFC 2439 reuse-list tick wheel with this tick period \
+     (seconds) instead of one exact timer per suppressed route. Reuse then happens at \
+     the first tick boundary at or after the exact reuse instant."
+  in
+  Arg.(value & opt (some float) None & info [ "reuse-tick" ] ~docv:"SECONDS" ~doc)
+
 (* ------------------------------------------------------------------ *)
 (* Run budgets and fault injection (shared by run and sweep)           *)
 
@@ -210,10 +218,14 @@ let faults_term =
     const make $ loss_arg $ dup_arg $ chaos_flaps_arg $ chaos_window_arg
     $ chaos_downtime_arg $ chaos_seed_arg)
 
-let build_scenario ?faults topology damping mode policy pulses interval mrai seed isp probe =
+let build_scenario ?faults ?reuse_tick topology damping mode policy pulses interval mrai
+    seed isp probe =
   let base = { Config.default with Config.mrai; seed } in
+  let reuse = match reuse_tick with None -> Config.Exact | Some t -> Config.Tick t in
   let config =
-    match damping with None -> base | Some params -> Config.with_damping ~mode params base
+    match damping with
+    | None -> base
+    | Some params -> Config.with_damping ~mode ~reuse params base
   in
   let probe =
     match probe with None -> Scenario.No_probe | Some d -> Scenario.At_distance d
@@ -230,11 +242,11 @@ let transcript_arg =
   Arg.(value & opt (some int) None & info [ "transcript" ] ~docv:"N" ~doc)
 
 let run_cmd =
-  let action topology damping mode policy pulses interval mrai seed isp probe transcript
-      budget faults =
+  let action topology damping mode policy pulses interval mrai seed isp probe reuse_tick
+      transcript budget faults =
     let scenario =
-      build_scenario ?faults topology damping mode policy pulses interval mrai seed isp
-        probe
+      build_scenario ?faults ?reuse_tick topology damping mode policy pulses interval mrai
+        seed isp probe
     in
     let trace = Rfd.Trace.create ~enabled:(transcript <> None) () in
     let observe net = Rfd.Tracing.attach trace (Rfd.Network.hooks net) in
@@ -283,8 +295,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const action $ topology_arg $ damping_arg $ mode_arg $ policy_arg $ pulses_arg
-      $ interval_arg $ mrai_arg $ seed_arg $ isp_arg $ probe_arg $ transcript_arg
-      $ budget_term $ faults_term)
+      $ interval_arg $ mrai_arg $ seed_arg $ isp_arg $ probe_arg $ reuse_tick_arg
+      $ transcript_arg $ budget_term $ faults_term)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
@@ -301,10 +313,11 @@ let jobs_arg =
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let sweep_cmd =
-  let action topology damping mode policy interval mrai seed isp max_pulses jobs budget
-      faults =
+  let action topology damping mode policy interval mrai seed isp reuse_tick max_pulses
+      jobs budget faults =
     let scenario =
-      build_scenario ?faults topology damping mode policy 1 interval mrai seed isp None
+      build_scenario ?faults ?reuse_tick topology damping mode policy 1 interval mrai seed
+        isp None
     in
     let jobs = if jobs <= 0 then Rfd.Pool.default_jobs () else jobs in
     let pulses = List.init max_pulses (fun i -> i + 1) in
@@ -339,8 +352,8 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const action $ topology_arg $ damping_arg $ mode_arg $ policy_arg $ interval_arg
-      $ mrai_arg $ seed_arg $ isp_arg $ max_pulses_arg $ jobs_arg $ budget_term
-      $ faults_term)
+      $ mrai_arg $ seed_arg $ isp_arg $ reuse_tick_arg $ max_pulses_arg $ jobs_arg
+      $ budget_term $ faults_term)
 
 (* ------------------------------------------------------------------ *)
 (* intended                                                            *)

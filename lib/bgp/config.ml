@@ -1,5 +1,7 @@
 type damping_mode = Plain | Rcn | Selective
 
+type reuse_mode = Exact | Tick of float
+
 type deployment = Everywhere | Nowhere | Fraction of float | Only of int list
 
 type t = {
@@ -12,6 +14,7 @@ type t = {
   damping : Rfd_damping.Params.t option;
   damping_overrides : (int * Rfd_damping.Params.t) list;
   damping_mode : damping_mode;
+  reuse_mode : reuse_mode;
   deployment : deployment;
   rcn_history : int;
   seed : int;
@@ -28,13 +31,14 @@ let default =
     damping = None;
     damping_overrides = [];
     damping_mode = Plain;
+    reuse_mode = Exact;
     deployment = Everywhere;
     rcn_history = 128;
     seed = 42;
   }
 
-let with_damping ?(mode = Plain) ?(deployment = Everywhere) params t =
-  { t with damping = Some params; damping_mode = mode; deployment }
+let with_damping ?(mode = Plain) ?(reuse = Exact) ?(deployment = Everywhere) params t =
+  { t with damping = Some params; damping_mode = mode; reuse_mode = reuse; deployment }
 
 let validate t =
   let lo, hi = t.mrai_jitter in
@@ -43,6 +47,11 @@ let validate t =
   else if t.link_delay <= 0. then Error "link_delay must be positive"
   else if t.link_jitter < 0. then Error "link_jitter must be non-negative"
   else if t.rcn_history <= 0 then Error "rcn_history must be positive"
+  else if
+    match t.reuse_mode with
+    | Exact -> false
+    | Tick tick -> (not (Float.is_finite tick)) || tick <= 0.
+  then Error "reuse tick must be positive and finite"
   else
     let override_error =
       List.fold_left

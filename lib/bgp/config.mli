@@ -11,6 +11,18 @@ type damping_mode =
       (** Mao et al. baseline: skip the penalty for announcements the sender
           marked as monotonically worse (path exploration). *)
 
+type reuse_mode =
+  | Exact
+      (** one simulator timer per suppressed entry, armed at the analytic
+          reuse instant — the reference behaviour, bit-identical to all
+          historical results *)
+  | Tick of float
+      (** RFC 2439 §4.8.6 reuse lists: suppressed entries are bucketed onto
+          a shared per-router tick wheel with this tick period (seconds).
+          Reuse fires at the first tick boundary at or after the analytic
+          reuse instant — within one tick of [Exact] — and a whole bucket
+          costs one simulator event, as deployed routers behave. *)
+
 type deployment =
   | Everywhere
   | Nowhere
@@ -37,6 +49,9 @@ type t = {
           Section 6 "diverse damping parameter settings"; only meaningful
           where damping is deployed *)
   damping_mode : damping_mode;
+  reuse_mode : reuse_mode;
+      (** how reuse timers are scheduled where damping is deployed;
+          [Exact] by default *)
   deployment : deployment;
   rcn_history : int;  (** per-peer root-cause history capacity *)
   seed : int;  (** master RNG seed for jitter and deployment sampling *)
@@ -46,7 +61,13 @@ val default : t
 (** No damping, MRAI 30 s with jitter factor in [0.75, 1.0], link delay
     0.05 s with 0.05 s jitter, seed 42. *)
 
-val with_damping : ?mode:damping_mode -> ?deployment:deployment -> Rfd_damping.Params.t -> t -> t
+val with_damping :
+  ?mode:damping_mode ->
+  ?reuse:reuse_mode ->
+  ?deployment:deployment ->
+  Rfd_damping.Params.t ->
+  t ->
+  t
 (** Convenience: enable damping on top of an existing configuration. *)
 
 val validate : t -> (unit, string) result

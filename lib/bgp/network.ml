@@ -288,6 +288,12 @@ let run ?until t = Sim.run ?until t.sim
 
 let in_flight t = t.in_flight
 
+let reuse_timer_events t =
+  Array.fold_left (fun acc r -> acc + Router.reuse_timer_events r) 0 t.routers
+
+let peak_reuse_timers t =
+  Array.fold_left (fun acc r -> acc + Router.peak_reuse_timers r) 0 t.routers
+
 let activity t =
   Array.fold_left
     (fun acc r -> Oracle.add acc (Router.activity r))

@@ -100,6 +100,16 @@ val run : ?until:float -> t -> unit
 val in_flight : t -> int
 (** Messages currently on the wire. *)
 
+val reuse_timer_events : t -> int
+(** Total {!Router.reuse_timer_events} across routers — simulator events
+    spent on reuse scheduling. *)
+
+val peak_reuse_timers : t -> int
+(** Sum of every router's {!Router.peak_reuse_timers}. Per-router peaks
+    need not coincide in time, so this is an upper bound on the network's
+    simultaneous reuse-timer heap residency (and exact in the common case
+    where suppression builds up network-wide before any timer fires). *)
+
 val activity : t -> Oracle.counts
 (** Exact live totals: in-flight messages plus every router's parked MRAI
     updates, armed flush timers and outstanding reuse timers. *)

@@ -2,6 +2,7 @@ module Sim = Rfd_engine.Sim
 module Rng = Rfd_engine.Rng
 module Damper = Rfd_damping.Damper
 module History = Rfd_damping.History
+module Reuse_index = Rfd_damping.Reuse_index
 
 type desired = D_announce of Route.t | D_withdraw
 
@@ -9,6 +10,7 @@ type entry = {
   mutable route : Route.t option;
   damper : Damper.t option;
   mutable reuse_pending : bool; (* a reuse timer is outstanding for this entry *)
+  mutable wheel_slot : int; (* bucket holding this entry while reuse_pending in Tick mode *)
   mutable last_rc : Root_cause.t option;
 }
 
@@ -29,12 +31,32 @@ type peer_state = {
   mutable up : bool;
 }
 
+(* RFC 2439 §4.8.6 reuse list (Config.Tick mode): suppressed entries are
+   bucketed by absolute tick number [k] (firing at [k *. tick]) instead of
+   each arming its own simulator timer. One armed event per occupied slot,
+   one table lookup per suppression; a re-charged entry migrates to the
+   slot covering its new reuse instant, and a bucket emptied by migration
+   cancels its event instead of firing a pointless re-check. *)
+type bucket = {
+  b_event : Sim.event_id;
+  mutable b_items : (peer_state * Prefix.t * entry) list; (* reverse insertion order *)
+}
+
+type wheel = {
+  w_index : Reuse_index.t;
+  w_tick : float;
+  w_lambda : float; (* decay rate of the router's damping params *)
+  w_slots : (int, bucket) Hashtbl.t;
+}
+
 type t = {
   sim : Sim.t;
   id : int;
   policy : Policy.t;
   config : Config.t;
   damping : Rfd_damping.Params.t option;
+  wheel : wheel option; (* Some iff damping is on and reuse_mode is Tick *)
+  decay_cache : Damper.cache option; (* shared across this router's dampers *)
   hooks : Hooks.t;
   rng : Rng.t;
   peers : (int, peer_state) Hashtbl.t;
@@ -42,6 +64,13 @@ type t = {
   loc_rib : (Prefix.t, int option * Route.t) Hashtbl.t; (* learned-from peer, route *)
   originated : (Prefix.t, unit) Hashtbl.t;
   mutable rc_seq : int;
+  (* Reuse-timer accounting, the cost centre the tick wheel optimises:
+     simulator events spent on reuse scheduling (fired per-entry timers in
+     Exact mode, fired wheel slots in Tick mode) and how many such events
+     sit in the simulator heap at once. *)
+  mutable timer_events : int;
+  mutable timer_live : int;
+  mutable timer_peak : int;
 }
 
 let create ~sim ~id ~policy ~config ~damping ~rng ~hooks =
@@ -54,12 +83,26 @@ let create ~sim ~id ~policy ~config ~damping ~rng ~hooks =
       | Ok () -> ()
       | Error msg -> invalid_arg ("Router.create: damping params: " ^ msg))
   | None -> ());
+  let wheel =
+    match (damping, config.Config.reuse_mode) with
+    | Some params, Config.Tick tick ->
+        Some
+          {
+            w_index = Reuse_index.create ~tick params;
+            w_tick = tick;
+            w_lambda = Rfd_damping.Params.lambda params;
+            w_slots = Hashtbl.create 16;
+          }
+    | Some _, Config.Exact | None, _ -> None
+  in
   {
     sim;
     id;
     policy;
     config;
     damping;
+    wheel;
+    decay_cache = Option.map (fun _ -> Damper.cache ()) damping;
     hooks;
     rng;
     peers = Hashtbl.create 8;
@@ -67,6 +110,9 @@ let create ~sim ~id ~policy ~config ~damping ~rng ~hooks =
     loc_rib = Hashtbl.create 8;
     originated = Hashtbl.create 4;
     rc_seq = 0;
+    timer_events = 0;
+    timer_live = 0;
+    timer_peak = 0;
   }
 
 let id t = t.id
@@ -298,7 +344,16 @@ let decision t prefix ~trigger_rc =
 (* ------------------------------------------------------------------ *)
 (* Damping                                                             *)
 
+let timer_armed t =
+  t.timer_live <- t.timer_live + 1;
+  if t.timer_live > t.timer_peak then t.timer_peak <- t.timer_live
+
+let timer_fired t =
+  t.timer_events <- t.timer_events + 1;
+  t.timer_live <- t.timer_live - 1
+
 let rec reuse_fire t ps prefix entry =
+  timer_fired t;
   entry.reuse_pending <- false;
   match entry.damper with
   | Some damper when Damper.suppressed damper -> (
@@ -306,6 +361,7 @@ let rec reuse_fire t ps prefix entry =
       match Damper.try_reuse damper ~now with
       | `Not_yet time ->
           entry.reuse_pending <- true;
+          timer_armed t;
           ignore
             (Sim.schedule_at t.sim ~time:(time +. 1e-6) (fun _ -> reuse_fire t ps prefix entry))
       | `Reused ->
@@ -314,17 +370,100 @@ let rec reuse_fire t ps prefix entry =
             ~noisy:(emitted > 0))
   | Some _ | None -> ()
 
+(* ---- Tick-mode reuse wheel ---- *)
+
+let wheel_slot_time w slot = float_of_int slot *. w.w_tick
+
+(* First grid slot at or after [time]. *)
+let wheel_slot_after w time = int_of_float (Float.ceil (time /. w.w_tick))
+
+(* The slot whose boundary is the first grid point at or after the exact
+   reuse instant. Decaying the penalty forward to the next boundary before
+   consulting the index table keeps the quantisation error inside one tick
+   regardless of where [now] falls between boundaries. *)
+let wheel_slot_for w damper ~now =
+  let next = wheel_slot_after w now in
+  let dt = wheel_slot_time w next -. now in
+  let penalty = Damper.penalty damper ~now in
+  let penalty = if dt > 0. then penalty *. exp (-.w.w_lambda *. dt) else penalty in
+  next + Reuse_index.ticks_to_reuse w.w_index ~penalty
+
+let rec wheel_park t w ps prefix entry ~slot =
+  (match Hashtbl.find_opt w.w_slots slot with
+  | Some b -> b.b_items <- (ps, prefix, entry) :: b.b_items
+  | None ->
+      timer_armed t;
+      let time = Float.max (wheel_slot_time w slot) (Sim.now t.sim) in
+      let ev = Sim.schedule_at t.sim ~time (fun _ -> wheel_fire t w slot) in
+      Hashtbl.replace w.w_slots slot { b_event = ev; b_items = [ (ps, prefix, entry) ] });
+  entry.reuse_pending <- true;
+  entry.wheel_slot <- slot
+
+and wheel_fire t w slot =
+  match Hashtbl.find_opt w.w_slots slot with
+  | None -> ()
+  | Some bucket ->
+      timer_fired t;
+      Hashtbl.remove w.w_slots slot;
+      let now = Sim.now t.sim in
+      List.iter
+        (fun (ps, prefix, entry) ->
+          entry.reuse_pending <- false;
+          match entry.damper with
+          | Some damper when Damper.suppressed damper -> (
+              match Damper.try_reuse damper ~now with
+              | `Not_yet time ->
+                  (* Residual quantisation slack (the exact instant fell just
+                     past this boundary): move to the slot covering the real
+                     reuse time, strictly after this one so the wheel always
+                     drains. *)
+                  wheel_park t w ps prefix entry
+                    ~slot:(max (slot + 1) (wheel_slot_after w time))
+              | `Reused ->
+                  let emitted = decision t prefix ~trigger_rc:entry.last_rc in
+                  t.hooks.Hooks.on_reuse ~time:now ~router:t.id ~peer:ps.peer_id ~prefix
+                    ~noisy:(emitted > 0))
+          | Some _ | None -> ())
+        (List.rev bucket.b_items)
+
+(* A fresh charge on a queued entry pushed its reuse instant out: migrate
+   the entry to the slot covering the new instant (RFC 2439's "move to
+   another reuse list"). A bucket emptied by migration cancels its event
+   rather than firing a pointless re-check. *)
+let wheel_postpone t w ps prefix entry damper =
+  let slot = wheel_slot_for w damper ~now:(Sim.now t.sim) in
+  if slot <> entry.wheel_slot then begin
+    (match Hashtbl.find_opt w.w_slots entry.wheel_slot with
+    | Some b ->
+        b.b_items <- List.filter (fun (_, _, e) -> e != entry) b.b_items;
+        if b.b_items = [] then begin
+          Sim.cancel t.sim b.b_event;
+          Hashtbl.remove w.w_slots entry.wheel_slot;
+          t.timer_live <- t.timer_live - 1
+        end
+    | None -> ());
+    wheel_park t w ps prefix entry ~slot
+  end
+
 let schedule_reuse t ps prefix entry =
   if not entry.reuse_pending then begin
     match entry.damper with
     | None -> ()
-    | Some damper ->
-        entry.reuse_pending <- true;
+    | Some damper -> (
         let now = Sim.now t.sim in
-        let time = Damper.reuse_time damper ~now +. 1e-6 in
-        ignore (Sim.schedule_at t.sim ~time (fun _ -> reuse_fire t ps prefix entry));
-        t.hooks.Hooks.on_reuse_schedule ~time:now ~router:t.id ~peer:ps.peer_id ~prefix
-          ~at:time
+        match t.wheel with
+        | Some w ->
+            let slot = wheel_slot_for w damper ~now in
+            wheel_park t w ps prefix entry ~slot;
+            t.hooks.Hooks.on_reuse_schedule ~time:now ~router:t.id ~peer:ps.peer_id ~prefix
+              ~at:(wheel_slot_time w slot)
+        | None ->
+            entry.reuse_pending <- true;
+            timer_armed t;
+            let time = Damper.reuse_time damper ~now +. 1e-6 in
+            ignore (Sim.schedule_at t.sim ~time (fun _ -> reuse_fire t ps prefix entry));
+            t.hooks.Hooks.on_reuse_schedule ~time:now ~router:t.id ~peer:ps.peer_id ~prefix
+              ~at:time)
   end
 
 (* Apply a damping event to an entry. [count] is false when the RCN or
@@ -342,14 +481,19 @@ let apply_damping t ps prefix entry event ~count =
         | `Suppressed ->
             t.hooks.Hooks.on_suppress ~time:now ~router:t.id ~peer:ps.peer_id ~prefix;
             schedule_reuse t ps prefix entry
-        | `Ok ->
-            (* Charging an already-suppressed entry postpones its reuse; the
-               outstanding timer re-checks and re-schedules itself. *)
-            ())
+        | `Ok -> (
+            (* Charging an already-suppressed entry postpones its reuse. In
+               Exact mode the outstanding timer re-checks and re-schedules
+               itself when it fires; in Tick mode the entry migrates to its
+               new slot immediately. *)
+            match t.wheel with
+            | Some w when entry.reuse_pending && Damper.suppressed damper ->
+                wheel_postpone t w ps prefix entry damper
+            | Some _ | None -> ()))
 
 let new_entry t =
-  let damper = Option.map Damper.create t.damping in
-  { route = None; damper; reuse_pending = false; last_rc = None }
+  let damper = Option.map (Damper.create ?cache:t.decay_cache) t.damping in
+  { route = None; damper; reuse_pending = false; wheel_slot = 0; last_rc = None }
 
 let find_or_create_entry t ps prefix =
   match Hashtbl.find_opt ps.rib_in prefix with
@@ -557,6 +701,9 @@ let penalty t ~peer prefix =
   match entry_damper t ~peer prefix with
   | Some damper -> Damper.penalty damper ~now:(Sim.now t.sim)
   | None -> 0.
+
+let reuse_timer_events t = t.timer_events
+let peak_reuse_timers t = t.timer_peak
 
 let suppressed_count t =
   Hashtbl.fold

@@ -93,6 +93,16 @@ val penalty : t -> peer:int -> Prefix.t -> float
 val suppressed_count : t -> int
 (** Number of currently suppressed RIB-In entries across peers/prefixes. *)
 
+val reuse_timer_events : t -> int
+(** Simulator events this router has spent on reuse scheduling so far:
+    fired per-entry reuse timers in [Config.Exact] mode (including [`Not_yet]
+    re-checks), fired wheel slots in [Config.Tick] mode. *)
+
+val peak_reuse_timers : t -> int
+(** High-water mark of this router's reuse-scheduling events resident in
+    the simulator heap at once — per-entry timers ([Exact]) or occupied
+    wheel slots ([Tick]). *)
+
 val known_prefixes : t -> Prefix.t list
 (** Prefixes present in Loc-RIB or any RIB-In, ascending, deduplicated. *)
 

@@ -38,6 +38,7 @@ module Collector = Rfd_experiment.Collector
 module Intended = Rfd_experiment.Intended
 module Phases = Rfd_experiment.Phases
 module Report = Rfd_experiment.Report
+module Json = Rfd_experiment.Json
 module Plot = Rfd_experiment.Plot
 module Tracing = Rfd_experiment.Tracing
 

@@ -1,27 +1,62 @@
 type event = Withdrawal | Reannouncement | Attribute_change
 
+(* One-slot memo for decay factors. Within a simulation step many entries
+   settle over the same [dt] (a session flap withdraws a whole table at one
+   instant; a flap train touches entries in lockstep), so the owner shares
+   one cache across its dampers and each repeated [dt] costs a float
+   compare instead of an [exp]. The factor is the bit-identical result of
+   the same [exp] call, so cached and uncached runs are indistinguishable. *)
+type cache = {
+  mutable c_lambda : float;
+  mutable c_dt : float;
+  mutable c_factor : float;
+}
+
+let cache () = { c_lambda = Float.nan; c_dt = Float.nan; c_factor = 1. }
+
 type t = {
   params : Params.t;
+  lambda : float; (* decay rate, precomputed from params *)
+  cache : cache option;
   mutable value : float; (* penalty as of [at] *)
   mutable at : float;
   mutable suppressed : bool;
   mutable recorded : int;
 }
 
-let create params =
+let create ?cache params =
   (match Params.validate params with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Damper.create: " ^ msg));
-  { params; value = 0.; at = 0.; suppressed = false; recorded = 0 }
+  {
+    params;
+    lambda = Params.lambda params;
+    cache;
+    value = 0.;
+    at = 0.;
+    suppressed = false;
+    recorded = 0;
+  }
 
 let params t = t.params
+
+let decay_factor t ~dt =
+  match t.cache with
+  | Some c when c.c_lambda = t.lambda && c.c_dt = dt -> c.c_factor
+  | Some c ->
+      let f = exp (-.t.lambda *. dt) in
+      c.c_lambda <- t.lambda;
+      c.c_dt <- dt;
+      c.c_factor <- f;
+      f
+  | None -> exp (-.t.lambda *. dt)
 
 let settle t ~now =
   (* Fold the decay since the last touch into [value]. *)
   if now < t.at -. 1e-9 then invalid_arg "Damper: clock moved backwards";
   let dt = Float.max 0. (now -. t.at) in
   if dt > 0. then begin
-    t.value <- Params.decay t.params ~penalty:t.value ~dt;
+    t.value <- t.value *. decay_factor t ~dt;
     t.at <- now
   end
 
@@ -47,6 +82,7 @@ let record t ~now event =
   else `Ok
 
 let reuse_time t ~now =
+  if not t.suppressed then invalid_arg "Damper.reuse_time: entry is not suppressed";
   settle t ~now;
   now +. Params.reuse_delay t.params ~penalty:t.value
 
@@ -57,7 +93,10 @@ let try_reuse t ~now =
     t.suppressed <- false;
     `Reused
   end
-  else `Not_yet (reuse_time t ~now)
+  else
+    (* [settle] already ran, so the delay reads [value] directly instead of
+       going through {!reuse_time}'s redundant second settle. *)
+    `Not_yet (now +. Params.reuse_delay t.params ~penalty:t.value)
 
 let events_recorded t = t.recorded
 

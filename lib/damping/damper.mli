@@ -16,9 +16,20 @@ type event =
 
 type t
 
-val create : Params.t -> t
+type cache
+(** One-slot decay-factor memo shareable across dampers with identical
+    parameters (e.g. every RIB-In entry of one router). Entries touched at
+    the same instants settle over the same [dt]; the cache turns those
+    repeated [exp] calls into a float compare. Results are bit-identical
+    with or without a cache. *)
+
+val cache : unit -> cache
+
+val create : ?cache:cache -> Params.t -> t
 (** Fresh state: zero penalty, not suppressed. Raises [Invalid_argument]
-    when the parameters fail {!Params.validate}. *)
+    when the parameters fail {!Params.validate}. [cache], when given, must
+    only be shared among dampers created with an equal half-life (the memo
+    is keyed on the decay rate, so a mismatch is safe but useless). *)
 
 val params : t -> Params.t
 
@@ -35,8 +46,10 @@ val record : t -> now:float -> event -> [ `Ok | `Suppressed ]
 
 val reuse_time : t -> now:float -> float
 (** Absolute time at which the penalty will have decayed to the reuse
-    threshold ([now] if it already has). Meaningful whether or not the entry
-    is suppressed. *)
+    threshold ([now] if it already has). Raises [Invalid_argument] if the
+    entry is not suppressed — an unsuppressed entry has no reuse event, and
+    the zero delay this call used to return would arm a timer that fires
+    immediately. *)
 
 val try_reuse : t -> now:float -> [ `Reused | `Not_yet of float ]
 (** If the penalty has decayed below the reuse threshold, clear the

@@ -1,6 +1,7 @@
 type t = {
   params : Params.t;
   tick : float;
+  lambda : float;
   (* boundaries.(i) is the smallest penalty whose reuse takes more than
      [i] ticks; a penalty in (boundaries.(i-1), boundaries.(i)] reuses
      after i ticks. *)
@@ -20,10 +21,19 @@ let create ?(tick = 15.) ?(array_size = 1024) params =
     Array.init array_size (fun i ->
         params.Params.reuse *. exp (lambda *. tick *. float_of_int i))
   in
-  { params; tick; boundaries }
+  { params; tick; lambda; boundaries }
 
 let tick t = t.tick
 let array_size t = Array.length t.boundaries
+
+(* Penalties beyond the last table entry fall back to the closed form: the
+   smallest i with penalty <= reuse * exp(lambda * tick * i), i.e.
+   ceil(log(penalty / reuse) / (lambda * tick)). Clamping to the table
+   instead (the old behaviour) under-estimated the delay, releasing the
+   route while its penalty was still above the reuse threshold. *)
+let overflow_index t ~penalty =
+  let exact = log (penalty /. t.params.Params.reuse) /. (t.lambda *. t.tick) in
+  int_of_float (Float.ceil (exact -. 1e-9))
 
 let index_of t ~penalty =
   if penalty <= t.params.Params.reuse then 0
@@ -31,7 +41,7 @@ let index_of t ~penalty =
     let n = Array.length t.boundaries in
     (* first index whose boundary is >= penalty, by binary search *)
     let lo = ref 0 and hi = ref (n - 1) in
-    if penalty > t.boundaries.(n - 1) then !hi
+    if penalty > t.boundaries.(n - 1) then overflow_index t ~penalty
     else begin
       while !lo < !hi do
         let mid = (!lo + !hi) / 2 in

@@ -23,12 +23,15 @@ val array_size : t -> int
 
 val index_of : t -> penalty:float -> int
 (** Reuse-array slot for a penalty: 0 when the penalty is already at or
-    below the reuse threshold, otherwise the number of ticks (clamped to
-    the array) after which the route is eligible for reuse. *)
+    below the reuse threshold, otherwise the number of ticks after which
+    the route is eligible for reuse. Penalties beyond the last table entry
+    fall back to the exact closed-form tick count (they are {e not} clamped
+    to the array, which would under-estimate the delay and release the
+    route early). *)
 
 val delay_of : t -> penalty:float -> float
 (** Quantised delay until reuse: [index_of * tick]. Always >= the exact
-    {!Params.reuse_delay} minus one tick, and <= it plus one tick. *)
+    {!Params.reuse_delay}, and < it plus one tick. *)
 
 val ticks_to_reuse : t -> penalty:float -> int
 (** Alias of {!index_of} with clearer intent. *)

@@ -9,6 +9,9 @@ type t = {
   mutable executed : int;
   mutable data : event array;
   mutable size : int;
+  mutable dead : int; (* cancelled events still occupying heap slots *)
+  mutable max_size : int; (* high-water mark of [size] *)
+  mutable compactions : int;
 }
 
 and event = {
@@ -20,7 +23,19 @@ and event = {
 
 type event_id = event
 
-let create () = { clock = 0.; seq = 0; live = 0; executed = 0; data = [||]; size = 0 }
+let create () =
+  {
+    clock = 0.;
+    seq = 0;
+    live = 0;
+    executed = 0;
+    data = [||];
+    size = 0;
+    dead = 0;
+    max_size = 0;
+    compactions = 0;
+  }
+
 let now t = t.clock
 
 let earlier a b = a.time < b.time || (a.time = b.time && a.order < b.order)
@@ -61,6 +76,7 @@ let heap_push t ev =
   if t.size >= Array.length t.data then grow t ev;
   t.data.(t.size) <- ev;
   t.size <- t.size + 1;
+  if t.size > t.max_size then t.max_size <- t.size;
   sift_up t (t.size - 1)
 
 let heap_pop t =
@@ -80,8 +96,42 @@ let heap_pop t =
 let rec drop_dead t =
   if t.size > 0 && t.data.(0).state <> `Pending then begin
     ignore (heap_pop t);
+    t.dead <- t.dead - 1;
     drop_dead t
   end
+
+(* Lazy deletion alone lets cancelled events pile up below the root
+   (a workload that arms and cancels timers faster than it drains them
+   grows the heap without bound). When more than half the occupied slots
+   are dead, rebuild in place: keep the pending events, discard the rest,
+   and re-establish the heap property bottom-up (Floyd). Pop order is
+   untouched — it is fully determined by the total (time, order) key, not
+   by the heap's internal layout. *)
+let compact_threshold = 64
+
+let compact t =
+  let kept = ref 0 in
+  for i = 0 to t.size - 1 do
+    let ev = t.data.(i) in
+    if ev.state = `Pending then begin
+      t.data.(!kept) <- ev;
+      incr kept
+    end
+  done;
+  (* Release dropped slots so dead events' closures can be collected. *)
+  if !kept > 0 then
+    for i = !kept to t.size - 1 do
+      t.data.(i) <- t.data.(0)
+    done;
+  t.size <- !kept;
+  t.dead <- 0;
+  t.compactions <- t.compactions + 1;
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done
+
+let maybe_compact t =
+  if t.size >= compact_threshold && 2 * t.dead > t.size then compact t
 
 let schedule_at t ~time f =
   if Float.is_nan time then invalid_arg "Sim.schedule_at: NaN time";
@@ -100,11 +150,17 @@ let cancel t ev =
   match ev.state with
   | `Pending ->
       ev.state <- `Cancelled;
-      t.live <- t.live - 1
+      t.live <- t.live - 1;
+      t.dead <- t.dead + 1;
+      maybe_compact t
   | `Cancelled | `Done -> ()
 
 let is_pending _t ev = ev.state = `Pending
 let pending t = t.live
+let heap_size t = t.size
+let dead_count t = t.dead
+let max_heap_size t = t.max_size
+let compactions t = t.compactions
 
 let next_time t =
   drop_dead t;
@@ -176,6 +232,13 @@ type repeating = { mutable current : event option }
 let every t ~interval ?start f =
   if Float.is_nan interval || interval <= 0. then
     invalid_arg "Sim.every: interval must be positive";
+  (match start with
+  | Some time when Float.is_nan time || time < t.clock ->
+      invalid_arg
+        (Printf.sprintf
+           "Sim.every: start %g is in the past (now %g, interval %g)" time t.clock
+           interval)
+  | Some _ | None -> ());
   (* The chain re-schedules itself through the handle so that [stop] always
      cancels the pending occurrence. *)
   let handle = { current = None } in

@@ -37,6 +37,28 @@ val is_pending : t -> event_id -> bool
 val pending : t -> int
 (** Number of live (non-cancelled) pending events. *)
 
+(** {2 Heap observability}
+
+    The event queue deletes lazily: a cancelled event keeps its heap slot
+    until it surfaces at the root — or until a compaction pass reclaims it.
+    Compaction runs automatically when more than half the occupied slots are
+    dead (and the heap holds at least 64 events); it preserves the exact
+    (time, scheduling-order) pop sequence. *)
+
+val heap_size : t -> int
+(** Occupied heap slots right now, live plus dead. *)
+
+val dead_count : t -> int
+(** Cancelled events still occupying heap slots ([heap_size - dead_count]
+    live events are heap-resident). *)
+
+val max_heap_size : t -> int
+(** High-water mark of {!heap_size} over the simulator's lifetime — the
+    peak memory residency of the event queue. *)
+
+val compactions : t -> int
+(** Number of compaction passes performed so far. *)
+
 val next_time : t -> float option
 (** Time of the earliest live pending event, if any. *)
 
@@ -75,7 +97,9 @@ val every : t -> interval:float -> ?start:float -> (t -> bool) -> repeating
 (** [every sim ~interval f] runs [f] at [start] (default [now + interval])
     and then every [interval] seconds for as long as [f] returns [true].
     Useful for periodic gauges. Raises [Invalid_argument] on a non-positive
-    interval. *)
+    interval, or on a [start] that lies in the past — the error names both
+    the start and the interval, rather than surfacing later as an opaque
+    [Sim.schedule_at] failure. *)
 
 val stop : t -> repeating -> unit
 (** Cancel the pending occurrence and all future ones. Idempotent. *)

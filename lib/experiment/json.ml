@@ -1,0 +1,93 @@
+(* Minimal JSON emission for machine-readable benchmark artefacts. Output
+   only — the harness writes BENCH_*.json files; nothing in the library
+   parses JSON — so a tiny hand-rolled printer avoids a dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* JSON has no NaN/Infinity literals; emit null for them. A float that
+   happens to be integral still prints with a decimal point so consumers
+   can't mistake its type across runs. *)
+let float_repr f =
+  if not (Float.is_finite f) then "null"
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if String.contains s '.' || String.contains s 'e' || String.contains s 'n' then s
+    else s ^ ".0"
+
+let rec add buf ~indent ~level v =
+  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let sep () = if indent then Buffer.add_string buf "\n" in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> add_escaped buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_char buf '[';
+      sep ();
+      List.iteri
+        (fun i item ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            sep ()
+          end;
+          pad (level + 1);
+          add buf ~indent ~level:(level + 1) item)
+        items;
+      sep ();
+      pad level;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      sep ();
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            sep ()
+          end;
+          pad (level + 1);
+          add_escaped buf key;
+          Buffer.add_string buf (if indent then ": " else ":");
+          add buf ~indent ~level:(level + 1) value)
+        fields;
+      sep ();
+      pad level;
+      Buffer.add_char buf '}'
+
+let to_string ?(minify = false) v =
+  let buf = Buffer.create 256 in
+  add buf ~indent:(not minify) ~level:0 v;
+  if not minify then Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let write_file path v =
+  let oc = open_out path in
+  output_string oc (to_string v);
+  close_out oc

@@ -1,0 +1,20 @@
+(** Minimal JSON emission (output only) for machine-readable benchmark
+    artefacts such as [BENCH_baseline.json]. Hand-rolled so the library
+    carries no parsing dependency; deterministic output (field order is the
+    construction order, floats print via ["%.12g"]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** NaN and infinities print as [null] *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?minify:bool -> t -> string
+(** Pretty-printed with two-space indentation and a trailing newline by
+    default; [~minify:true] emits the compact single-line form. *)
+
+val write_file : string -> t -> unit
+(** [write_file path v] writes {!to_string}[ v] to [path], truncating. *)

@@ -47,6 +47,9 @@ type result = {
   spans : Phases.span list;
   background : (int * Prefix.t) list;
   sim_events : int;
+  peak_heap : int;
+  reuse_timer_events : int;
+  peak_reuse_timers : int;
   wall_seconds : float;
   cpu_seconds : float;
 }
@@ -242,6 +245,9 @@ let run ?(budget = no_budget) ?observe scenario =
     spans;
     background;
     sim_events = Sim.events_executed sim;
+    peak_heap = Sim.max_heap_size sim;
+    reuse_timer_events = Network.reuse_timer_events net;
+    peak_reuse_timers = Network.peak_reuse_timers net;
     wall_seconds = Rfd_engine.Clock.wall () -. wall_start;
     cpu_seconds = Rfd_engine.Clock.cpu () -. cpu_start;
   }

@@ -81,6 +81,17 @@ type result = {
       (** (node, prefix) placement of every background prefix, in
           origination order *)
   sim_events : int;
+  peak_heap : int;
+      (** high-water mark of the simulator heap over the whole run
+          ({!Rfd_engine.Sim.max_heap_size}) — resident events, including
+          cancelled-but-not-yet-compacted ones *)
+  reuse_timer_events : int;
+      (** simulator events spent on reuse scheduling
+          ({!Rfd_bgp.Network.reuse_timer_events}) — the cost centre the
+          tick-wheel reuse mode collapses *)
+  peak_reuse_timers : int;
+      (** summed per-router peaks of heap-resident reuse-scheduling events
+          ({!Rfd_bgp.Network.peak_reuse_timers}) *)
   wall_seconds : float;
       (** elapsed host time ({!Rfd_engine.Clock.wall}, monotonic) — real
           duration even when other runs execute concurrently on sibling

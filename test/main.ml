@@ -28,6 +28,7 @@ let () =
       ("bgp.edge_cases", Test_router_edge.suite);
       ("bgp.oracle", Test_oracle.suite);
       ("bgp.session_flap", Test_session_flap.suite);
+      ("bgp.reuse_mode", Test_reuse_mode.suite);
       ("bgp.transport", Test_transport.suite);
       ("faults.plans", Test_faults.suite);
       ("experiment.intended", Test_intended.suite);
@@ -37,6 +38,7 @@ let () =
       ("experiment.phases", Test_phases.suite);
       ("experiment.report", Test_report.suite);
       ("experiment.plot", Test_plot.suite);
+      ("experiment.json", Test_json.suite);
       ("experiment.runner", Test_runner.suite);
       ("experiment.tracing", Test_tracing.suite);
       ("protocol.properties", Test_properties.suite);

@@ -139,6 +139,48 @@ let prop_suppression_implies_cutoff_crossed =
         dts;
       (not (Damper.suppressed d)) || !max_seen > Params.cisco.Params.cutoff)
 
+let test_reuse_time_requires_suppression () =
+  let d = Damper.create Params.cisco in
+  Alcotest.check_raises "unsuppressed entry has no reuse event"
+    (Invalid_argument "Damper.reuse_time: entry is not suppressed") (fun () ->
+      ignore (Damper.reuse_time d ~now:0.));
+  (* one withdrawal is not enough to suppress, so the guard still holds *)
+  ignore (Damper.record d ~now:0. Damper.Withdrawal);
+  Alcotest.check_raises "still guarded below cutoff"
+    (Invalid_argument "Damper.reuse_time: entry is not suppressed") (fun () ->
+      ignore (Damper.reuse_time d ~now:0.))
+
+let prop_shared_cache_is_bit_identical =
+  (* The decay-factor memo must be pure memoization: replaying an arbitrary
+     event schedule through a cached and an uncached damper (plus a second
+     cached one sharing the same memo, like sibling RIB-In entries) yields
+     float-equal penalties at every step. *)
+  QCheck.Test.make ~name:"shared decay cache is bit-identical" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 40) (pair (float_range 0. 2000.) (int_bound 2)))
+    (fun steps ->
+      let cache = Damper.cache () in
+      let plain = Damper.create Params.cisco in
+      let cached = Damper.create ~cache Params.cisco in
+      let sibling = Damper.create ~cache Params.cisco in
+      let now = ref 0. in
+      List.for_all
+        (fun (dt, kind) ->
+          now := !now +. dt;
+          let event =
+            match kind with
+            | 0 -> Damper.Withdrawal
+            | 1 -> Damper.Reannouncement
+            | _ -> Damper.Attribute_change
+          in
+          ignore (Damper.record plain ~now:!now event);
+          ignore (Damper.record cached ~now:!now event);
+          ignore (Damper.record sibling ~now:!now event);
+          let p = Damper.penalty plain ~now:!now in
+          Float.equal p (Damper.penalty cached ~now:!now)
+          && Float.equal p (Damper.penalty sibling ~now:!now)
+          && Damper.suppressed plain = Damper.suppressed cached)
+        steps)
+
 let suite =
   [
     Alcotest.test_case "initial state" `Quick test_initial;
@@ -150,8 +192,10 @@ let suite =
     Alcotest.test_case "clock monotonicity" `Quick test_clock_monotonicity;
     Alcotest.test_case "reuse time and try_reuse" `Quick test_reuse_time_and_try_reuse;
     Alcotest.test_case "try_reuse precondition" `Quick test_try_reuse_requires_suppression;
+    Alcotest.test_case "reuse_time precondition" `Quick test_reuse_time_requires_suppression;
     Alcotest.test_case "charging extends reuse" `Quick test_charging_extends_reuse;
     Alcotest.test_case "juniper re-announcement penalty" `Quick test_juniper_reannouncement_counts;
     QCheck_alcotest.to_alcotest prop_penalty_never_exceeds_cap;
     QCheck_alcotest.to_alcotest prop_suppression_implies_cutoff_crossed;
+    QCheck_alcotest.to_alcotest prop_shared_cache_is_bit_identical;
   ]

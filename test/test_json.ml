@@ -1,0 +1,85 @@
+(* Tests for the dependency-free JSON emitter behind `bench --json`. *)
+
+module Json = Rfd_experiment.Json
+
+let test_scalars () =
+  Alcotest.(check string) "null" "null\n" (Json.to_string Json.Null);
+  Alcotest.(check string) "true" "true\n" (Json.to_string (Json.Bool true));
+  Alcotest.(check string) "false" "false\n" (Json.to_string (Json.Bool false));
+  Alcotest.(check string) "int" "42\n" (Json.to_string (Json.Int 42));
+  Alcotest.(check string) "negative int" "-7\n" (Json.to_string (Json.Int (-7)))
+
+let test_float_repr () =
+  let s v = Json.to_string ~minify:true (Json.Float v) in
+  Alcotest.(check string) "fraction kept" "1.5" (s 1.5);
+  Alcotest.(check string) "integral floats keep a decimal point" "2.0" (s 2.);
+  Alcotest.(check string) "zero" "0.0" (s 0.);
+  Alcotest.(check string) "negative" "-3.25" (s (-3.25));
+  Alcotest.(check string) "exponent form untouched" "1e+21" (s 1e21);
+  (* JSON has no NaN/Infinity literals; non-finite values become null so the
+     file stays parseable by any consumer *)
+  Alcotest.(check string) "nan is null" "null" (s Float.nan);
+  Alcotest.(check string) "+inf is null" "null" (s Float.infinity);
+  Alcotest.(check string) "-inf is null" "null" (s Float.neg_infinity)
+
+let test_string_escaping () =
+  let s v = Json.to_string ~minify:true (Json.String v) in
+  Alcotest.(check string) "plain" "\"abc\"" (s "abc");
+  Alcotest.(check string) "quote and backslash" "\"a\\\"b\\\\c\"" (s "a\"b\\c");
+  Alcotest.(check string) "newline tab return" "\"a\\nb\\tc\\rd\"" (s "a\nb\tc\rd");
+  Alcotest.(check string) "other control chars as \\u" "\"\\u0001\\u001f\""
+    (s "\x01\x1f")
+
+let test_nesting_pretty () =
+  let doc =
+    Json.Obj
+      [
+        ("name", Json.String "x");
+        ("points", Json.List [ Json.Int 1; Json.Obj [ ("n", Json.Int 2) ] ]);
+        ("empty_list", Json.List []);
+        ("empty_obj", Json.Obj []);
+      ]
+  in
+  let expected =
+    "{\n\
+    \  \"name\": \"x\",\n\
+    \  \"points\": [\n\
+    \    1,\n\
+    \    {\n\
+    \      \"n\": 2\n\
+    \    }\n\
+    \  ],\n\
+    \  \"empty_list\": [],\n\
+    \  \"empty_obj\": {}\n\
+     }\n"
+  in
+  Alcotest.(check string) "pretty output" expected (Json.to_string doc)
+
+let test_minify () =
+  let doc = Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Int 2 ]); ("b", Json.Null) ] in
+  Alcotest.(check string) "minified" "{\"a\":[1,2],\"b\":null}"
+    (Json.to_string ~minify:true doc);
+  Alcotest.(check bool) "pretty ends with newline" true
+    (String.length (Json.to_string doc) > 0
+    && (Json.to_string doc).[String.length (Json.to_string doc) - 1] = '\n')
+
+let test_write_file () =
+  let path = Filename.temp_file "rfd_json" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Json.write_file path (Json.Obj [ ("ok", Json.Bool true) ]);
+      let ic = open_in_bin path in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "round trip" "{\n  \"ok\": true\n}\n" contents)
+
+let suite =
+  [
+    Alcotest.test_case "scalars" `Quick test_scalars;
+    Alcotest.test_case "float representation" `Quick test_float_repr;
+    Alcotest.test_case "string escaping" `Quick test_string_escaping;
+    Alcotest.test_case "nested pretty printing" `Quick test_nesting_pretty;
+    Alcotest.test_case "minified output" `Quick test_minify;
+    Alcotest.test_case "write_file" `Quick test_write_file;
+  ]

@@ -23,10 +23,33 @@ let test_known_delays () =
   (* 3000 -> 750 takes two half-lives = 1800 s = 120 ticks *)
   Alcotest.(check int) "two half-lives" 120 (Reuse_index.ticks_to_reuse t ~penalty:3000.)
 
-let test_clamped_at_array_end () =
+let test_overflow_is_exact () =
   let t = Reuse_index.create ~array_size:8 ~tick:60. Params.cisco in
-  (* a huge penalty clamps to the last slot *)
-  Alcotest.(check int) "clamped" 7 (Reuse_index.index_of t ~penalty:1e9)
+  (* Penalties past the table no longer clamp to the last slot (which
+     under-estimated the delay): the index falls back to the closed form
+     ceil(log(p / reuse) / (lambda * tick)) = ceil(log(1e9/750)/(ln 2/15))
+     = 306 for a 60 s tick and 900 s half-life. *)
+  Alcotest.(check int) "overflow" 306 (Reuse_index.index_of t ~penalty:1e9);
+  (* and the quantised delay still brackets the exact one *)
+  let exact = Params.reuse_delay Params.cisco ~penalty:1e9 in
+  let quantised = Reuse_index.delay_of t ~penalty:1e9 in
+  Alcotest.(check bool) "brackets exact" true
+    (quantised >= exact -. 1e-6 && quantised < exact +. 60.)
+
+let test_overflow_at_max_penalty () =
+  (* Regression: with a small table, max_penalty overflows the array; the
+     route must stay suppressed for the full exact delay, not the clamped
+     (array_size - 1) ticks. *)
+  let params = Params.cisco in
+  let t = Reuse_index.create ~array_size:4 ~tick:30. params in
+  let p = Params.max_penalty params in
+  let i = Reuse_index.index_of t ~penalty:p in
+  Alcotest.(check bool) "beyond table" true (i > 3);
+  let dt = Reuse_index.delay_of t ~penalty:p in
+  Alcotest.(check bool) "decayed below reuse" true
+    (Params.decay params ~penalty:p ~dt <= params.Params.reuse +. 1e-6);
+  Alcotest.(check bool) "not a full tick late" true
+    (Params.decay params ~penalty:p ~dt:(dt -. 30.) > params.Params.reuse)
 
 let test_validation () =
   Alcotest.check_raises "tick" (Invalid_argument "Reuse_index.create: tick must be positive")
@@ -67,7 +90,8 @@ let suite =
     Alcotest.test_case "defaults" `Quick test_defaults;
     Alcotest.test_case "below threshold" `Quick test_below_threshold;
     Alcotest.test_case "known delays" `Quick test_known_delays;
-    Alcotest.test_case "clamping" `Quick test_clamped_at_array_end;
+    Alcotest.test_case "overflow is exact" `Quick test_overflow_is_exact;
+    Alcotest.test_case "overflow at max penalty" `Quick test_overflow_at_max_penalty;
     Alcotest.test_case "validation" `Quick test_validation;
     Alcotest.test_case "monotone in penalty" `Quick test_monotone_in_penalty;
     QCheck_alcotest.to_alcotest prop_quantised_brackets_exact;

@@ -113,6 +113,90 @@ let test_nan_rejected () =
   Alcotest.check_raises "nan" (Invalid_argument "Sim.schedule_at: NaN time") (fun () ->
       ignore (Sim.schedule_at sim ~time:Float.nan (fun _ -> ())))
 
+let test_compaction_reclaims_dead () =
+  let sim = Sim.create () in
+  let ids =
+    List.init 200 (fun i ->
+        Sim.schedule_at sim ~time:(float_of_int (i + 1)) (fun _ -> ()))
+  in
+  Alcotest.(check int) "full heap" 200 (Sim.heap_size sim);
+  (* cancel 150 of 200: crosses the more-than-half threshold mid-stream *)
+  List.iteri (fun i ev -> if i >= 50 then Sim.cancel sim ev) ids;
+  Alcotest.(check bool) "compacted at least once" true (Sim.compactions sim >= 1);
+  Alcotest.(check bool) "dead majority never persists" true
+    (2 * Sim.dead_count sim <= Sim.heap_size sim);
+  Alcotest.(check int) "heap holds the 50 live events plus leftovers" 50
+    (Sim.heap_size sim - Sim.dead_count sim);
+  Alcotest.(check bool) "heap shrank well below the naive 200" true (Sim.heap_size sim <= 100);
+  Alcotest.(check int) "peak residency remembered" 200 (Sim.max_heap_size sim);
+  Sim.run sim;
+  Alcotest.(check int) "all live events executed" 50 (Sim.events_executed sim)
+
+let test_no_compaction_below_size_floor () =
+  (* Small heaps are not worth compacting: dead events just pop lazily. *)
+  let sim = Sim.create () in
+  let ids =
+    List.init 20 (fun i -> Sim.schedule_at sim ~time:(float_of_int (i + 1)) (fun _ -> ()))
+  in
+  List.iteri (fun i ev -> if i >= 5 then Sim.cancel sim ev) ids;
+  Alcotest.(check int) "no compaction under 64 slots" 0 (Sim.compactions sim);
+  Alcotest.(check int) "dead events still resident" 15 (Sim.dead_count sim);
+  Sim.run sim;
+  Alcotest.(check int) "live events executed" 5 (Sim.events_executed sim)
+
+let prop_compaction_preserves_pop_order =
+  (* Arbitrary schedule + cancellation patterns (heavy enough to trigger
+     compaction repeatedly) must pop surviving events in exactly the
+     (time, scheduling-order) sequence of a naive model. Integer times make
+     ties common, exercising the FIFO tie-break across compactions. *)
+  QCheck.Test.make ~name:"compaction preserves (time, order) pop sequence" ~count:100
+    QCheck.(list_of_size Gen.(64 -- 200) (pair (int_bound 30) bool))
+    (fun entries ->
+      let sim = Sim.create () in
+      let seen = ref [] in
+      let ids =
+        List.mapi
+          (fun i (time, _) ->
+            Sim.schedule_at sim ~time:(float_of_int time) (fun _ -> seen := i :: !seen))
+          entries
+      in
+      List.iteri
+        (fun i (_, cancel) -> if cancel then Sim.cancel sim (List.nth ids i))
+        entries;
+      Sim.run sim;
+      let expected =
+        List.mapi (fun i (time, cancel) -> (time, i, cancel)) entries
+        |> List.filter (fun (_, _, cancel) -> not cancel)
+        |> List.stable_sort (fun (t1, _, _) (t2, _, _) -> compare t1 t2)
+        |> List.map (fun (_, i, _) -> i)
+      in
+      List.rev !seen = expected)
+
+let test_every_start_in_past_rejected () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule_at sim ~time:5.0 (fun _ -> ()));
+  Sim.run sim;
+  Alcotest.check_raises "past start named in message"
+    (Invalid_argument "Sim.every: start 1 is in the past (now 5, interval 10)") (fun () ->
+      ignore (Sim.every sim ~interval:10. ~start:1. (fun _ -> true)))
+
+let test_every_stop_after_final_occurrence () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rep =
+    Sim.every sim ~interval:1. (fun _ ->
+        incr count;
+        !count < 3)
+  in
+  Sim.run sim;
+  Alcotest.(check int) "ran until told to stop" 3 !count;
+  (* the task already ended itself: stopping is a harmless no-op *)
+  Sim.stop sim rep;
+  Sim.stop sim rep;
+  Alcotest.(check int) "nothing pending" 0 (Sim.pending sim);
+  Sim.run sim;
+  Alcotest.(check int) "no further occurrences" 3 !count
+
 let prop_events_run_in_order =
   QCheck.Test.make ~name:"arbitrary schedules run in time order" ~count:100
     QCheck.(list_of_size Gen.(1 -- 40) (float_range 0. 1000.))
@@ -139,5 +223,12 @@ let suite =
     Alcotest.test_case "actions schedule more events" `Quick test_schedule_from_action;
     Alcotest.test_case "zero-delay from action" `Quick test_same_time_as_now;
     Alcotest.test_case "NaN rejected" `Quick test_nan_rejected;
+    Alcotest.test_case "compaction reclaims dead slots" `Quick test_compaction_reclaims_dead;
+    Alcotest.test_case "no compaction below size floor" `Quick
+      test_no_compaction_below_size_floor;
+    Alcotest.test_case "every: past start rejected" `Quick test_every_start_in_past_rejected;
+    Alcotest.test_case "every: stop after final occurrence" `Quick
+      test_every_stop_after_final_occurrence;
     QCheck_alcotest.to_alcotest prop_events_run_in_order;
+    QCheck_alcotest.to_alcotest prop_compaction_preserves_pop_order;
   ]
