@@ -14,6 +14,8 @@ type opts = {
   jobs : int;  (** worker domains for sweep execution (1 = sequential) *)
   csv_dir : string option;  (** also dump each figure's data as CSV *)
   plot_dir : string option;  (** also emit gnuplot scripts + data *)
+  deadline : float option;  (** per-run wall-clock watchdog for sweeps *)
+  retries : int;  (** supervised retries for crashed / timed-out runs *)
 }
 
 type t = {
@@ -50,7 +52,18 @@ let create opts =
     else Scenario.paper_internet_208
   in
   let pulses = List.init 10 (fun i -> i + 1) in
-  let sweep ~label sc = lazy (Sweep.run ~label ~pulses ~jobs:opts.jobs sc) in
+  (* Supervision is opt-in: the plain pool stays the default so baseline
+     timings are undisturbed, but a --deadline/--retries harness run gets
+     watchdogs without touching any experiment code. *)
+  let sweep ~label sc =
+    lazy
+      (match (opts.deadline, opts.retries) with
+      | None, 0 -> Sweep.run ~label ~pulses ~jobs:opts.jobs sc
+      | deadline, retries ->
+          Sweep.run_supervised ~label ~pulses ~jobs:opts.jobs
+            ~supervision:{ Sweep.default_supervision with Sweep.deadline; retries }
+            sc)
+  in
   {
     opts;
     mesh;

@@ -102,6 +102,21 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let deadline_arg =
+  let doc =
+    "Run sweeps under a supervisor with this per-run wall-clock deadline \
+     (seconds); a wedged run is timed out instead of hanging the harness."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let retries_arg =
+  let doc =
+    "Run sweeps under a supervisor, retrying crashed or timed-out runs up to \
+     $(docv) extra times (deterministic backoff; retried results are \
+     bit-identical)."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
 let write_json ctx ~file ~tick ~quick ~seed ~jobs =
   let perf = Perf.measure ~tick ctx in
   Perf.print perf;
@@ -121,9 +136,9 @@ let write_json ctx ~file ~tick ~quick ~seed ~jobs =
   Rfd.Json.write_file file doc;
   Printf.printf "[json baseline written to %s]\n" file
 
-let run names quick seed jobs csv_dir plot_dir micro json tick =
+let run names quick seed jobs csv_dir plot_dir micro json tick deadline retries =
   let jobs = match jobs with Some j -> max 1 j | None -> Rfd.Pool.default_jobs () in
-  let opts = { Context.quick; seed; jobs; csv_dir; plot_dir } in
+  let opts = { Context.quick; seed; jobs; csv_dir; plot_dir; deadline; retries } in
   let ctx = Context.create opts in
   Printf.printf "Route Flap Damping reproduction harness (scale: %s, seed %d, jobs %d)\n"
     (if quick then "quick" else "paper")
@@ -158,6 +173,6 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ names_arg $ quick_arg $ seed_arg $ jobs_arg $ csv_arg $ plots_arg
-      $ micro_arg $ json_arg $ tick_arg)
+      $ micro_arg $ json_arg $ tick_arg $ deadline_arg $ retries_arg)
 
 let () = exit (Cmd.eval cmd)

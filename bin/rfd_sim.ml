@@ -235,6 +235,27 @@ let build_scenario ?faults ?reuse_tick topology damping mode policy pulses inter
     ~pulses ~flap_interval:interval ~probe ?faults topology
 
 (* ------------------------------------------------------------------ *)
+(* Exit-code convention (documented in every subcommand's man page):
+     0 — success, every requested point produced clean data
+     1 — at least one point crashed (raised an exception)
+     2 — failures, but only benign ones: budget-exceeded, watchdog
+         timeout, or an interrupted (drained) sweep
+   Cmdliner's own 123/124/125 still apply to CLI parse errors etc. *)
+
+let exit_doc =
+  [
+    `S Cmdliner.Manpage.s_exit_status;
+    `P
+      "$(b,0) on success; $(b,1) if any point $(i,crashed) (the simulation \
+       raised); $(b,2) if the only failures were benign — a run budget was \
+       exceeded, a supervised job timed out, or the sweep was interrupted \
+       and drained gracefully.";
+  ]
+
+let exit_crashed = 1
+let exit_degraded = 2
+
+(* ------------------------------------------------------------------ *)
 (* run                                                                 *)
 
 let transcript_arg =
@@ -250,7 +271,12 @@ let run_cmd =
     in
     let trace = Rfd.Trace.create ~enabled:(transcript <> None) () in
     let observe net = Rfd.Tracing.attach trace (Rfd.Network.hooks net) in
-    let r = Rfd.Runner.run ~budget ~observe scenario in
+    let r =
+      try Rfd.Runner.run ~budget ~observe scenario
+      with e ->
+        Format.eprintf "rfd-sim run: crashed: %s@." (Printexc.to_string e);
+        exit exit_crashed
+    in
     Format.printf "%a@.@." Rfd.Runner.pp_result r;
     (match
        ( Rfd.Collector.dropped_updates r.Rfd.Runner.collector,
@@ -283,16 +309,18 @@ let run_cmd =
       | None -> r.Rfd.Runner.tup
     in
     Format.printf "@.intended convergence for this flap pattern: %.0f s@." intended;
-    match transcript with
+    (match transcript with
     | None -> ()
     | Some n ->
         Format.printf "@.protocol transcript (first %d events):@." n;
         List.iteri
           (fun i e -> if i < n then Format.printf "%a@." Rfd.Trace.pp_entry e)
-          (Rfd.Trace.entries trace)
+          (Rfd.Trace.entries trace));
+    if Rfd.Runner.status_is_budget_exceeded r.Rfd.Runner.final_status then
+      exit exit_degraded
   in
   let doc = "run one flap scenario and report metrics" in
-  Cmd.v (Cmd.info "run" ~doc)
+  Cmd.v (Cmd.info "run" ~doc ~man:exit_doc)
     Term.(
       const action $ topology_arg $ damping_arg $ mode_arg $ policy_arg $ pulses_arg
       $ interval_arg $ mrai_arg $ seed_arg $ isp_arg $ probe_arg $ reuse_tick_arg
@@ -312,16 +340,77 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let deadline_arg =
+  let doc =
+    "Per-job wall-clock deadline in seconds. A point that overruns it is marked \
+     timed-out (and retried if $(b,--retries) allows) instead of stalling the sweep."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let retries_arg =
+  let doc =
+    "Re-run a crashed or timed-out point up to $(docv) extra times, with \
+     deterministic seeded backoff. A retried success is bit-identical to a \
+     first-try success."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+let journal_arg =
+  let doc =
+    "Append every completed point to $(docv) (one fsync'd line per job), so an \
+     interrupted sweep can be finished later with $(b,--resume)."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume from journal $(docv): points it already records are skipped and their \
+     stored results merged back, making the finished sweep bit-identical to an \
+     uninterrupted run. Implies $(b,--journal) $(docv) (newly completed points are \
+     appended to the same file)."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+
+(* SIGINT triggers a graceful drain: in-flight points finish (and are
+   journalled), queued points are abandoned as Interrupted failures. A
+   second Ctrl-C falls back to the default die-now behaviour. *)
+let interrupted = Atomic.make false
+
+let install_sigint_drain () =
+  try
+    ignore
+      (Sys.signal Sys.sigint
+         (Sys.Signal_handle
+            (fun _ ->
+              if Atomic.exchange interrupted true then exit 130
+              else
+                prerr_endline
+                  "rfd-sim: interrupted — draining in-flight points (Ctrl-C again to \
+                   kill)")))
+  with Invalid_argument _ -> ()
+
 let sweep_cmd =
   let action topology damping mode policy interval mrai seed isp reuse_tick max_pulses
-      jobs budget faults =
+      jobs budget faults deadline retries journal resume =
     let scenario =
       build_scenario ?faults ?reuse_tick topology damping mode policy 1 interval mrai seed
         isp None
     in
     let jobs = if jobs <= 0 then Rfd.Pool.default_jobs () else jobs in
     let pulses = List.init max_pulses (fun i -> i + 1) in
-    let sweep = Rfd.Sweep.run ~label:"cli" ~pulses ~jobs ~budget scenario in
+    let supervision =
+      {
+        Rfd.Sweep.deadline;
+        retries;
+        journal = (match resume with Some _ as r -> r | None -> journal);
+        resume = resume <> None;
+        should_stop = (fun () -> Atomic.get interrupted);
+      }
+    in
+    install_sigint_drain ();
+    let sweep =
+      Rfd.Sweep.run_supervised ~label:"cli" ~pulses ~jobs ~budget ~supervision scenario
+    in
     let tup =
       match sweep.Rfd.Sweep.points with
       | p :: _ -> p.Rfd.Sweep.result.Rfd.Runner.tup
@@ -341,19 +430,27 @@ let sweep_cmd =
       | None -> []
     in
     print_string (Rfd.Report.series ~x_label:"pulses" ~columns ());
-    match sweep.Rfd.Sweep.failures with
+    (match sweep.Rfd.Sweep.failures with
     | [] -> ()
     | failures ->
         Format.printf "@.failures: %d of %d point(s) produced no clean data@."
-          (List.length failures) (List.length pulses);
-        List.iter (fun f -> Format.printf "  %a@." Rfd.Sweep.pp_failure f) failures
+          (List.length failures)
+          (List.length sweep.Rfd.Sweep.points + List.length failures);
+        List.iter (fun f -> Format.printf "  %a@." Rfd.Sweep.pp_failure f) failures);
+    let crashed =
+      List.exists
+        (fun f -> match f.Rfd.Sweep.reason with Rfd.Sweep.Crashed _ -> true | _ -> false)
+        sweep.Rfd.Sweep.failures
+    in
+    if crashed then exit exit_crashed
+    else if sweep.Rfd.Sweep.failures <> [] then exit exit_degraded
   in
   let doc = "sweep pulse counts and print convergence/message series" in
-  Cmd.v (Cmd.info "sweep" ~doc)
+  Cmd.v (Cmd.info "sweep" ~doc ~man:exit_doc)
     Term.(
       const action $ topology_arg $ damping_arg $ mode_arg $ policy_arg $ interval_arg
       $ mrai_arg $ seed_arg $ isp_arg $ reuse_tick_arg $ max_pulses_arg $ jobs_arg
-      $ budget_term $ faults_term)
+      $ budget_term $ faults_term $ deadline_arg $ retries_arg $ journal_arg $ resume_arg)
 
 (* ------------------------------------------------------------------ *)
 (* intended                                                            *)

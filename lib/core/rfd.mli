@@ -26,6 +26,7 @@ val version : string
 module Sim = Rfd_engine.Sim
 module Rng = Rfd_engine.Rng
 module Pool = Rfd_engine.Pool
+module Supervisor = Rfd_engine.Supervisor
 module Clock = Rfd_engine.Clock
 module Timeseries = Rfd_engine.Timeseries
 module Stats = Rfd_engine.Stats
@@ -69,6 +70,7 @@ module Scenario = Rfd_experiment.Scenario
 module Pulse = Rfd_experiment.Pulse
 module Runner = Rfd_experiment.Runner
 module Sweep = Rfd_experiment.Sweep
+module Journal = Rfd_experiment.Journal
 module Collector = Rfd_experiment.Collector
 module Intended = Rfd_experiment.Intended
 module Phases = Rfd_experiment.Phases

@@ -11,7 +11,12 @@ let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 
 (* Workers block on [wake] until there is work or the pool closes; on close
    they drain whatever is still queued before exiting, so [shutdown] never
-   drops submitted jobs. *)
+   drops submitted jobs. A job that raises must not kill its domain — a dead
+   domain would make the later [Domain.join] in [shutdown] re-raise inside
+   whatever context calls it (typically the [with_pool] cleanup that is
+   already unwinding another exception) — so the loop swallows anything a
+   raw job lets escape. [run_batch] jobs capture their own exceptions and
+   never reach this guard. *)
 let worker t =
   let rec loop () =
     Mutex.lock t.mutex;
@@ -21,7 +26,7 @@ let worker t =
     match Queue.take_opt t.queue with
     | Some job ->
         Mutex.unlock t.mutex;
-        job ();
+        (try job () with _ -> ());
         loop ()
     | None -> Mutex.unlock t.mutex
   in
@@ -44,28 +49,30 @@ let create ?jobs () =
 
 let jobs t = t.jobs
 
-let submit t job =
+let closed_msg fn = Printf.sprintf "Pool.%s: pool is shut down" fn
+
+let submit ~caller t job =
   Mutex.lock t.mutex;
   if t.closed then begin
     Mutex.unlock t.mutex;
-    invalid_arg "Pool.map: pool is shut down"
+    invalid_arg (closed_msg caller)
   end;
   Queue.add job t.queue;
   Condition.signal t.wake;
   Mutex.unlock t.mutex
 
-let check_open t =
+let check_open ~caller t =
   Mutex.lock t.mutex;
   let closed = t.closed in
   Mutex.unlock t.mutex;
-  if closed then invalid_arg "Pool.map: pool is shut down"
+  if closed then invalid_arg (closed_msg caller)
 
 (* Shared batch core: run every job to completion (even when some raise)
    and return captured outcomes in input order. Both [map] and
    [map_result] sit on top, so the jobs = 1 path has exactly the same
    whole-batch-runs semantics as the parallel one. *)
-let run_batch t f xs =
-  check_open t;
+let run_batch ~caller t f xs =
+  check_open ~caller t;
   let capture x =
     match f x with
     | v -> Ok v
@@ -86,7 +93,7 @@ let run_batch t f xs =
         let remaining = ref n in
         Array.iteri
           (fun i x ->
-            submit t (fun () ->
+            submit ~caller t (fun () ->
                 let r = capture x in
                 Mutex.lock finished;
                 results.(i) <- Some r;
@@ -103,15 +110,22 @@ let run_batch t f xs =
         |> List.map (function Some r -> r | None -> assert false)
 
 let map t f xs =
-  run_batch t f xs
+  run_batch ~caller:"map" t f xs
   |> List.map (function
        | Ok v -> v
        | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
 
 let map_result t f xs =
-  run_batch t f xs
+  run_batch ~caller:"map_result" t f xs
   |> List.map (function Ok v -> Ok v | Error (e, _bt) -> Error e)
 
+(* Idempotent and safe to call from any number of domains, including the
+   [with_pool] cleanup path that runs while a job's exception is unwinding:
+   exactly one caller flips [closed] and becomes responsible for joining;
+   every other call returns immediately. Joins are individually guarded so
+   one dead worker (impossible via [map]/[map_result], whose jobs capture
+   their exceptions, but reachable through hand-rolled uses) cannot leave
+   the remaining domains unjoined or raise out of the cleanup. *)
 let shutdown t =
   Mutex.lock t.mutex;
   if t.closed then Mutex.unlock t.mutex
@@ -119,7 +133,7 @@ let shutdown t =
     t.closed <- true;
     Condition.broadcast t.wake;
     Mutex.unlock t.mutex;
-    List.iter Domain.join t.workers;
+    List.iter (fun d -> try Domain.join d with _ -> ()) t.workers;
     t.workers <- []
   end
 

@@ -40,18 +40,24 @@ val jobs : t -> int
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map pool f xs] runs [f] on every element of [xs] on the pool's workers
     and returns the results in input order. Blocks the calling domain until
-    the whole batch is done. Raises [Invalid_argument] if the pool has been
+    the whole batch is done. Raises
+    [Invalid_argument "Pool.map: pool is shut down"] if the pool has been
     shut down. *)
 
 val map_result : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
 (** Like {!map}, but never re-raises: each job's outcome is reported in
     input order as [Ok result] or [Error exn]. One crashing job therefore
     costs exactly its own slot — the rest of the batch still completes and
-    is returned. This is the primitive behind graceful sweep degradation. *)
+    is returned. This is the primitive behind graceful sweep degradation.
+    Raises [Invalid_argument "Pool.map_result: pool is shut down"] on a
+    shut-down pool. *)
 
 val shutdown : t -> unit
-(** Finish all queued work, then join the worker domains. Idempotent;
-    {!map} after [shutdown] raises [Invalid_argument]. *)
+(** Finish all queued work, then join the worker domains. Idempotent and
+    safe to call concurrently or from an exception-unwinding cleanup (the
+    {!with_pool} path after a job raised): exactly one caller joins the
+    workers, joins never re-raise, and every later call is a no-op.
+    {!map}/{!map_result} after [shutdown] raise [Invalid_argument]. *)
 
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] is [f pool] with {!shutdown} guaranteed on exit. *)

@@ -1,0 +1,114 @@
+type outcome =
+  | Result of Runner.result
+  | Crashed of string
+  | Timed_out of { attempts : int; deadline : float }
+
+let header = "rfd-journal/1"
+
+(* Scenarios, results and the outcome variants above are closure-free data
+   (records, arrays, variants), so Marshal round-trips them exactly —
+   float bits included — and serializes equal values to equal bytes, which
+   is what makes both the job key and the payload digest stable across
+   processes of the same build. *)
+let marshal v = Marshal.to_string v []
+
+let job_key scenario ~seed ~pulses =
+  Digest.to_hex (Digest.string (marshal (scenario, seed, pulses)))
+
+let to_hex s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then None
+  else
+    let digit c =
+      match c with
+      | '0' .. '9' -> Some (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+      | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+      | _ -> None
+    in
+    let bytes = Bytes.create (n / 2) in
+    let ok = ref true in
+    for i = 0 to (n / 2) - 1 do
+      match (digit s.[2 * i], digit s.[(2 * i) + 1]) with
+      | Some hi, Some lo -> Bytes.set bytes i (Char.chr ((hi lsl 4) lor lo))
+      | _ -> ok := false
+    done;
+    if !ok then Some (Bytes.to_string bytes) else None
+
+type writer = { fd : Unix.file_descr; mutable closed : bool }
+
+let write_fully fd s =
+  let bytes = Bytes.of_string s in
+  let n = Bytes.length bytes in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write fd bytes !written (n - !written)
+  done
+
+let create path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644 in
+  (if (Unix.fstat fd).Unix.st_size = 0 then begin
+     write_fully fd (header ^ "\n");
+     Unix.fsync fd
+   end);
+  { fd; closed = false }
+
+let append w ~key outcome =
+  if w.closed then invalid_arg "Journal.append: writer is closed";
+  let payload = marshal outcome in
+  let digest = Digest.to_hex (Digest.string payload) in
+  (* One [write] of one line, then fsync: the line is durable before the
+     caller moves on, and a crash between lines never leaves more than a
+     single torn tail for [load] to skip. *)
+  write_fully w.fd (Printf.sprintf "%s %s %s\n" key digest (to_hex payload));
+  Unix.fsync w.fd
+
+let close w =
+  if not w.closed then begin
+    w.closed <- true;
+    Unix.close w.fd
+  end
+
+type loaded = { entries : (string, outcome) Hashtbl.t; corrupt : int }
+
+let parse_line line =
+  match String.split_on_char ' ' line with
+  | [ key; digest; hex ] -> (
+      match of_hex hex with
+      | Some payload when Digest.to_hex (Digest.string payload) = digest -> (
+          match (Marshal.from_string payload 0 : outcome) with
+          | outcome -> Some (key, outcome)
+          | exception _ -> None)
+      | Some _ | None -> None)
+  | _ -> None
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      (match input_line ic with
+      | first when first = header -> ()
+      | first ->
+          failwith
+            (Printf.sprintf "Journal.load: %s is not a %s file (header %S)" path
+               header first)
+      | exception End_of_file ->
+          failwith (Printf.sprintf "Journal.load: %s is empty" path));
+      let entries = Hashtbl.create 64 in
+      let corrupt = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.length line > 0 then
+             match parse_line line with
+             | Some (key, outcome) -> Hashtbl.replace entries key outcome
+             | None -> incr corrupt
+         done
+       with End_of_file -> ());
+      { entries; corrupt = !corrupt })

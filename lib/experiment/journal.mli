@@ -1,0 +1,64 @@
+(** Crash-safe sweep checkpointing: one fsync'd line per completed job.
+
+    A long parameter sweep (the paper's Figure 8/9 grids over
+    pulses × seeds × topologies) should survive the death of the process
+    running it. The journal is an append-only text file: a header line,
+    then one line per job that reached a {e terminal} outcome —
+
+    {v rfd-journal/1
+<job key> <payload digest> <hex payload> v}
+
+    where the job key is {!job_key} (the MD5 of the job's fully resolved
+    scenario × seed × pulse count), the payload is the marshalled
+    {!outcome} and the digest is the MD5 of the payload bytes. Every
+    append is [fsync]'d before {!append} returns, so a line either exists
+    completely or not at all as far as a resumed process is concerned; a
+    SIGKILL can at worst leave one truncated final line, which {!load}
+    detects (the digest cannot match) and skips.
+
+    Because the payload for a finished run is the marshalled
+    {!Runner.result} itself, a resumed sweep reassembles {e exactly} the
+    points an uninterrupted sweep would have produced — bit-identical
+    floats included — which is what makes resume-equivalence testable
+    with [diff]. The format is tied to the producing binary (OCaml
+    [Marshal]): resume with the build that wrote the journal. *)
+
+type outcome =
+  | Result of Runner.result
+      (** the run finished — cleanly or budget-exceeded; the distinction
+          travels inside {!Runner.result.final_status} *)
+  | Crashed of string  (** every allowed attempt raised; last message *)
+  | Timed_out of { attempts : int; deadline : float }
+      (** every allowed attempt overran its watchdog deadline *)
+
+val job_key : Scenario.t -> seed:int -> pulses:int -> string
+(** Hex MD5 of the marshalled [(scenario, seed, pulses)] triple. The
+    scenario must be fully resolved (seed substituted, topology
+    materialized — what {!Sweep.plan} emits), so that a resumed process,
+    re-planning the same sweep, derives the same keys. *)
+
+type writer
+
+val create : string -> writer
+(** Open [path] for appending, creating it (with the header line) if it
+    does not exist or is empty. Raises [Sys_error]/[Unix.Unix_error] on
+    an unwritable path. *)
+
+val append : writer -> key:string -> outcome -> unit
+(** Write one journal line and [fsync] it before returning. *)
+
+val close : writer -> unit
+
+type loaded = {
+  entries : (string, outcome) Hashtbl.t;
+      (** newest entry per key wins, so re-journalled jobs are harmless *)
+  corrupt : int;
+      (** lines skipped: malformed, digest mismatch, or unmarshallable —
+          a truncated SIGKILL tail counts here *)
+}
+
+val load : string -> loaded
+(** Read a journal back. Raises [Failure] if the file does not start
+    with the [rfd-journal/1] header (wrong file, or a version this build
+    cannot read); individually bad lines are skipped and counted, never
+    fatal. *)

@@ -252,6 +252,14 @@ let run ?(budget = no_budget) ?observe scenario =
     cpu_seconds = Rfd_engine.Clock.cpu () -. cpu_start;
   }
 
+(* Host timings are the only nondeterministic fields of a result, so they
+   are zeroed before hashing: equal digests mean equal simulation outcomes,
+   and the digest of a retried run must equal that of a first-try run. *)
+let result_digest r =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string { r with wall_seconds = 0.; cpu_seconds = 0. } []))
+
 let pp_result ppf r =
   Format.fprintf ppf
     "%a@ origin=%d isp=%d nodes=%d tup=%.1fs@ convergence=%.0fs time-to-stable=%.0fs \

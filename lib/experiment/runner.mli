@@ -114,5 +114,12 @@ val run : ?budget:budget -> ?observe:(Rfd_bgp.Network.t -> unit) -> Scenario.t -
 val origin_prefix : Rfd_bgp.Prefix.t
 (** The prefix the origin stub announces (constant across runs). *)
 
+val result_digest : result -> string
+(** Hex MD5 over the marshalled result with the host-timing fields
+    ([wall_seconds], [cpu_seconds]) zeroed — a fingerprint of everything
+    the simulation determined. Two runs of the same job (any [jobs]
+    count, first try or retry) must produce equal digests; the supervised
+    sweep's journal and tests use this to verify bit-identity cheaply. *)
+
 val pp_result : Format.formatter -> result -> unit
 (** One-paragraph human summary. *)

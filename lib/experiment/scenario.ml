@@ -123,6 +123,16 @@ let pp_topology ppf = function
   | Internet { nodes; m } -> Format.fprintf ppf "internet n=%d m=%d" nodes m
   | Custom g -> Format.fprintf ppf "custom %a" Rfd_topology.Graph.pp g
 
+(* Unlike [pp_topology], never expands a custom graph's structure — this
+   goes into one-line failure reports, where a 208-node edge dump would
+   drown the coordinates it is meant to contextualise. *)
+let topology_summary = function
+  | Mesh { rows; cols } -> Printf.sprintf "mesh:%dx%d" rows cols
+  | Internet { nodes; m } -> Printf.sprintf "internet:%d,%d" nodes m
+  | Custom g ->
+      Printf.sprintf "custom:%dn,%de" (Rfd_topology.Graph.num_nodes g)
+        (Rfd_topology.Graph.num_edges g)
+
 let pp ppf t =
   Format.fprintf ppf "%s: %a, %s policy, %a%s, damping=%s%s" t.name pp_topology t.topology
     (match t.policy with Announce_all -> "announce-all" | No_valley -> "no-valley")

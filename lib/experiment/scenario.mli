@@ -97,3 +97,8 @@ val paper_internet_208 : topology
 
 val validate : t -> (unit, string) result
 val pp : Format.formatter -> t -> unit
+
+val topology_summary : topology -> string
+(** Compact one-token description — ["mesh:10x10"], ["internet:100,2"],
+    ["custom:16n,24e"] — for embedding in per-point failure reports, where
+    {!pp}'s full rendering (which expands custom graphs) would be noise. *)

@@ -1,5 +1,6 @@
 module Rng = Rfd_engine.Rng
 module Pool = Rfd_engine.Pool
+module Supervisor = Rfd_engine.Supervisor
 
 type point = {
   pulses : int;
@@ -11,9 +12,18 @@ type point = {
 
 type job = { job_scenario : Scenario.t; job_seed : int; job_pulses : int }
 
-type failure_reason = Crashed of string | Budget_exceeded of Runner.result
+type failure_reason =
+  | Crashed of string
+  | Budget_exceeded of Runner.result
+  | Timed_out of { attempts : int; deadline : float }
+  | Interrupted
 
-type failure = { failed_seed : int; failed_pulses : int; reason : failure_reason }
+type failure = {
+  failed_seed : int;
+  failed_pulses : int;
+  failed_topology : string;
+  reason : failure_reason;
+}
 
 type t = {
   label : string;
@@ -88,6 +98,14 @@ let point_of_result job result =
     result;
   }
 
+let failure_of job reason =
+  {
+    failed_seed = job.job_seed;
+    failed_pulses = job.job_pulses;
+    failed_topology = Scenario.topology_summary job.job_scenario.Scenario.topology;
+    reason;
+  }
+
 (* Split job outcomes into clean points and structured failures: a crashed
    job carries its exception text, a budget-exceeded run carries its
    partial result. Either way, one bad point costs exactly itself — the
@@ -96,11 +114,7 @@ let partition_outcomes plan outcomes =
   let points, failures =
     List.fold_left2
       (fun (points, failures) job outcome ->
-        let fail reason =
-          ( points,
-            { failed_seed = job.job_seed; failed_pulses = job.job_pulses; reason }
-            :: failures )
-        in
+        let fail reason = (points, failure_of job reason :: failures) in
         match outcome with
         | Error msg -> fail (Crashed msg)
         | Ok result ->
@@ -117,14 +131,117 @@ let run ?label ?(pulses = default_pulses) ?jobs ?budget base =
   let points, failures = partition_outcomes plan (execute_results ?jobs ?budget plan) in
   { label; base; points; failures }
 
+(* ------------------------------------------------------------------ *)
+(* Supervised execution: watchdogs, retries, checkpoint/resume          *)
+
+type supervision = {
+  deadline : float option;
+  retries : int;
+  journal : string option;
+  resume : bool;
+  should_stop : unit -> bool;
+}
+
+let default_supervision =
+  {
+    deadline = None;
+    retries = 0;
+    journal = None;
+    resume = false;
+    should_stop = (fun () -> false);
+  }
+
+let job_key job =
+  Journal.job_key job.job_scenario ~seed:job.job_seed ~pulses:job.job_pulses
+
+let run_supervised ?label ?(pulses = default_pulses) ?seeds ?jobs ?budget
+    ?(supervision = default_supervision) base =
+  let label = match label with Some l -> l | None -> base.Scenario.name in
+  let plan = plan ~pulses ?seeds base in
+  let keyed = List.map (fun job -> (job, job_key job)) plan in
+  (* Jobs whose terminal outcome is already journalled are not re-run: the
+     journal payload is the marshalled result itself, so merging it back
+     reproduces the uninterrupted sweep bit for bit. *)
+  let journaled =
+    match supervision.journal with
+    | Some path when supervision.resume && Sys.file_exists path ->
+        (Journal.load path).Journal.entries
+    | _ -> Hashtbl.create 0
+  in
+  let fresh_jobs =
+    List.filter (fun (_, key) -> not (Hashtbl.mem journaled key)) keyed
+  in
+  let writer = Option.map Journal.create supervision.journal in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Journal.close writer)
+    (fun () ->
+      let checkpoint (_, key) outcome =
+        match writer with
+        | None -> ()
+        | Some w -> (
+            match outcome with
+            | Supervisor.Completed { value; _ } ->
+                Journal.append w ~key (Journal.Result value)
+            | Supervisor.Crashed { error; _ } ->
+                Journal.append w ~key (Journal.Crashed error)
+            | Supervisor.Timed_out { attempts; deadline } ->
+                Journal.append w ~key (Journal.Timed_out { attempts; deadline })
+            (* A cancelled job has no terminal outcome — a resumed sweep
+               must run it, so it must not be checkpointed. *)
+            | Supervisor.Cancelled -> ())
+      in
+      let outcomes =
+        Supervisor.supervise ?jobs ?deadline:supervision.deadline
+          ~retries:supervision.retries ~should_stop:supervision.should_stop
+          ~on_outcome:checkpoint
+          ~key:(fun (_, key) -> key)
+          (fun (job, _) -> Runner.run ?budget job.job_scenario)
+          fresh_jobs
+      in
+      let fresh = Hashtbl.create (List.length fresh_jobs) in
+      List.iter2 (fun (_, key) o -> Hashtbl.replace fresh key o) fresh_jobs outcomes;
+      (* Reassemble in plan order, interleaving journalled and fresh
+         outcomes, so the result is indistinguishable from a single
+         uninterrupted pass. *)
+      let points, failures =
+        List.fold_left
+          (fun (points, failures) (job, key) ->
+            let fail reason = (points, failure_of job reason :: failures) in
+            let from_result result =
+              if Runner.status_is_budget_exceeded result.Runner.final_status then
+                fail (Budget_exceeded result)
+              else (point_of_result job result :: points, failures)
+            in
+            match Hashtbl.find_opt journaled key with
+            | Some (Journal.Result r) -> from_result r
+            | Some (Journal.Crashed msg) -> fail (Crashed msg)
+            | Some (Journal.Timed_out { attempts; deadline }) ->
+                fail (Timed_out { attempts; deadline })
+            | None -> (
+                match Hashtbl.find_opt fresh key with
+                | Some (Supervisor.Completed { value; _ }) -> from_result value
+                | Some (Supervisor.Crashed { error; _ }) -> fail (Crashed error)
+                | Some (Supervisor.Timed_out { attempts; deadline }) ->
+                    fail (Timed_out { attempts; deadline })
+                | Some Supervisor.Cancelled -> fail Interrupted
+                | None -> assert false))
+          ([], []) keyed
+      in
+      { label; base; points = List.rev points; failures = List.rev failures })
+
 let pp_failure ppf f =
-  Format.fprintf ppf "seed=%d pulses=%d: %a" f.failed_seed f.failed_pulses
+  Format.fprintf ppf "topology=%s seed=%d pulses=%d: %a" f.failed_topology
+    f.failed_seed f.failed_pulses
     (fun ppf -> function
       | Crashed msg -> Format.fprintf ppf "crashed: %s" msg
       | Budget_exceeded r ->
           Format.fprintf ppf "%s after %d events, %d updates observed"
             (Runner.status_to_string r.Runner.final_status)
-            r.Runner.sim_events r.Runner.message_count)
+            r.Runner.sim_events r.Runner.message_count
+      | Timed_out { attempts; deadline } ->
+          Format.fprintf ppf "timed out (deadline %gs, %d attempt(s))" deadline
+            attempts
+      | Interrupted -> Format.fprintf ppf "interrupted before running")
     f.reason
 
 let convergence_series t =

@@ -25,8 +25,22 @@ type failure_reason =
   | Budget_exceeded of Runner.result
       (** the run hit its {!Runner.budget}; the partial result is kept so
           the truncated prefix's metrics stay inspectable *)
+  | Timed_out of { attempts : int; deadline : float }
+      (** supervised execution only: every allowed attempt overran the
+          per-job wall-clock deadline *)
+  | Interrupted
+      (** supervised execution only: the sweep was cancelled (SIGINT
+          drain) while this job was still queued — it never ran, and a
+          resumed sweep will run it *)
 
-type failure = { failed_seed : int; failed_pulses : int; reason : failure_reason }
+type failure = {
+  failed_seed : int;
+  failed_pulses : int;
+  failed_topology : string;
+      (** {!Scenario.topology_summary} of the job's topology, so one bad
+          point in a 500-job grid is identifiable without re-running *)
+  reason : failure_reason;
+}
 (** One sweep point that produced no clean data, identified by its plan
     coordinates. *)
 
@@ -80,9 +94,49 @@ val run :
     the remaining points are unaffected (and bit-identical to a sweep that
     never had the bad points). *)
 
+(** {1 Supervised execution} *)
+
+type supervision = {
+  deadline : float option;  (** per-job wall-clock limit, seconds *)
+  retries : int;  (** extra attempts for crashed / timed-out jobs *)
+  journal : string option;  (** checkpoint file; see {!Journal} *)
+  resume : bool;
+      (** skip jobs whose terminal outcome the journal already holds *)
+  should_stop : unit -> bool;
+      (** polled by the watchdog; [true] starts a graceful drain *)
+}
+
+val default_supervision : supervision
+(** No deadline, no retries, no journal, never stops — supervised
+    execution degrades to plain {!run} semantics. *)
+
+val job_key : job -> string
+(** The job's journal identity: {!Journal.job_key} over its resolved
+    scenario, seed and pulse count. *)
+
+val run_supervised :
+  ?label:string ->
+  ?pulses:int list ->
+  ?seeds:int list ->
+  ?jobs:int ->
+  ?budget:Runner.budget ->
+  ?supervision:supervision ->
+  Scenario.t ->
+  t
+(** {!run} on a {!Rfd_engine.Supervisor} instead of a bare pool: wedged
+    jobs are timed out instead of stalling the sweep, crashed workers are
+    respawned, failed jobs retry with deterministic backoff, and every
+    terminal outcome is checkpointed to [supervision.journal] (fsync'd)
+    as it lands. With [resume = true], journalled jobs are skipped and
+    their stored results merged back in plan order — an interrupted sweep
+    finished under [resume] is bit-identical to an uninterrupted one, at
+    any [jobs] count. [seeds] extends the plan across a seed grid exactly
+    as in {!run_many}. Timed-out and cancelled jobs become {!Timed_out} /
+    {!Interrupted} failures; everything else matches {!run}. *)
+
 val pp_failure : Format.formatter -> failure -> unit
 (** One-line human summary, e.g.
-    ["seed=7 pulses=3: budget-exceeded(active) after 50000 events, ..."]. *)
+    ["topology=mesh:10x10 seed=7 pulses=3: budget-exceeded(active) after 50000 events, ..."]. *)
 
 val convergence_series : t -> (float * float) list
 (** [(pulses, convergence seconds)] pairs. *)

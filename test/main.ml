@@ -10,6 +10,7 @@ let () =
       ("engine.stats", Test_stats.suite);
       ("engine.trace", Test_trace.suite);
       ("engine.pool", Test_pool.suite);
+      ("engine.supervisor", Test_supervisor.suite);
       ("topology.graph", Test_graph.suite);
       ("topology.builders", Test_builders.suite);
       ("topology.random_graphs", Test_random_graphs.suite);
@@ -35,6 +36,8 @@ let () =
       ("experiment.pulse", Test_pulse.suite);
       ("experiment.sweep", Test_sweep_stats.suite);
       ("experiment.sweep_parallel", Test_sweep_parallel.suite);
+      ("experiment.sweep_supervised", Test_sweep_supervised.suite);
+      ("experiment.journal", Test_journal.suite);
       ("experiment.phases", Test_phases.suite);
       ("experiment.report", Test_report.suite);
       ("experiment.plot", Test_plot.suite);

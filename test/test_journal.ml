@@ -1,0 +1,167 @@
+(* Tests for the crash-safe sweep journal: round-trip fidelity, torn-tail
+   tolerance, digest verification, key stability, reopen-append. *)
+
+module Scenario = Rfd_experiment.Scenario
+module Runner = Rfd_experiment.Runner
+module Journal = Rfd_experiment.Journal
+open Rfd_bgp
+
+let fast_config ?(seed = 42) () =
+  let base =
+    { Config.default with Config.mrai = 1.; link_delay = 0.01; link_jitter = 0.01; seed }
+  in
+  Config.with_damping Rfd_damping.Params.cisco base
+
+let scenario () =
+  Scenario.make ~name:"journal" ~config:(fast_config ())
+    (Scenario.Mesh { rows = 3; cols = 3 })
+
+let tmp_path () = Filename.temp_file "rfd-journal" ".log"
+
+let with_tmp f =
+  let path = tmp_path () in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () ->
+      f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let test_round_trip () =
+  with_tmp (fun path ->
+      let r = Runner.run (Scenario.with_pulses (scenario ()) 1) in
+      let w = Journal.create path in
+      Journal.append w ~key:"k-result" (Journal.Result r);
+      Journal.append w ~key:"k-crash" (Journal.Crashed "boom");
+      Journal.append w ~key:"k-timeout"
+        (Journal.Timed_out { attempts = 2; deadline = 1.5 });
+      Journal.close w;
+      let loaded = Journal.load path in
+      Alcotest.(check int) "no corrupt lines" 0 loaded.Journal.corrupt;
+      Alcotest.(check int) "three entries" 3 (Hashtbl.length loaded.Journal.entries);
+      (match Hashtbl.find_opt loaded.Journal.entries "k-result" with
+      | Some (Journal.Result r') ->
+          Alcotest.(check string) "result round-trips bit-identically"
+            (Runner.result_digest r) (Runner.result_digest r')
+      | _ -> Alcotest.fail "k-result missing or wrong constructor");
+      (match Hashtbl.find_opt loaded.Journal.entries "k-crash" with
+      | Some (Journal.Crashed msg) -> Alcotest.(check string) "crash message" "boom" msg
+      | _ -> Alcotest.fail "k-crash missing or wrong constructor");
+      match Hashtbl.find_opt loaded.Journal.entries "k-timeout" with
+      | Some (Journal.Timed_out { attempts; deadline }) ->
+          Alcotest.(check int) "attempts" 2 attempts;
+          Alcotest.(check (float 0.)) "deadline" 1.5 deadline
+      | _ -> Alcotest.fail "k-timeout missing or wrong constructor")
+
+let test_truncated_tail_skipped () =
+  (* A SIGKILL mid-append can leave one torn final line; load must keep
+     every complete entry and count the tail as corrupt. *)
+  with_tmp (fun path ->
+      let w = Journal.create path in
+      Journal.append w ~key:"a" (Journal.Crashed "one");
+      Journal.append w ~key:"b" (Journal.Crashed "two");
+      Journal.close w;
+      let whole = read_file path in
+      write_file path (String.sub whole 0 (String.length whole - 7));
+      let loaded = Journal.load path in
+      Alcotest.(check int) "torn tail counted" 1 loaded.Journal.corrupt;
+      Alcotest.(check int) "intact entry kept" 1 (Hashtbl.length loaded.Journal.entries);
+      Alcotest.(check bool) "the surviving entry is the first" true
+        (Hashtbl.mem loaded.Journal.entries "a"))
+
+let test_corrupt_digest_skipped () =
+  with_tmp (fun path ->
+      let w = Journal.create path in
+      Journal.append w ~key:"a" (Journal.Crashed "one");
+      Journal.append w ~key:"b" (Journal.Crashed "two");
+      Journal.close w;
+      (* Flip one payload hex digit of the first entry. *)
+      let whole = read_file path in
+      let lines = String.split_on_char '\n' whole in
+      let mangled =
+        List.mapi
+          (fun i line ->
+            if i = 1 then (
+              let b = Bytes.of_string line in
+              let last = Bytes.length b - 1 in
+              Bytes.set b last (if Bytes.get b last = '0' then '1' else '0');
+              Bytes.to_string b)
+            else line)
+          lines
+      in
+      write_file path (String.concat "\n" mangled);
+      let loaded = Journal.load path in
+      Alcotest.(check int) "mangled line counted corrupt" 1 loaded.Journal.corrupt;
+      Alcotest.(check bool) "good line survives" true
+        (Hashtbl.mem loaded.Journal.entries "b");
+      Alcotest.(check bool) "bad line dropped" false
+        (Hashtbl.mem loaded.Journal.entries "a"))
+
+let test_wrong_header_rejected () =
+  with_tmp (fun path ->
+      write_file path "not-a-journal\n";
+      match Journal.load path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "load accepted a non-journal file")
+
+let test_reopen_appends_without_new_header () =
+  with_tmp (fun path ->
+      let w = Journal.create path in
+      Journal.append w ~key:"a" (Journal.Crashed "one");
+      Journal.close w;
+      let w = Journal.create path in
+      Journal.append w ~key:"b" (Journal.Crashed "two");
+      Journal.close w;
+      let loaded = Journal.load path in
+      Alcotest.(check int) "no corruption across reopen" 0 loaded.Journal.corrupt;
+      Alcotest.(check int) "both sessions' entries" 2
+        (Hashtbl.length loaded.Journal.entries);
+      let lines =
+        String.split_on_char '\n' (read_file path)
+        |> List.filter (fun l -> l <> "")
+      in
+      Alcotest.(check int) "exactly one header + two entries" 3 (List.length lines);
+      Alcotest.(check string) "header first" "rfd-journal/1" (List.hd lines))
+
+let test_newest_entry_wins () =
+  (* A job journalled twice (e.g. re-run without --resume) must resolve to
+     the later entry. *)
+  with_tmp (fun path ->
+      let w = Journal.create path in
+      Journal.append w ~key:"a" (Journal.Crashed "old");
+      Journal.append w ~key:"a" (Journal.Crashed "new");
+      Journal.close w;
+      let loaded = Journal.load path in
+      match Hashtbl.find_opt loaded.Journal.entries "a" with
+      | Some (Journal.Crashed msg) -> Alcotest.(check string) "newest wins" "new" msg
+      | _ -> Alcotest.fail "entry missing")
+
+let test_job_key_stability () =
+  let sc = scenario () in
+  let k1 = Journal.job_key sc ~seed:1 ~pulses:2 in
+  let k2 = Journal.job_key sc ~seed:1 ~pulses:2 in
+  Alcotest.(check string) "same job, same key" k1 k2;
+  Alcotest.(check bool) "seed changes the key" true
+    (k1 <> Journal.job_key sc ~seed:2 ~pulses:2);
+  Alcotest.(check bool) "pulse count changes the key" true
+    (k1 <> Journal.job_key sc ~seed:1 ~pulses:3);
+  Alcotest.(check int) "hex MD5 length" 32 (String.length k1)
+
+let suite =
+  [
+    Alcotest.test_case "round trip" `Quick test_round_trip;
+    Alcotest.test_case "torn tail skipped" `Quick test_truncated_tail_skipped;
+    Alcotest.test_case "corrupt digest skipped" `Quick test_corrupt_digest_skipped;
+    Alcotest.test_case "wrong header rejected" `Quick test_wrong_header_rejected;
+    Alcotest.test_case "reopen appends, one header" `Quick
+      test_reopen_appends_without_new_header;
+    Alcotest.test_case "newest entry wins" `Quick test_newest_entry_wins;
+    Alcotest.test_case "job key stability" `Quick test_job_key_stability;
+  ]

@@ -125,6 +125,33 @@ let test_shutdown () =
     (Invalid_argument "Pool.map: pool is shut down") (fun () ->
       ignore (Pool.map pool succ [ 1 ]))
 
+let test_shutdown_after_worker_exception () =
+  (* A batch whose jobs raised must not leave shutdown hanging or raising:
+     the workers survived the exceptions and join cleanly, twice. *)
+  let pool = Pool.create ~jobs:2 () in
+  (try ignore (Pool.map pool (fun _ -> failwith "boom") [ 1; 2; 3; 4 ])
+   with Failure _ -> ());
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.check_raises "map_result after shutdown"
+    (Invalid_argument "Pool.map_result: pool is shut down") (fun () ->
+      ignore (Pool.map_result pool succ [ 1 ]))
+
+let test_with_pool_shuts_down_on_raise () =
+  let captured = ref None in
+  (try
+     Pool.with_pool ~jobs:2 (fun pool ->
+         captured := Some pool;
+         failwith "body died")
+   with Failure _ -> ());
+  match !captured with
+  | None -> Alcotest.fail "with_pool never ran its body"
+  | Some pool ->
+      Pool.shutdown pool;
+      Alcotest.check_raises "pool was shut down by with_pool"
+        (Invalid_argument "Pool.map: pool is shut down") (fun () ->
+          ignore (Pool.map pool succ [ 1 ]))
+
 let test_reuse_across_batches () =
   Pool.with_pool ~jobs:3 (fun pool ->
       for i = 1 to 5 do
@@ -148,5 +175,9 @@ let suite =
     Alcotest.test_case "map_result per-job outcomes" `Quick test_map_result_reports_per_job;
     Alcotest.test_case "jobs=1 runs inline" `Quick test_sequential_pool_spawns_inline;
     Alcotest.test_case "shutdown lifecycle" `Quick test_shutdown;
+    Alcotest.test_case "shutdown after worker exception" `Quick
+      test_shutdown_after_worker_exception;
+    Alcotest.test_case "with_pool shuts down on raise" `Quick
+      test_with_pool_shuts_down_on_raise;
     Alcotest.test_case "batch reuse" `Quick test_reuse_across_batches;
   ]

@@ -175,7 +175,7 @@ let test_run_collects_crash_failures () =
       | Sweep.Crashed msg ->
           Alcotest.(check bool) "crash reason is the printed exception" true
             (String.length msg > 0)
-      | Sweep.Budget_exceeded _ -> Alcotest.fail "expected Crashed")
+      | _ -> Alcotest.fail "expected Crashed")
     sweep.Sweep.failures;
   Alcotest.(check (list (pair (float 0.) (float 0.)))) "series are empty" []
     (Sweep.convergence_series sweep)
