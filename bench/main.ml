@@ -37,7 +37,7 @@ let ablations =
 
 let all = experiments @ ablations
 
-let lookup ~tick name =
+let lookup ~tick ~scale_json ~scale_nodes name =
   match List.find_opt (fun (n, _, _) -> n = name) all with
   | Some (_, _, f) -> Ok f
   | None -> (
@@ -47,6 +47,13 @@ let lookup ~tick name =
       | "all" -> Ok (fun ctx -> List.iter (fun (_, _, f) -> f ctx) all)
       | "micro" -> Ok (fun _ -> Micro.run ())
       | "perf" -> Ok (fun ctx -> Perf.print (Perf.measure ~tick ctx))
+      | "scale" ->
+          Ok
+            (fun ctx ->
+              let points = Scale.run ?sizes:scale_nodes ctx in
+              match scale_json with
+              | Some file -> Scale.write_json ctx ~file points
+              | None -> ())
       | _ -> Error (Printf.sprintf "unknown experiment %S" name))
 
 open Cmdliner
@@ -55,8 +62,8 @@ let names_arg =
   (* Generated from the experiment tables so the help text cannot drift. *)
   let doc =
     Printf.sprintf
-      "Experiments to run: %s, micro, paper (all tables and figures), ablations, all. \
-       Default: paper."
+      "Experiments to run: %s, micro, perf, scale (Internet-scale BA-graph \
+       benchmark), paper (all tables and figures), ablations, all. Default: paper."
       (String.concat ", " (List.map (fun (name, _, _) -> name) all))
   in
   Arg.(value & pos_all string [ "paper" ] & info [] ~docv:"EXPERIMENT" ~doc)
@@ -93,6 +100,27 @@ let json_arg =
 let tick_arg =
   let doc = "Tick period (seconds) of the wheel side of the perf comparison." in
   Arg.(value & opt float 15. & info [ "tick" ] ~docv:"SECONDS" ~doc)
+
+let scale_json_arg =
+  let doc =
+    "Write the $(b,scale) experiment's machine-readable results (rfd-bench/1 \
+     schema: per-size wall time, simulator throughput, intern-table sizes and \
+     peak RSS) to $(docv). Only meaningful together with the $(b,scale) \
+     experiment."
+  in
+  Arg.(value & opt (some string) None & info [ "scale-json" ] ~docv:"FILE" ~doc)
+
+let scale_nodes_arg =
+  let doc =
+    "Graph sizes for the $(b,scale) experiment (comma-separated node counts, \
+     run in ascending order so per-size peak RSS stays attributable), e.g. \
+     $(b,1000,10000,50000). Default: 1000 with $(b,--quick), 1000,10000 \
+     otherwise."
+  in
+  Arg.(
+    value
+    & opt (some (list ~sep:',' int)) None
+    & info [ "scale-nodes" ] ~docv:"SIZES" ~doc)
 
 let jobs_arg =
   let doc =
@@ -136,7 +164,8 @@ let write_json ctx ~file ~tick ~quick ~seed ~jobs =
   Rfd.Json.write_file file doc;
   Printf.printf "[json baseline written to %s]\n" file
 
-let run names quick seed jobs csv_dir plot_dir micro json tick deadline retries =
+let run names quick seed jobs csv_dir plot_dir micro json tick deadline retries scale_json
+    scale_nodes =
   let jobs = match jobs with Some j -> max 1 j | None -> Rfd.Pool.default_jobs () in
   let opts = { Context.quick; seed; jobs; csv_dir; plot_dir; deadline; retries } in
   let ctx = Context.create opts in
@@ -149,7 +178,7 @@ let run names quick seed jobs csv_dir plot_dir micro json tick deadline retries 
         match acc with
         | Error _ -> acc
         | Ok () -> (
-            match lookup ~tick name with
+            match lookup ~tick ~scale_json ~scale_nodes name with
             | Ok f ->
                 f ctx;
                 Ok ()
@@ -173,6 +202,7 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ names_arg $ quick_arg $ seed_arg $ jobs_arg $ csv_arg $ plots_arg
-      $ micro_arg $ json_arg $ tick_arg $ deadline_arg $ retries_arg)
+      $ micro_arg $ json_arg $ tick_arg $ deadline_arg $ retries_arg $ scale_json_arg
+      $ scale_nodes_arg)
 
 let () = exit (Cmd.eval cmd)

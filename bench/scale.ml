@@ -1,0 +1,177 @@
+(* `scale` experiment: how far past the paper's 100-node topologies the
+   simulator now reaches. Single-origin flap (3 pulses, damping everywhere)
+   on Barabási–Albert graphs of increasing size, reporting wall time,
+   simulator throughput and peak RSS per point.
+
+   Peak RSS is VmHWM from /proc/self/status — a process-wide high-water
+   mark, so points must run in ascending size order for the per-point
+   figure to be attributable to that size (each point reports the max over
+   itself and everything smaller, which ascending order makes equal to
+   itself). On platforms without procfs the field is reported as 0 and the
+   CI regression guard skips. *)
+
+module Scenario = Rfd.Scenario
+module Runner = Rfd.Runner
+module Config = Rfd.Config
+module Params = Rfd.Params
+module Json = Rfd.Json
+
+let quick_sizes = [ 1_000 ]
+let paper_sizes = [ 1_000; 10_000 ]
+
+(* VmHWM ("high water mark" of resident set size) in kB; 0 when
+   /proc/self/status is unavailable or the field is missing. *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> 0
+        | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d" Fun.id
+            else scan ()
+      in
+      let kb = scan () in
+      close_in ic;
+      kb
+
+type point = {
+  nodes : int;  (** requested BA graph size (the run adds one origin stub) *)
+  num_edges : int;
+  wall_seconds : float;
+  sim_events : int;
+  events_per_sec : float;
+  message_count : int;
+  routes_interned : int;
+  paths_interned : int;
+  peak_rss_kb : int;
+}
+
+let run_point (opts : Context.opts) n =
+  let config =
+    {
+      (Context.damping_config opts) with
+      (* Single-origin runs hold ~1 prefix per session; the default hint
+         (8 buckets x 5 tables per session) would dominate allocation at
+         tens of thousands of low-degree routers. *)
+      Config.prefix_table_hint = 2;
+    }
+  in
+  let scenario =
+    Scenario.make
+      ~name:(Printf.sprintf "scale-%d" n)
+      ~config ~pulses:3
+      (Scenario.Internet { nodes = n; m = 2 })
+  in
+  let table = ref None in
+  let edges = ref 0 in
+  let result =
+    Runner.run
+      ~observe:(fun net ->
+        table := Some (Rfd.Network.route_table net);
+        edges := Rfd.Graph.num_edges (Rfd.Network.graph net))
+      scenario
+  in
+  let routes, paths =
+    match !table with
+    | Some tbl -> (Rfd.Route.table_size tbl, Rfd.As_path.table_size (Rfd.Route.path_table tbl))
+    | None -> (0, 0)
+  in
+  let wall = result.Runner.wall_seconds in
+  {
+    nodes = n;
+    num_edges = !edges;
+    wall_seconds = wall;
+    sim_events = result.Runner.sim_events;
+    events_per_sec =
+      (if wall > 0. then float_of_int result.Runner.sim_events /. wall else 0.);
+    message_count = result.Runner.message_count;
+    routes_interned = routes;
+    paths_interned = paths;
+    peak_rss_kb = peak_rss_kb ();
+  }
+
+let point_to_json p =
+  Json.Obj
+    [
+      ("nodes", Json.Int p.nodes);
+      ("edges", Json.Int p.num_edges);
+      ("wall_seconds", Json.Float p.wall_seconds);
+      ("sim_events", Json.Int p.sim_events);
+      ("events_per_sec", Json.Float p.events_per_sec);
+      ("messages", Json.Int p.message_count);
+      ("routes_interned", Json.Int p.routes_interned);
+      ("paths_interned", Json.Int p.paths_interned);
+      ("peak_rss_kb", Json.Int p.peak_rss_kb);
+    ]
+
+let to_json ~quick ~seed points =
+  Json.Obj
+    [
+      ("schema", Json.String "rfd-bench/1");
+      ("experiment", Json.String "scale");
+      ("scale", Json.String (if quick then "quick" else "paper"));
+      ("seed", Json.Int seed);
+      ("points", Json.List (List.map point_to_json points));
+    ]
+
+let run ?sizes (ctx : Context.t) =
+  let opts = ctx.Context.opts in
+  let sizes =
+    match sizes with
+    | Some sizes ->
+        (* Ascending order keeps per-point VmHWM attributable (see above). *)
+        List.sort_uniq Int.compare sizes
+    | None -> if opts.Context.quick then quick_sizes else paper_sizes
+  in
+  print_newline ();
+  Printf.printf "== scale: single-origin flap on Barabási–Albert graphs ==\n";
+  Printf.printf "%8s %8s %10s %12s %12s %10s %10s %12s\n" "nodes" "edges" "wall(s)"
+    "sim events" "events/s" "messages" "routes" "peakRSS(MB)";
+  let points =
+    List.map
+      (fun n ->
+        let p = run_point opts n in
+        Printf.printf "%8d %8d %10.2f %12d %12.0f %10d %10d %12.1f\n%!" p.nodes
+          p.num_edges p.wall_seconds p.sim_events p.events_per_sec p.message_count
+          p.routes_interned
+          (float_of_int p.peak_rss_kb /. 1024.);
+        p)
+      sizes
+  in
+  Context.write_csv ctx ~name:"scale"
+    ~header:
+      [
+        "nodes";
+        "edges";
+        "wall_seconds";
+        "sim_events";
+        "events_per_sec";
+        "messages";
+        "routes_interned";
+        "paths_interned";
+        "peak_rss_kb";
+      ]
+    ~rows:
+      (List.map
+         (fun p ->
+           [
+             string_of_int p.nodes;
+             string_of_int p.num_edges;
+             Printf.sprintf "%.4f" p.wall_seconds;
+             string_of_int p.sim_events;
+             Printf.sprintf "%.1f" p.events_per_sec;
+             string_of_int p.message_count;
+             string_of_int p.routes_interned;
+             string_of_int p.paths_interned;
+             string_of_int p.peak_rss_kb;
+           ])
+         points);
+  points
+
+let write_json ctx ~file points =
+  let opts = ctx.Context.opts in
+  Json.write_file file (to_json ~quick:opts.Context.quick ~seed:opts.Context.seed points);
+  Printf.printf "[scale baseline written to %s]\n" file

@@ -140,6 +140,18 @@ let probe_arg =
   let doc = "Trace penalties at the first router at this hop distance from the origin." in
   Arg.(value & opt (some int) None & info [ "probe-distance" ] ~doc)
 
+let table_hint_arg =
+  let doc =
+    "Initial bucket-count hint for each per-peer prefix-keyed router table \
+     (RIB-In, RIB-Out, MRAI deadlines, pending, flush timers). Lower it to 1-2 \
+     for Internet-scale single-origin runs so tens of thousands of low-degree \
+     routers don't pay fixed table overhead per session."
+  in
+  Arg.(
+    value
+    & opt int Config.default.Config.prefix_table_hint
+    & info [ "table-hint" ] ~docv:"N" ~doc)
+
 let reuse_tick_arg =
   let doc =
     "Schedule reuse timers on an RFC 2439 reuse-list tick wheel with this tick period \
@@ -218,9 +230,12 @@ let faults_term =
     const make $ loss_arg $ dup_arg $ chaos_flaps_arg $ chaos_window_arg
     $ chaos_downtime_arg $ chaos_seed_arg)
 
-let build_scenario ?faults ?reuse_tick topology damping mode policy pulses interval mrai
-    seed isp probe =
-  let base = { Config.default with Config.mrai; seed } in
+let build_scenario ?faults ?reuse_tick ?table_hint topology damping mode policy pulses
+    interval mrai seed isp probe =
+  let prefix_table_hint =
+    match table_hint with Some h -> h | None -> Config.default.Config.prefix_table_hint
+  in
+  let base = { Config.default with Config.mrai; seed; prefix_table_hint } in
   let reuse = match reuse_tick with None -> Config.Exact | Some t -> Config.Tick t in
   let config =
     match damping with
@@ -264,10 +279,10 @@ let transcript_arg =
 
 let run_cmd =
   let action topology damping mode policy pulses interval mrai seed isp probe reuse_tick
-      transcript budget faults =
+      table_hint transcript budget faults =
     let scenario =
-      build_scenario ?faults ?reuse_tick topology damping mode policy pulses interval mrai
-        seed isp probe
+      build_scenario ?faults ?reuse_tick ~table_hint topology damping mode policy pulses
+        interval mrai seed isp probe
     in
     let trace = Rfd.Trace.create ~enabled:(transcript <> None) () in
     let observe net = Rfd.Tracing.attach trace (Rfd.Network.hooks net) in
@@ -324,7 +339,7 @@ let run_cmd =
     Term.(
       const action $ topology_arg $ damping_arg $ mode_arg $ policy_arg $ pulses_arg
       $ interval_arg $ mrai_arg $ seed_arg $ isp_arg $ probe_arg $ reuse_tick_arg
-      $ transcript_arg $ budget_term $ faults_term)
+      $ table_hint_arg $ transcript_arg $ budget_term $ faults_term)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
@@ -390,11 +405,11 @@ let install_sigint_drain () =
   with Invalid_argument _ -> ()
 
 let sweep_cmd =
-  let action topology damping mode policy interval mrai seed isp reuse_tick max_pulses
-      jobs budget faults deadline retries journal resume =
+  let action topology damping mode policy interval mrai seed isp reuse_tick table_hint
+      max_pulses jobs budget faults deadline retries journal resume =
     let scenario =
-      build_scenario ?faults ?reuse_tick topology damping mode policy 1 interval mrai seed
-        isp None
+      build_scenario ?faults ?reuse_tick ~table_hint topology damping mode policy 1
+        interval mrai seed isp None
     in
     let jobs = if jobs <= 0 then Rfd.Pool.default_jobs () else jobs in
     let pulses = List.init max_pulses (fun i -> i + 1) in
@@ -449,8 +464,9 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc ~man:exit_doc)
     Term.(
       const action $ topology_arg $ damping_arg $ mode_arg $ policy_arg $ interval_arg
-      $ mrai_arg $ seed_arg $ isp_arg $ reuse_tick_arg $ max_pulses_arg $ jobs_arg
-      $ budget_term $ faults_term $ deadline_arg $ retries_arg $ journal_arg $ resume_arg)
+      $ mrai_arg $ seed_arg $ isp_arg $ reuse_tick_arg $ table_hint_arg $ max_pulses_arg
+      $ jobs_arg $ budget_term $ faults_term $ deadline_arg $ retries_arg $ journal_arg
+      $ resume_arg)
 
 (* ------------------------------------------------------------------ *)
 (* intended                                                            *)

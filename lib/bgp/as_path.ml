@@ -1,17 +1,89 @@
-type t = int list
+(* Hash-consed AS paths.
 
-let empty = []
-let of_list l = l
-let to_list t = t
-let prepend asn t = asn :: t
-let length = List.length
-let contains t asn = List.mem asn t
+   A path is an immutable record carrying its element list plus a
+   precomputed length, structural hash and intern id. Paths built through a
+   {!table} are hash-consed: structurally equal paths are one shared value,
+   so [==] decides equality in O(1) on the hot path and RIB entries across
+   peers and routers share storage. Paths built without a table (tests,
+   ad-hoc construction) carry id [-1] and still compare correctly through
+   the structural fallback. *)
+
+type t = {
+  asns : int list; (* most recently prepended first *)
+  len : int;
+  shash : int; (* structural hash, incremental over prepends *)
+  id : int; (* per-table intern id; 0 = empty, -1 = not interned *)
+}
+
+(* FNV-1a-style int mixing: cheap, stable by construction (no dependence on
+   the polymorphic hasher), and incremental — hash (asn :: p) only needs
+   p's hash. *)
+let hash_seed = 0x811c9dc5
+let mix h asn = (h lxor (asn + 0x9e3779b9)) * 0x01000193 land max_int
+
+let empty = { asns = []; len = 0; shash = hash_seed; id = 0 }
+
+let prepend asn t =
+  { asns = asn :: t.asns; len = t.len + 1; shash = mix t.shash asn; id = -1 }
+
+let of_list l = List.fold_left (fun acc asn -> prepend asn acc) empty (List.rev l)
+let to_list t = t.asns
+let length t = t.len
+let contains t asn = List.mem asn t.asns
 
 let origin t =
-  match List.rev t with [] -> None | last :: _ -> Some last
+  match List.rev t.asns with [] -> None | last :: _ -> Some last
 
-let equal = List.equal Int.equal
-let compare = List.compare Int.compare
+(* Within one table, structurally equal paths are physically equal, so the
+   fallback only runs for uninterned or cross-table values. *)
+let equal a b =
+  a == b || (a.len = b.len && a.shash = b.shash && List.equal Int.equal a.asns b.asns)
+
+(* Ordering stays the seed-era lexicographic list order bit-for-bit; the
+   physical-equality short-circuit only fast-paths the equal case. *)
+let compare a b = if a == b then 0 else List.compare Int.compare a.asns b.asns
+
+let hash t = t.shash
+let intern_id t = t.id
 
 let pp ppf t =
-  Format.fprintf ppf "[%a]" (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f " ") Format.pp_print_int) t
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f " ") Format.pp_print_int)
+    t.asns
+
+(* ------------------------------------------------------------------ *)
+(* Interning                                                           *)
+
+type table = {
+  nodes : (int list, t) Hashtbl.t; (* keyed by the node's own asns list *)
+  mutable next_id : int;
+}
+
+let create_table ?(size = 256) () = { nodes = Hashtbl.create (max 1 size); next_id = 1 }
+
+let table_size tbl = Hashtbl.length tbl.nodes
+
+let alloc tbl asns len shash =
+  let id = tbl.next_id in
+  tbl.next_id <- id + 1;
+  let v = { asns; len; shash; id } in
+  Hashtbl.add tbl.nodes asns v;
+  v
+
+let prepend_interned tbl asn t =
+  let asns = asn :: t.asns in
+  match Hashtbl.find_opt tbl.nodes asns with
+  | Some v -> v
+  | None -> alloc tbl asns (t.len + 1) (mix t.shash asn)
+
+(* Interns every suffix so later prepends of either representation land on
+   shared spines. *)
+let rec intern_list tbl l =
+  match l with
+  | [] -> empty
+  | asn :: rest -> (
+      match Hashtbl.find_opt tbl.nodes l with
+      | Some v -> v
+      | None -> prepend_interned tbl asn (intern_list tbl rest))
+
+let intern tbl t = intern_list tbl t.asns

@@ -2,7 +2,15 @@
 
     A sequence of AS numbers, most recently prepended first (the neighbour
     that sent the route is the head; the originator is the last element).
-    Each simulated router is its own AS, so AS numbers are node ids. *)
+    Each simulated router is its own AS, so AS numbers are node ids.
+
+    Paths are hash-consed when built through a {!table} (one table per
+    {!Network}): structurally equal paths become one shared value, so
+    {!equal} decides in O(1) via physical equality on the hot path, {!hash}
+    is a precomputed O(1) read, and RIB entries across peers and routers
+    share storage instead of duplicating path spines. {!compare} keeps the
+    seed-era lexicographic list order bit-for-bit (with an O(1) equal-case
+    short-circuit), so decision-process tie-breaks are unchanged. *)
 
 type t
 
@@ -13,9 +21,12 @@ val of_list : int list -> t
 val to_list : t -> int list
 
 val prepend : int -> t -> t
-(** [prepend asn p] — done by each router as it propagates a route. *)
+(** [prepend asn p] — done by each router as it propagates a route. Plain
+    (uninterned) construction; routers use {!prepend_interned}. *)
 
 val length : t -> int
+(** O(1). *)
+
 val contains : t -> int -> bool
 (** Loop detection. *)
 
@@ -23,5 +34,42 @@ val origin : t -> int option
 (** The originating AS (last element), if the path is non-empty. *)
 
 val equal : t -> t -> bool
+(** O(1) (physical equality) for two paths interned in the same table;
+    structural fallback otherwise. *)
+
 val compare : t -> t -> int
+(** Lexicographic on the AS list, exactly as the seed representation
+    ordered paths; O(1) when the arguments are physically equal. *)
+
+val hash : t -> int
+(** Precomputed structural hash: O(1), stable by construction (independent
+    of the polymorphic hasher), equal for structurally equal paths
+    regardless of interning. *)
+
 val pp : Format.formatter -> t -> unit
+
+(** {1 Interning}
+
+    A table hash-conses every path built through it. Tables are per-network
+    (never shared across simulations), so intern ids are a deterministic
+    function of the run — safe to marshal into result digests. *)
+
+type table
+
+val create_table : ?size:int -> unit -> table
+
+val prepend_interned : table -> int -> t -> t
+(** Like {!prepend}, but returns the table's unique shared value for the
+    resulting path. O(path length) on a miss (one structural hash), O(1)
+    amortized on the hit path. *)
+
+val intern : table -> t -> t
+(** The table's shared value for [t], interning every suffix so future
+    prepends land on shared spines. Idempotent. *)
+
+val intern_id : t -> int
+(** This path's id in the table that interned it: 0 for {!empty}, unique
+    positive ids for interned paths, [-1] for uninterned values. *)
+
+val table_size : table -> int
+(** Number of distinct non-empty paths interned so far. *)

@@ -17,6 +17,7 @@ type t = {
   reuse_mode : reuse_mode;
   deployment : deployment;
   rcn_history : int;
+  prefix_table_hint : int;
   seed : int;
 }
 
@@ -34,6 +35,7 @@ let default =
     reuse_mode = Exact;
     deployment = Everywhere;
     rcn_history = 128;
+    prefix_table_hint = 8;
     seed = 42;
   }
 
@@ -47,6 +49,7 @@ let validate t =
   else if t.link_delay <= 0. then Error "link_delay must be positive"
   else if t.link_jitter < 0. then Error "link_jitter must be non-negative"
   else if t.rcn_history <= 0 then Error "rcn_history must be positive"
+  else if t.prefix_table_hint <= 0 then Error "prefix_table_hint must be positive"
   else if
     match t.reuse_mode with
     | Exact -> false

@@ -18,22 +18,28 @@ type t = {
   graph : Graph.t;
   config : Config.t;
   hooks : Hooks.t;
+  table : Route.table; (* shared intern table for every router's routes *)
   routers : Router.t array;
   routers_up : bool array; (* false while crashed *)
   damping_deployed : bool array;
-  links : (int * int, link_state) Hashtbl.t; (* canonical (min, max) key *)
-  directed : (int * int, directed_link) Hashtbl.t;
+  links : link_state array; (* indexed by Graph edge id *)
+  directed : directed_link array; (* 2*eid + (0 if src < dst else 1) *)
   delay_rng : Rng.t;
   fault_rng : Rng.t; (* loss/duplication sampling, untouched when faults are off *)
   mutable in_flight : int;
 }
 
-let canonical u v = if u < v then (u, v) else (v, u)
-
-let link_state_exn t u v =
-  match Hashtbl.find_opt t.links (canonical u v) with
-  | Some ls -> ls
+(* Link state is held in dense arrays indexed by the graph's stable edge
+   ids: [links.(eid)] for the undirected administrative state, and
+   [directed.(2*eid + dir)] with [dir = 0] for the min->max direction. *)
+let edge_id_exn t u v =
+  match Graph.edge_id t.graph u v with
+  | Some eid -> eid
   | None -> invalid_arg (Printf.sprintf "Network: (%d,%d) is not a link" u v)
+
+let link_state_exn t u v = t.links.(edge_id_exn t u v)
+let directed_slot eid ~src ~dst = (2 * eid) + if src < dst then 0 else 1
+let directed_exn t ~src ~dst = t.directed.(directed_slot (edge_id_exn t src dst) ~src ~dst)
 
 (* A link carries traffic only when it is administratively up and neither
    endpoint router is crashed. All up/down session transitions below are in
@@ -81,8 +87,9 @@ let deployment_flags config rng n =
    consumed when the corresponding probability is non-zero, so fault-free
    runs are bit-identical to runs on a build without fault injection. *)
 let make_sender t src dst =
-  let ls = Hashtbl.find t.links (canonical src dst) in
-  let dl = Hashtbl.find t.directed (src, dst) in
+  let eid = edge_id_exn t src dst in
+  let ls = t.links.(eid) in
+  let dl = t.directed.(directed_slot eid ~src ~dst) in
   let send_copy update =
     if dl.loss > 0. && Rng.float t.fault_rng 1.0 < dl.loss then
       t.hooks.Hooks.on_drop ~time:(Sim.now t.sim) ~src ~dst update
@@ -134,37 +141,38 @@ let create ?policy ~config sim graph =
       | Some params -> Some params
       | None -> config.Config.damping
   in
+  (* One intern table per network: ids are assigned in deterministic
+     simulation order, so Marshal-based digests of anything referencing
+     interned routes stay reproducible run to run. *)
+  let table = Route.create_table ~size:(max 256 n) () in
   let routers =
     Array.init n (fun node ->
-        Router.create ~sim ~id:node ~policy ~config ~damping:(params_at node)
-          ~rng:(Rng.split master) ~hooks)
+        Router.create ~table ~sim ~id:node ~policy ~config ~damping:(params_at node)
+          ~rng:(Rng.split master) ~hooks ())
   in
   (* The fault RNG is derived from the seed without consuming a split of the
      master stream, so runs without fault injection are bit-identical to
      historical (pre-fault) results. *)
   let fault_rng = Rng.create (config.Config.seed lxor 0x7fa9_1e55) in
+  let m = Graph.num_edges graph in
   let t =
     {
       sim;
       graph;
       config;
       hooks;
+      table;
       routers;
       routers_up = Array.make n true;
       damping_deployed;
-      links = Hashtbl.create (max 16 (Graph.num_edges graph));
-      directed = Hashtbl.create (max 16 (2 * Graph.num_edges graph));
+      links = Array.init m (fun _ -> { up = true; epoch = 0 });
+      directed =
+        Array.init (2 * m) (fun _ -> { last_delivery = 0.; loss = 0.; duplication = 0. });
       delay_rng;
       fault_rng;
       in_flight = 0;
     }
   in
-  Array.iter
-    (fun (u, v) ->
-      Hashtbl.replace t.links (u, v) { up = true; epoch = 0 };
-      Hashtbl.replace t.directed (u, v) { last_delivery = 0.; loss = 0.; duplication = 0. };
-      Hashtbl.replace t.directed (v, u) { last_delivery = 0.; loss = 0.; duplication = 0. })
-    (Graph.edges graph);
   Array.iter
     (fun (u, v) ->
       Router.connect t.routers.(u) ~peer:v ~send:(make_sender t u v);
@@ -175,6 +183,7 @@ let create ?policy ~config sim graph =
 let sim t = t.sim
 let graph t = t.graph
 let hooks t = t.hooks
+let route_table t = t.table
 
 let router t node =
   if node < 0 || node >= Array.length t.routers then
@@ -274,14 +283,12 @@ let check_probability name p =
 let set_degradation t ~src ~dst ~loss ~duplication =
   check_probability "loss" loss;
   check_probability "duplication" duplication;
-  ignore (link_state_exn t src dst);
-  let dl = Hashtbl.find t.directed (src, dst) in
+  let dl = directed_exn t ~src ~dst in
   dl.loss <- loss;
   dl.duplication <- duplication
 
 let degradation t ~src ~dst =
-  ignore (link_state_exn t src dst);
-  let dl = Hashtbl.find t.directed (src, dst) in
+  let dl = directed_exn t ~src ~dst in
   (dl.loss, dl.duplication)
 
 let run ?until t = Sim.run ?until t.sim

@@ -23,6 +23,12 @@ val graph : t -> Rfd_topology.Graph.t
 val hooks : t -> Hooks.t
 (** Shared by every router; assign fields to observe the run. *)
 
+val route_table : t -> Route.table
+(** The intern table shared by every router in this network: all routes and
+    AS paths built during the run are hash-consed here, in deterministic
+    simulation order. Exposed for introspection (table sizes, leak checks in
+    tests); mutating it directly is never necessary. *)
+
 val router : t -> int -> Router.t
 val num_routers : t -> int
 val damping_at : t -> int -> bool

@@ -7,5 +7,13 @@ let v n =
 let to_int t = t
 let equal = Int.equal
 let compare = Int.compare
-let hash = Hashtbl.hash
+
+(* Explicit avalanching int hash (splitmix64-style finalizer) instead of
+   the polymorphic hasher: stable by construction, independent of how the
+   runtime traverses the representation. *)
+let hash t =
+  let h = t * 0x9e3779b9 in
+  let h = h lxor (h lsr 16) in
+  let h = h * 0x85ebca6b in
+  (h lxor (h lsr 13)) land max_int
 let pp ppf t = Format.fprintf ppf "p%d" t

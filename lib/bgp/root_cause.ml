@@ -6,7 +6,15 @@ let make ~link ~status ~seq = { link; status; seq }
 let origin_event ~node ~status ~seq = { link = (node, node); status; seq }
 let equal a b = a = b
 let compare = Stdlib.compare
-let hash = Hashtbl.hash
+
+(* Explicit structural hash over every field — stable by construction
+   rather than dependent on the polymorphic hasher's traversal (which
+   stops after a bounded number of nodes and depends on representation). *)
+let hash t =
+  let mix h x = (h lxor (x + 0x9e3779b9 + (h lsl 6) + (h lsr 2))) land max_int in
+  let u, v = t.link in
+  let status = match t.status with Link_down -> 0 | Link_up -> 1 in
+  mix (mix (mix (mix 0x811c9dc5 u) v) status) t.seq
 
 let pp ppf t =
   let u, v = t.link in

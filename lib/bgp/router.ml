@@ -26,7 +26,8 @@ type peer_state = {
   pending : (Prefix.t, pending_out) Hashtbl.t;
   flush_scheduled : (Prefix.t, Sim.event_id) Hashtbl.t;
       (* armed flush timer per prefix, cancellable on session failure *)
-  rcn_history : Root_cause.t History.t;
+  rcn_history : Root_cause.t History.t option;
+      (* Some iff this router damps in RCN mode — the only consumer *)
   mutable peer_deadline : float; (* shared MRAI deadline in per-peer mode *)
   mutable up : bool;
 }
@@ -59,8 +60,8 @@ type t = {
   decay_cache : Damper.cache option; (* shared across this router's dampers *)
   hooks : Hooks.t;
   rng : Rng.t;
-  peers : (int, peer_state) Hashtbl.t;
-  mutable peer_order : int list; (* ascending *)
+  table : Route.table; (* per-network intern table, shared across routers *)
+  mutable peers : peer_state array; (* ascending peer_id; dense, no hashing *)
   loc_rib : (Prefix.t, int option * Route.t) Hashtbl.t; (* learned-from peer, route *)
   originated : (Prefix.t, unit) Hashtbl.t;
   mutable rc_seq : int;
@@ -73,7 +74,7 @@ type t = {
   mutable timer_peak : int;
 }
 
-let create ~sim ~id ~policy ~config ~damping ~rng ~hooks =
+let create ?table ~sim ~id ~policy ~config ~damping ~rng ~hooks () =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Router.create: " ^ msg));
@@ -105,8 +106,8 @@ let create ~sim ~id ~policy ~config ~damping ~rng ~hooks =
     decay_cache = Option.map (fun _ -> Damper.cache ()) damping;
     hooks;
     rng;
-    peers = Hashtbl.create 8;
-    peer_order = [];
+    table = (match table with Some tbl -> tbl | None -> Route.create_table ());
+    peers = [||];
     loc_rib = Hashtbl.create 8;
     originated = Hashtbl.create 4;
     rc_seq = 0;
@@ -118,33 +119,65 @@ let create ~sim ~id ~policy ~config ~damping ~rng ~hooks =
 let id t = t.id
 let damping_params t = t.damping
 
+(* Peer sessions live in a dense array sorted by peer id: lookups are an
+   O(log degree) binary search and the decision process iterates the array
+   directly (ascending, as the id tie-break requires) — no hashing, no
+   per-peer boxing beyond the session record itself. *)
+let find_peer t peer =
+  let peers = t.peers in
+  let rec search lo hi =
+    if lo > hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      let ps = peers.(mid) in
+      if ps.peer_id = peer then Some ps
+      else if ps.peer_id < peer then search (mid + 1) hi
+      else search lo (mid - 1)
+    end
+  in
+  search 0 (Array.length peers - 1)
+
 let connect t ~peer ~send =
   if peer = t.id then invalid_arg "Router.connect: cannot peer with self";
-  if Hashtbl.mem t.peers peer then
+  if find_peer t peer <> None then
     invalid_arg (Printf.sprintf "Router.connect: duplicate peer %d" peer);
   let lo, hi = t.config.Config.mrai_jitter in
+  let hint = t.config.Config.prefix_table_hint in
   let ps =
     {
       peer_id = peer;
       send = Some send;
       mrai_interval = t.config.Config.mrai *. Rng.uniform t.rng ~lo ~hi;
-      rib_in = Hashtbl.create 8;
-      rib_out = Hashtbl.create 8;
-      mrai_deadline = Hashtbl.create 8;
-      pending = Hashtbl.create 8;
-      flush_scheduled = Hashtbl.create 8;
-      rcn_history = History.create ~capacity:t.config.Config.rcn_history ();
+      rib_in = Hashtbl.create hint;
+      rib_out = Hashtbl.create hint;
+      mrai_deadline = Hashtbl.create hint;
+      pending = Hashtbl.create hint;
+      flush_scheduled = Hashtbl.create hint;
+      rcn_history =
+        (* Only RCN-mode damping routers consult the history; everywhere
+           else the (capacity-sized) table would be dead weight per session. *)
+        (if t.config.Config.damping_mode = Config.Rcn && t.damping <> None then
+           Some (History.create ~capacity:t.config.Config.rcn_history ())
+         else None);
       peer_deadline = 0.;
       up = true;
     }
   in
-  Hashtbl.replace t.peers peer ps;
-  t.peer_order <- List.sort Int.compare (peer :: t.peer_order)
+  let n = Array.length t.peers in
+  let pos = ref n in
+  (* Insertion point in the sorted array. *)
+  for i = n - 1 downto 0 do
+    if t.peers.(i).peer_id > peer then pos := i
+  done;
+  let peers = Array.make (n + 1) ps in
+  Array.blit t.peers 0 peers 0 !pos;
+  Array.blit t.peers !pos peers (!pos + 1) (n - !pos);
+  t.peers <- peers
 
-let peer_ids t = t.peer_order
+let peer_ids t = Array.fold_right (fun ps acc -> ps.peer_id :: acc) t.peers []
 
 let peer_state t peer =
-  match Hashtbl.find_opt t.peers peer with
+  match find_peer t peer with
   | Some ps -> ps
   | None -> invalid_arg (Printf.sprintf "Router %d: unknown peer %d" t.id peer)
 
@@ -159,7 +192,7 @@ let fresh_link_rc t ~peer ~status =
 (* ------------------------------------------------------------------ *)
 (* Decision process                                                    *)
 
-let self_route prefix = Route.make ~prefix ~path:As_path.empty
+let self_route t prefix = Route.make_interned t.table ~prefix ~path:As_path.empty
 
 (* (preference, path length, peer id) — bigger pref wins, then shorter
    path, then lower peer id. Ascending peer iteration makes the id
@@ -169,12 +202,12 @@ let better_candidate ~pref_a ~len_a ~peer_a ~pref_b ~len_b ~peer_b =
   || (pref_a = pref_b && (len_a < len_b || (len_a = len_b && peer_a < peer_b)))
 
 let compute_best t prefix =
-  if Hashtbl.mem t.originated prefix then Some (None, self_route prefix)
+  if Hashtbl.mem t.originated prefix then Some (None, self_route t prefix)
   else begin
     let best = ref None in
-    List.iter
-      (fun peer ->
-        let ps = Hashtbl.find t.peers peer in
+    Array.iter
+      (fun ps ->
+        let peer = ps.peer_id in
         if ps.up then
           match Hashtbl.find_opt ps.rib_in prefix with
           | Some ({ route = Some route; _ } as entry) ->
@@ -197,7 +230,7 @@ let compute_best t prefix =
                     then best := Some (peer, route, pref, len)
               end
           | Some { route = None; _ } | None -> ())
-      t.peer_order;
+      t.peers;
     match !best with None -> None | Some (peer, route, _, _) -> Some (Some peer, route)
   end
 
@@ -321,9 +354,9 @@ let decision t prefix ~trigger_rc =
     t.hooks.Hooks.on_best_change ~time:(Sim.now t.sim) ~router:t.id ~prefix
       ~best:(Option.map snd new_best);
     let emitted = ref 0 in
-    List.iter
-      (fun peer ->
-        let ps = Hashtbl.find t.peers peer in
+    Array.iter
+      (fun ps ->
+        let peer = ps.peer_id in
         if ps.up then begin
           let desired =
             match new_best with
@@ -332,12 +365,12 @@ let decision t prefix ~trigger_rc =
                 if
                   Policy.export_allowed t.policy ~me:t.id ~learned_from ~to_peer:peer ~route
                   && not (As_path.contains (Route.path route) peer)
-                then D_announce (Route.prepend t.id route)
+                then D_announce (Route.prepend_interned t.table t.id route)
                 else D_withdraw
           in
           emitted := !emitted + emit t ps prefix desired trigger_rc
         end)
-      t.peer_order;
+      t.peers;
     !emitted
   end
 
@@ -508,13 +541,14 @@ let find_or_create_entry t ps prefix =
 
 (* In RCN mode every received update runs through the per-peer root-cause
    history; the result decides whether the damping penalty is charged. *)
-let rc_filter t ps rc =
-  match t.config.Config.damping_mode with
-  | Config.Rcn when t.damping <> None -> (
+let rc_filter _t ps rc =
+  match ps.rcn_history with
+  | Some history -> (
+      (* The history exists iff this router damps in RCN mode. *)
       match rc with
-      | Some rc -> History.observe ps.rcn_history rc = `New
+      | Some rc -> History.observe history rc = `New
       | None -> true)
-  | Config.Rcn | Config.Plain | Config.Selective -> true
+  | None -> true
 
 (* In RCN mode the penalty models the root-cause flap itself, not the local
    update type ("each route flap — not each update — increases the damping
@@ -664,7 +698,7 @@ let peer_up t ~peer =
               if
                 Policy.export_allowed t.policy ~me:t.id ~learned_from ~to_peer:peer ~route
                 && not (As_path.contains (Route.path route) peer)
-              then D_announce (Route.prepend t.id route)
+              then D_announce (Route.prepend_interned t.table t.id route)
               else D_withdraw
             in
             ignore (emit t ps prefix desired (Some rc)))
@@ -706,22 +740,22 @@ let reuse_timer_events t = t.timer_events
 let peak_reuse_timers t = t.timer_peak
 
 let suppressed_count t =
-  Hashtbl.fold
-    (fun _ ps acc ->
+  Array.fold_left
+    (fun acc ps ->
       Hashtbl.fold
         (fun _ entry acc ->
           match entry.damper with
           | Some damper when Damper.suppressed damper -> acc + 1
           | Some _ | None -> acc)
         ps.rib_in acc)
-    t.peers 0
+    0 t.peers
 
 let known_prefixes t =
   let set = Hashtbl.create 16 in
   Hashtbl.iter (fun prefix _ -> Hashtbl.replace set prefix ()) t.loc_rib;
   Hashtbl.iter (fun prefix _ -> Hashtbl.replace set prefix ()) t.originated;
-  Hashtbl.iter
-    (fun _ ps -> Hashtbl.iter (fun prefix _ -> Hashtbl.replace set prefix ()) ps.rib_in)
+  Array.iter
+    (fun ps -> Hashtbl.iter (fun prefix _ -> Hashtbl.replace set prefix ()) ps.rib_in)
     t.peers;
   Hashtbl.fold (fun prefix _ acc -> prefix :: acc) set [] |> List.sort Prefix.compare
 
@@ -744,4 +778,4 @@ let peer_state_activity ps =
 let peer_activity t ~peer = peer_state_activity (peer_state t peer)
 
 let activity t =
-  Hashtbl.fold (fun _ ps acc -> Oracle.add acc (peer_state_activity ps)) t.peers Oracle.zero
+  Array.fold_left (fun acc ps -> Oracle.add acc (peer_state_activity ps)) Oracle.zero t.peers

@@ -19,6 +19,7 @@
 type t
 
 val create :
+  ?table:Route.table ->
   sim:Rfd_engine.Sim.t ->
   id:int ->
   policy:Policy.t ->
@@ -26,11 +27,15 @@ val create :
   damping:Rfd_damping.Params.t option ->
   rng:Rfd_engine.Rng.t ->
   hooks:Hooks.t ->
+  unit ->
   t
 (** [damping] is this router's effective parameter set ([None] = damping
     not deployed here) — {!Network} resolves it from the config's global
     preset, per-router overrides and deployment policy. [rng] is consumed
-    for MRAI jitter; hand each router a split stream. *)
+    for MRAI jitter; hand each router a split stream. [table] is the route
+    intern table all advertisements are built through; {!Network} passes
+    one shared table to every router so identical routes are physically
+    shared network-wide (a private table is created when omitted). *)
 
 val id : t -> int
 

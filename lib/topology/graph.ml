@@ -1,7 +1,8 @@
 type t = {
   num_nodes : int;
   adjacency : int array array; (* sorted neighbor lists *)
-  edge_list : (int * int) array; (* u < v, sorted *)
+  adj_eids : int array array; (* adj_eids.(u).(i) = edge id of (u, adjacency.(u).(i)) *)
+  edge_list : (int * int) array; (* u < v, sorted; the index is the edge id *)
 }
 
 let normalize_edge num_nodes (u, v) =
@@ -27,16 +28,22 @@ let of_edges ~num_nodes edges =
       degree.(v) <- degree.(v) + 1)
     edge_list;
   let adjacency = Array.init num_nodes (fun i -> Array.make degree.(i) 0) in
+  let adj_eids = Array.init num_nodes (fun i -> Array.make degree.(i) 0) in
   let fill = Array.make num_nodes 0 in
-  Array.iter
-    (fun (u, v) ->
+  (* [edge_list] is sorted, so for any node the smaller-endpoint edges
+     arrive before the larger-endpoint ones and each group ascends: every
+     adjacency row comes out sorted without a separate sort, and the edge-id
+     row stays aligned with it. *)
+  Array.iteri
+    (fun eid (u, v) ->
       adjacency.(u).(fill.(u)) <- v;
+      adj_eids.(u).(fill.(u)) <- eid;
       fill.(u) <- fill.(u) + 1;
       adjacency.(v).(fill.(v)) <- u;
+      adj_eids.(v).(fill.(v)) <- eid;
       fill.(v) <- fill.(v) + 1)
     edge_list;
-  Array.iter (fun nbrs -> Array.sort Int.compare nbrs) adjacency;
-  { num_nodes; adjacency; edge_list }
+  { num_nodes; adjacency; adj_eids; edge_list }
 
 let num_nodes t = t.num_nodes
 let num_edges t = Array.length t.edge_list
@@ -53,19 +60,42 @@ let degree t u =
   check_node t u;
   Array.length t.adjacency.(u)
 
-let has_edge t u v =
-  check_node t u;
-  check_node t v;
+(* Index of [v] in the sorted neighbor row of [u], or -1. *)
+let neighbor_rank t u v =
   let nbrs = t.adjacency.(u) in
   let rec search lo hi =
-    if lo > hi then false
+    if lo > hi then -1
     else begin
       let mid = (lo + hi) / 2 in
       let x = nbrs.(mid) in
-      if x = v then true else if x < v then search (mid + 1) hi else search lo (mid - 1)
+      if x = v then mid else if x < v then search (mid + 1) hi else search lo (mid - 1)
     end
   in
   search 0 (Array.length nbrs - 1)
+
+let has_edge t u v =
+  check_node t u;
+  check_node t v;
+  neighbor_rank t u v >= 0
+
+let edge_id t u v =
+  if u < 0 || u >= t.num_nodes || v < 0 || v >= t.num_nodes || u = v then None
+  else begin
+    match neighbor_rank t u v with
+    | -1 -> None
+    | rank -> Some t.adj_eids.(u).(rank)
+  end
+
+let edge_endpoints t eid =
+  if eid < 0 || eid >= Array.length t.edge_list then
+    invalid_arg
+      (Printf.sprintf "Graph.edge_endpoints: edge id %d out of range [0,%d)" eid
+         (Array.length t.edge_list))
+  else t.edge_list.(eid)
+
+let incident_edge_ids t u =
+  check_node t u;
+  t.adj_eids.(u)
 
 let edges t = t.edge_list
 

@@ -17,6 +17,25 @@ val num_edges : t -> int
 val has_edge : t -> int -> int -> bool
 (** Symmetric. O(log degree). *)
 
+(** {2 Stable dense edge ids}
+
+    Every undirected edge has an id in [0 .. num_edges - 1]: its index in
+    the sorted {!edges} array. Ids are stable for a given edge set — the
+    same graph always assigns the same ids — which lets per-link state live
+    in flat arrays instead of [(int * int)]-keyed hashtables. *)
+
+val edge_id : t -> int -> int -> int option
+(** Symmetric. [None] when the nodes are not adjacent (including
+    out-of-range or equal nodes). O(log degree). *)
+
+val edge_endpoints : t -> int -> int * int
+(** Endpoints [(u, v)] with [u < v] of an edge id. Raises
+    [Invalid_argument] on an out-of-range id. *)
+
+val incident_edge_ids : t -> int -> int array
+(** Edge ids aligned with {!neighbors}: [incident_edge_ids g u].(i) is the
+    id of the edge to [neighbors g u].(i). Shared — do not mutate. *)
+
 val neighbors : t -> int -> int array
 (** Sorted ascending. The returned array is shared — do not mutate. *)
 

@@ -20,21 +20,29 @@ let barabasi_albert rng ~n ~m =
       edges := (u, v) :: !edges
     done
   done;
-  (* [targets] lists one entry per edge endpoint, so uniform sampling from
-     it is degree-proportional sampling. *)
+  (* [buf.(0 .. len-1)] lists one entry per edge endpoint, so uniform
+     sampling from it is degree-proportional sampling. The buffer is
+     preallocated at its exact final size (every node past the seed clique
+     contributes 2*m endpoints), so each growth step is an O(m) append
+     rather than the O(len) copy of rebuilding the array — that copy made
+     graph generation quadratic and dominated setup beyond a few thousand
+     nodes. Sampling via [buf.(Rng.int rng !len)] consumes the RNG exactly
+     as [Rng.pick] on an array of length [len] does, so generated graphs
+     are bit-identical to the historical implementation. *)
   let targets = ref [] in
   List.iter (fun (u, v) -> targets := u :: v :: !targets) !edges;
   if m = 1 then targets := [ 0 ];
-  let target_array = ref (Array.of_list !targets) in
+  let init = Array.of_list !targets in
+  let init_len = Array.length init in
+  let buf = Array.make (max 1 (init_len + (2 * m * (n - m)))) 0 in
+  Array.blit init 0 buf 0 init_len;
+  let len = ref init_len in
   for node = m to n - 1 do
     let chosen = Hashtbl.create m in
     let attempts = ref 0 in
     while Hashtbl.length chosen < m && !attempts < 10_000 do
       incr attempts;
-      let pick =
-        if Array.length !target_array = 0 then Rng.int rng node
-        else Rng.pick rng !target_array
-      in
+      let pick = if !len = 0 then Rng.int rng node else buf.(Rng.int rng !len) in
       if pick <> node && not (Hashtbl.mem chosen pick) then Hashtbl.replace chosen pick ()
     done;
     (* Extremely unlikely fallback: fill deterministically. *)
@@ -49,7 +57,11 @@ let barabasi_albert rng ~n ~m =
         edges := (node, existing) :: !edges;
         new_entries := node :: existing :: !new_entries)
       chosen;
-    target_array := Array.append !target_array (Array.of_list !new_entries)
+    List.iter
+      (fun entry ->
+        buf.(!len) <- entry;
+        incr len)
+      !new_entries
   done;
   Graph.of_edges ~num_nodes:n !edges
 

@@ -23,6 +23,7 @@ let () =
       ("damping.reuse_index", Test_reuse_index.suite);
       ("bgp.types", Test_bgp_types.suite);
       ("bgp.config", Test_config.suite);
+      ("bgp.intern", Test_intern.suite);
       ("bgp.policy", Test_policy.suite);
       ("bgp.network", Test_network.suite);
       ("bgp.damping", Test_damping_network.suite);

@@ -32,7 +32,13 @@ let test_rejects_bad_fields () =
   Alcotest.(check bool) "negative link jitter" true
     (is_err (Config.validate { base with Config.link_jitter = -0.1 }));
   Alcotest.(check bool) "zero rcn history" true
-    (is_err (Config.validate { base with Config.rcn_history = 0 }))
+    (is_err (Config.validate { base with Config.rcn_history = 0 }));
+  Alcotest.(check bool) "zero table hint" true
+    (is_err (Config.validate { base with Config.prefix_table_hint = 0 }));
+  Alcotest.(check bool) "negative table hint" true
+    (is_err (Config.validate { base with Config.prefix_table_hint = -8 }));
+  Alcotest.(check bool) "small table hint valid" true
+    (Config.validate { base with Config.prefix_table_hint = 1 } = Ok ())
 
 let test_rejects_bad_damping () =
   let bad_params = { Params.cisco with Params.cutoff = 1. } in

@@ -87,6 +87,22 @@ let test_fold_edges () =
   let count = Graph.fold_edges g ~init:0 ~f:(fun acc _ _ -> acc + 1) in
   Alcotest.(check int) "fold visits each edge once" 3 count
 
+let test_edge_ids () =
+  let g = Graph.of_edges ~num_nodes:4 [ (3, 1); (2, 0); (0, 1) ] in
+  (* Sorted canonical edge list: (0,1)=0, (0,2)=1, (1,3)=2. *)
+  Alcotest.(check (option int)) "0-1" (Some 0) (Graph.edge_id g 0 1);
+  Alcotest.(check (option int)) "symmetric" (Some 1) (Graph.edge_id g 2 0);
+  Alcotest.(check (option int)) "1-3" (Some 2) (Graph.edge_id g 3 1);
+  Alcotest.(check (option int)) "non-edge" None (Graph.edge_id g 2 3);
+  Alcotest.(check (option int)) "self" None (Graph.edge_id g 1 1);
+  Alcotest.(check (option int)) "out of range" None (Graph.edge_id g 0 9);
+  Alcotest.(check (pair int int)) "endpoints round-trip" (1, 3) (Graph.edge_endpoints g 2);
+  Alcotest.(check (array int)) "incident ids aligned with neighbors" [| 0; 1 |]
+    (Graph.incident_edge_ids g 0);
+  Alcotest.check_raises "bad edge id"
+    (Invalid_argument "Graph.edge_endpoints: edge id 3 out of range [0,3)") (fun () ->
+      ignore (Graph.edge_endpoints g 3))
+
 let graph_gen =
   QCheck.Gen.(
     sized_size (1 -- 20) (fun n ->
@@ -99,6 +115,37 @@ let graph_gen =
         return (n, List.filter (fun (u, v) -> u <> v) edges)))
 
 let arbitrary_graph = QCheck.make graph_gen
+
+let prop_edge_ids_dense =
+  QCheck.Test.make ~name:"edge ids are dense, stable and aligned" ~count:200 arbitrary_graph
+    (fun (n, edges) ->
+      let g = Graph.of_edges ~num_nodes:n edges in
+      let m = Graph.num_edges g in
+      (* Ids enumerate the sorted canonical edge list; endpoints round-trip
+         and both query directions agree. *)
+      Array.for_all
+        (fun ok -> ok)
+        (Array.mapi
+           (fun eid (u, v) ->
+             Graph.edge_id g u v = Some eid
+             && Graph.edge_id g v u = Some eid
+             && Graph.edge_endpoints g eid = (u, v))
+           (Graph.edges g))
+      && (* incident_edge_ids is pointwise consistent with neighbors *)
+      (let ok = ref true in
+       for u = 0 to n - 1 do
+         let nbrs = Graph.neighbors g u in
+         let eids = Graph.incident_edge_ids g u in
+         if Array.length nbrs <> Array.length eids then ok := false
+         else
+           Array.iteri
+             (fun i v ->
+               match Graph.edge_id g u v with
+               | Some eid -> if eid <> eids.(i) || eid < 0 || eid >= m then ok := false
+               | None -> ok := false)
+             nbrs
+       done;
+       !ok))
 
 let prop_degree_sum =
   QCheck.Test.make ~name:"sum of degrees = 2 * edges" ~count:200 arbitrary_graph
@@ -148,6 +195,8 @@ let suite =
     Alcotest.test_case "degree histogram" `Quick test_degree_histogram;
     Alcotest.test_case "structural equality" `Quick test_equal;
     Alcotest.test_case "fold_edges" `Quick test_fold_edges;
+    Alcotest.test_case "edge ids" `Quick test_edge_ids;
+    QCheck_alcotest.to_alcotest prop_edge_ids_dense;
     QCheck_alcotest.to_alcotest prop_degree_sum;
     QCheck_alcotest.to_alcotest prop_neighbors_consistent_with_has_edge;
     QCheck_alcotest.to_alcotest prop_bfs_triangle_inequality;

@@ -136,7 +136,7 @@ let test_connect_validation () =
   let sim = Sim.create () in
   let r =
     Router.create ~sim ~id:0 ~policy:Policy.announce_all ~config:fast ~damping:None
-      ~rng:(Rfd_engine.Rng.create 1) ~hooks:(Hooks.create ())
+      ~rng:(Rfd_engine.Rng.create 1) ~hooks:(Hooks.create ()) ()
   in
   Alcotest.check_raises "self peer" (Invalid_argument "Router.connect: cannot peer with self")
     (fun () -> Router.connect r ~peer:0 ~send:(fun _ -> ()));
