@@ -37,7 +37,7 @@ let ablations =
 
 let all = experiments @ ablations
 
-let lookup ~tick ~scale_json ~scale_nodes name =
+let lookup ~tick ~scale_json ~scale_nodes ~scale_partitions name =
   match List.find_opt (fun (n, _, _) -> n = name) all with
   | Some (_, _, f) -> Ok f
   | None -> (
@@ -50,9 +50,12 @@ let lookup ~tick ~scale_json ~scale_nodes name =
       | "scale" ->
           Ok
             (fun ctx ->
-              let points = Scale.run ?sizes:scale_nodes ctx in
+              let points =
+                Scale.run ?sizes:scale_nodes ~partitions:scale_partitions ctx
+              in
               match scale_json with
-              | Some file -> Scale.write_json ctx ~file points
+              | Some file ->
+                  Scale.write_json ctx ~file ~partitions:scale_partitions points
               | None -> ())
       | _ -> Error (Printf.sprintf "unknown experiment %S" name))
 
@@ -164,8 +167,18 @@ let write_json ctx ~file ~tick ~quick ~seed ~jobs =
   Rfd.Json.write_file file doc;
   Printf.printf "[json baseline written to %s]\n" file
 
+let scale_partitions_arg =
+  let doc =
+    "Run the $(b,scale) experiment on the partitioned conservative-parallel \
+     engine with $(docv) topology partitions (one worker domain each; 1 = the \
+     plain single-domain engine). Simulation results are bit-identical for any \
+     partition count $(i,>= 2); partitioned runs use different transport RNG \
+     streams than the plain engine, so compare like with like."
+  in
+  Arg.(value & opt int 1 & info [ "scale-partitions" ] ~docv:"N" ~doc)
+
 let run names quick seed jobs csv_dir plot_dir micro json tick deadline retries scale_json
-    scale_nodes =
+    scale_nodes scale_partitions =
   let jobs = match jobs with Some j -> max 1 j | None -> Rfd.Pool.default_jobs () in
   let opts = { Context.quick; seed; jobs; csv_dir; plot_dir; deadline; retries } in
   let ctx = Context.create opts in
@@ -178,7 +191,7 @@ let run names quick seed jobs csv_dir plot_dir micro json tick deadline retries 
         match acc with
         | Error _ -> acc
         | Ok () -> (
-            match lookup ~tick ~scale_json ~scale_nodes name with
+            match lookup ~tick ~scale_json ~scale_nodes ~scale_partitions name with
             | Ok f ->
                 f ctx;
                 Ok ()
@@ -203,6 +216,6 @@ let cmd =
     Term.(
       const run $ names_arg $ quick_arg $ seed_arg $ jobs_arg $ csv_arg $ plots_arg
       $ micro_arg $ json_arg $ tick_arg $ deadline_arg $ retries_arg $ scale_json_arg
-      $ scale_nodes_arg)
+      $ scale_nodes_arg $ scale_partitions_arg)
 
 let () = exit (Cmd.eval cmd)

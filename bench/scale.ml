@@ -19,27 +19,10 @@ module Json = Rfd.Json
 let quick_sizes = [ 1_000 ]
 let paper_sizes = [ 1_000; 10_000 ]
 
-(* VmHWM ("high water mark" of resident set size) in kB; 0 when
-   /proc/self/status is unavailable or the field is missing. *)
-let peak_rss_kb () =
-  match open_in "/proc/self/status" with
-  | exception Sys_error _ -> 0
-  | ic ->
-      let rec scan () =
-        match input_line ic with
-        | exception End_of_file -> 0
-        | line ->
-            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
-              Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d" Fun.id
-            else scan ()
-      in
-      let kb = scan () in
-      close_in ic;
-      kb
-
 type point = {
   nodes : int;  (** requested BA graph size (the run adds one origin stub) *)
   num_edges : int;
+  partitions : int;  (** 1 = plain single-domain engine *)
   wall_seconds : float;
   sim_events : int;
   events_per_sec : float;
@@ -47,9 +30,10 @@ type point = {
   routes_interned : int;
   paths_interned : int;
   peak_rss_kb : int;
+  per_partition_events : int list;  (** raw counts; [] on the plain engine *)
 }
 
-let run_point (opts : Context.opts) n =
+let run_point (opts : Context.opts) ~partitions n =
   let config =
     {
       (Context.damping_config opts) with
@@ -65,24 +49,42 @@ let run_point (opts : Context.opts) n =
       ~config ~pulses:3
       (Scenario.Internet { nodes = n; m = 2 })
   in
-  let table = ref None in
   let edges = ref 0 in
-  let result =
-    Runner.run
-      ~observe:(fun net ->
-        table := Some (Rfd.Network.route_table net);
-        edges := Rfd.Graph.num_edges (Rfd.Network.graph net))
-      scenario
-  in
-  let routes, paths =
-    match !table with
-    | Some tbl -> (Rfd.Route.table_size tbl, Rfd.As_path.table_size (Rfd.Route.path_table tbl))
-    | None -> (0, 0)
+  let observe net = edges := Rfd.Graph.num_edges (Rfd.Network.graph net) in
+  let result, routes, paths, per_partition_events =
+    if partitions <= 1 then begin
+      (* The plain engine stays the baseline: its transport RNG streams —
+         and therefore its exact event counts — predate the partitioned
+         engine, and BENCH_scale.json history is continuous with them. *)
+      let table = ref None in
+      let result =
+        Runner.run
+          ~observe:(fun net ->
+            table := Some (Rfd.Network.route_table net);
+            observe net)
+          scenario
+      in
+      let routes, paths =
+        match !table with
+        | Some tbl ->
+            (Rfd.Route.table_size tbl, Rfd.As_path.table_size (Rfd.Route.path_table tbl))
+        | None -> (0, 0)
+      in
+      (result, routes, paths, [])
+    end
+    else begin
+      let result, stats = Runner.run_partitioned ~observe ~partitions scenario in
+      ( result,
+        stats.Runner.routes_interned_total,
+        stats.Runner.paths_interned_total,
+        Array.to_list stats.Runner.per_partition_events )
+    end
   in
   let wall = result.Runner.wall_seconds in
   {
     nodes = n;
     num_edges = !edges;
+    partitions = (if partitions <= 1 then 1 else partitions);
     wall_seconds = wall;
     sim_events = result.Runner.sim_events;
     events_per_sec =
@@ -90,7 +92,8 @@ let run_point (opts : Context.opts) n =
     message_count = result.Runner.message_count;
     routes_interned = routes;
     paths_interned = paths;
-    peak_rss_kb = peak_rss_kb ();
+    peak_rss_kb = Rfd.Procfs.peak_rss_kb ();
+    per_partition_events;
   }
 
 let point_to_json p =
@@ -98,6 +101,7 @@ let point_to_json p =
     [
       ("nodes", Json.Int p.nodes);
       ("edges", Json.Int p.num_edges);
+      ("partitions", Json.Int p.partitions);
       ("wall_seconds", Json.Float p.wall_seconds);
       ("sim_events", Json.Int p.sim_events);
       ("events_per_sec", Json.Float p.events_per_sec);
@@ -105,19 +109,22 @@ let point_to_json p =
       ("routes_interned", Json.Int p.routes_interned);
       ("paths_interned", Json.Int p.paths_interned);
       ("peak_rss_kb", Json.Int p.peak_rss_kb);
+      ( "per_partition_events",
+        Json.List (List.map (fun e -> Json.Int e) p.per_partition_events) );
     ]
 
-let to_json ~quick ~seed points =
+let to_json ~quick ~seed ~partitions points =
   Json.Obj
     [
       ("schema", Json.String "rfd-bench/1");
       ("experiment", Json.String "scale");
       ("scale", Json.String (if quick then "quick" else "paper"));
       ("seed", Json.Int seed);
+      ("partitions", Json.Int partitions);
       ("points", Json.List (List.map point_to_json points));
     ]
 
-let run ?sizes (ctx : Context.t) =
+let run ?sizes ?(partitions = 1) (ctx : Context.t) =
   let opts = ctx.Context.opts in
   let sizes =
     match sizes with
@@ -127,16 +134,19 @@ let run ?sizes (ctx : Context.t) =
     | None -> if opts.Context.quick then quick_sizes else paper_sizes
   in
   print_newline ();
-  Printf.printf "== scale: single-origin flap on Barabási–Albert graphs ==\n";
-  Printf.printf "%8s %8s %10s %12s %12s %10s %10s %12s\n" "nodes" "edges" "wall(s)"
-    "sim events" "events/s" "messages" "routes" "peakRSS(MB)";
+  Printf.printf "== scale: single-origin flap on Barabási–Albert graphs%s ==\n"
+    (if partitions > 1 then Printf.sprintf " (%d partitions)" partitions else "");
+  (* stdout mirrors the CSV/JSON columns — paths_interned included (it used
+     to be silently dropped from the table while both files carried it). *)
+  Printf.printf "%8s %8s %10s %12s %12s %10s %10s %10s %12s\n" "nodes" "edges" "wall(s)"
+    "sim events" "events/s" "messages" "routes" "paths" "peakRSS(MB)";
   let points =
     List.map
       (fun n ->
-        let p = run_point opts n in
-        Printf.printf "%8d %8d %10.2f %12d %12.0f %10d %10d %12.1f\n%!" p.nodes
+        let p = run_point opts ~partitions n in
+        Printf.printf "%8d %8d %10.2f %12d %12.0f %10d %10d %10d %12.1f\n%!" p.nodes
           p.num_edges p.wall_seconds p.sim_events p.events_per_sec p.message_count
-          p.routes_interned
+          p.routes_interned p.paths_interned
           (float_of_int p.peak_rss_kb /. 1024.);
         p)
       sizes
@@ -146,6 +156,7 @@ let run ?sizes (ctx : Context.t) =
       [
         "nodes";
         "edges";
+        "partitions";
         "wall_seconds";
         "sim_events";
         "events_per_sec";
@@ -160,6 +171,7 @@ let run ?sizes (ctx : Context.t) =
            [
              string_of_int p.nodes;
              string_of_int p.num_edges;
+             string_of_int p.partitions;
              Printf.sprintf "%.4f" p.wall_seconds;
              string_of_int p.sim_events;
              Printf.sprintf "%.1f" p.events_per_sec;
@@ -171,7 +183,8 @@ let run ?sizes (ctx : Context.t) =
          points);
   points
 
-let write_json ctx ~file points =
+let write_json ctx ~file ?(partitions = 1) points =
   let opts = ctx.Context.opts in
-  Json.write_file file (to_json ~quick:opts.Context.quick ~seed:opts.Context.seed points);
+  Json.write_file file
+    (to_json ~quick:opts.Context.quick ~seed:opts.Context.seed ~partitions points);
   Printf.printf "[scale baseline written to %s]\n" file

@@ -277,22 +277,52 @@ let transcript_arg =
   let doc = "Print the first $(docv) protocol-trace lines of the flap phase." in
   Arg.(value & opt (some int) None & info [ "transcript" ] ~docv:"N" ~doc)
 
+let partitions_arg =
+  let doc =
+    "Run on the partitioned conservative-parallel engine with $(docv) topology \
+     partitions (one worker domain each). Results are bit-identical for any \
+     partition count, but use different transport RNG streams than the default \
+     single-network engine — compare partitioned runs with partitioned runs."
+  in
+  Arg.(value & opt (some int) None & info [ "partitions" ] ~docv:"N" ~doc)
+
+let print_digest_arg =
+  let doc =
+    "Print the deterministic result digest (host timings excluded) as the final \
+     line — the fingerprint CI diffs across partition counts."
+  in
+  Arg.(value & flag & info [ "print-digest" ] ~doc)
+
 let run_cmd =
   let action topology damping mode policy pulses interval mrai seed isp probe reuse_tick
-      table_hint transcript budget faults =
+      table_hint transcript budget faults partitions print_digest =
     let scenario =
       build_scenario ?faults ?reuse_tick ~table_hint topology damping mode policy pulses
         interval mrai seed isp probe
     in
     let trace = Rfd.Trace.create ~enabled:(transcript <> None) () in
     let observe net = Rfd.Tracing.attach trace (Rfd.Network.hooks net) in
-    let r =
-      try Rfd.Runner.run ~budget ~observe scenario
+    let on_bus hooks = Rfd.Tracing.attach trace hooks in
+    let r, par_stats =
+      try
+        match partitions with
+        | None -> (Rfd.Runner.run ~budget ~observe scenario, None)
+        | Some partitions ->
+            let r, stats = Rfd.Runner.run_partitioned ~budget ~on_bus ~partitions scenario in
+            (r, Some stats)
       with e ->
         Format.eprintf "rfd-sim run: crashed: %s@." (Printexc.to_string e);
         exit exit_crashed
     in
     Format.printf "%a@.@." Rfd.Runner.pp_result r;
+    (match par_stats with
+    | None -> ()
+    | Some s ->
+        Format.printf
+          "partitions: %d (cut edges %d, epochs %d, per-partition events %s)@."
+          s.Rfd.Runner.partitions s.Rfd.Runner.cut_edges s.Rfd.Runner.epochs
+          (String.concat "/"
+             (Array.to_list (Array.map string_of_int s.Rfd.Runner.per_partition_events))));
     (match
        ( Rfd.Collector.dropped_updates r.Rfd.Runner.collector,
          Rfd.Collector.duplicated_updates r.Rfd.Runner.collector )
@@ -331,6 +361,7 @@ let run_cmd =
         List.iteri
           (fun i e -> if i < n then Format.printf "%a@." Rfd.Trace.pp_entry e)
           (Rfd.Trace.entries trace));
+    if print_digest then Format.printf "digest: %s@." (Rfd.Runner.result_digest r);
     if Rfd.Runner.status_is_budget_exceeded r.Rfd.Runner.final_status then
       exit exit_degraded
   in
@@ -339,7 +370,8 @@ let run_cmd =
     Term.(
       const action $ topology_arg $ damping_arg $ mode_arg $ policy_arg $ pulses_arg
       $ interval_arg $ mrai_arg $ seed_arg $ isp_arg $ probe_arg $ reuse_tick_arg
-      $ table_hint_arg $ transcript_arg $ budget_term $ faults_term)
+      $ table_hint_arg $ transcript_arg $ budget_term $ faults_term $ partitions_arg
+      $ print_digest_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)

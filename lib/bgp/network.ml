@@ -13,19 +13,42 @@ type link_state = {
   mutable epoch : int; (* bumped on failure to void in-flight messages *)
 }
 
+type remote = {
+  remote_eid : int;
+  remote_src : int;
+  remote_dst : int;
+  remote_at : float; (* absolute delivery time, FIFO floor already applied *)
+  remote_epoch : int; (* sender-side link epoch at send time *)
+  remote_update : Update.t;
+}
+
+(* Transport randomness comes in two flavours. [Shared] is the historical
+   layout: one delay stream and one fault stream consumed in global send
+   order — cheapest, and bit-identical to every pre-partitioning result.
+   [Per_edge] gives each directed link its own seed-derived streams, so the
+   draws a link sees depend only on that link's own send sequence, never on
+   how sends interleave across links. That is what makes a partitioned run
+   independent of the partition count: each directed link is owned (sampled)
+   by exactly one partition, in the same per-link order as any other
+   partitioning. *)
+type link_rngs =
+  | Shared of { delay : Rng.t; fault : Rng.t }
+  | Per_edge of { delay : Rng.t array; fault : Rng.t array (* by directed slot *) }
+
 type t = {
   sim : Sim.t;
   graph : Graph.t;
   config : Config.t;
   hooks : Hooks.t;
   table : Route.table; (* shared intern table for every router's routes *)
-  routers : Router.t array;
+  routers : Router.t option array; (* None = owned by another partition *)
+  owned : bool array;
+  emit : (remote -> unit) option; (* cross-partition outbox; None = plain *)
   routers_up : bool array; (* false while crashed *)
   damping_deployed : bool array;
   links : link_state array; (* indexed by Graph edge id *)
   directed : directed_link array; (* 2*eid + (0 if src < dst else 1) *)
-  delay_rng : Rng.t;
-  fault_rng : Rng.t; (* loss/duplication sampling, untouched when faults are off *)
+  link_rngs : link_rngs;
   mutable in_flight : int;
 }
 
@@ -46,14 +69,23 @@ let directed_exn t ~src ~dst = t.directed.(directed_slot (edge_id_exn t src dst)
    terms of this predicate, so link faults and router crashes compose. *)
 let operational t ls u v = ls.up && t.routers_up.(u) && t.routers_up.(v)
 
+(* Session transitions touch only locally-owned routers; under partitioning
+   every administrative event is replicated to all partitions, so the union
+   of the local effects equals the single-domain behaviour. *)
+let peer_down_at t node ~peer =
+  match t.routers.(node) with Some r -> Router.peer_down r ~peer | None -> ()
+
+let peer_up_at t node ~peer =
+  match t.routers.(node) with Some r -> Router.peer_up r ~peer | None -> ()
+
 let down_transition t ls u v =
   ls.epoch <- ls.epoch + 1;
-  Router.peer_down t.routers.(u) ~peer:v;
-  Router.peer_down t.routers.(v) ~peer:u
+  peer_down_at t u ~peer:v;
+  peer_down_at t v ~peer:u
 
 let up_transition t u v =
-  Router.peer_up t.routers.(u) ~peer:v;
-  Router.peer_up t.routers.(v) ~peer:u
+  peer_up_at t u ~peer:v;
+  peer_up_at t v ~peer:u
 
 let deployment_flags config rng n =
   let flags = Array.make n false in
@@ -85,50 +117,91 @@ let deployment_flags config rng n =
    surviving copy goes through the same FIFO floor, so deliveries on a
    directed link never reorder even under duplication. The fault RNG is only
    consumed when the corresponding probability is non-zero, so fault-free
-   runs are bit-identical to runs on a build without fault injection. *)
+   runs are bit-identical to runs on a build without fault injection.
+
+   When the destination belongs to another partition the fully-timestamped
+   message goes to the outbox instead of the local event queue; its delivery
+   time is at least link_delay beyond now, which is exactly the lookahead
+   the epoch engine runs with, so it can wait for the barrier. *)
 let make_sender t src dst =
   let eid = edge_id_exn t src dst in
   let ls = t.links.(eid) in
-  let dl = t.directed.(directed_slot eid ~src ~dst) in
+  let slot = directed_slot eid ~src ~dst in
+  let dl = t.directed.(slot) in
+  let delay_rng, fault_rng =
+    match t.link_rngs with
+    | Shared { delay; fault } -> (delay, fault)
+    | Per_edge { delay; fault } -> (delay.(slot), fault.(slot))
+  in
   let send_copy update =
-    if dl.loss > 0. && Rng.float t.fault_rng 1.0 < dl.loss then
+    if dl.loss > 0. && Rng.float fault_rng 1.0 < dl.loss then
       t.hooks.Hooks.on_drop ~time:(Sim.now t.sim) ~src ~dst update
     else begin
       let now = Sim.now t.sim in
       let delay =
         t.config.Config.link_delay
         +.
-        if t.config.Config.link_jitter > 0. then Rng.float t.delay_rng t.config.Config.link_jitter
+        if t.config.Config.link_jitter > 0. then Rng.float delay_rng t.config.Config.link_jitter
         else 0.
       in
       let at = Float.max (now +. delay) (dl.last_delivery +. 1e-9) in
       dl.last_delivery <- at;
       let epoch = ls.epoch in
-      t.in_flight <- t.in_flight + 1;
-      ignore
-        (Sim.schedule_at t.sim ~time:at (fun _ ->
-             t.in_flight <- t.in_flight - 1;
-             if operational t ls src dst && ls.epoch = epoch then begin
-               t.hooks.Hooks.on_deliver ~time:(Sim.now t.sim) ~src ~dst update;
-               Router.receive t.routers.(dst) ~from_peer:src update
-             end))
+      if t.owned.(dst) then begin
+        t.in_flight <- t.in_flight + 1;
+        ignore
+          (Sim.schedule_at t.sim ~time:at (fun _ ->
+               t.in_flight <- t.in_flight - 1;
+               if operational t ls src dst && ls.epoch = epoch then begin
+                 t.hooks.Hooks.on_deliver ~time:(Sim.now t.sim) ~src ~dst update;
+                 match t.routers.(dst) with
+                 | Some r -> Router.receive r ~from_peer:src update
+                 | None -> assert false
+               end))
+      end
+      else
+        match t.emit with
+        | Some emit ->
+            emit
+              {
+                remote_eid = eid;
+                remote_src = src;
+                remote_dst = dst;
+                remote_at = at;
+                remote_epoch = epoch;
+                remote_update = update;
+              }
+        | None -> assert false (* unowned dst implies partitioned mode *)
     end
   in
   fun update ->
     if operational t ls src dst then begin
       send_copy update;
-      if dl.duplication > 0. && Rng.float t.fault_rng 1.0 < dl.duplication then begin
+      if dl.duplication > 0. && Rng.float fault_rng 1.0 < dl.duplication then begin
         t.hooks.Hooks.on_duplicate ~time:(Sim.now t.sim) ~src ~dst update;
         send_copy update
       end
     end
 
-let create ?policy ~config sim graph =
+(* Seed-derived per-directed-slot stream, decorrelated by slot with the
+   SplitMix64 increment. Independent of the master split chain, so adding
+   streams never perturbs router jitter. *)
+let stream_rng base slot = Rng.create (base + ((slot + 1) * 0x9E37_79B9))
+
+let create ?policy ?ownership ~config sim graph =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Network.create: " ^ msg));
   let policy = match policy with Some p -> p | None -> Policy.announce_all in
   let n = Graph.num_nodes graph in
+  let owned, emit =
+    match ownership with
+    | None -> (Array.make n true, None)
+    | Some (owned, emit) ->
+        if Array.length owned <> n then
+          invalid_arg "Network.create: ownership array length must equal num_nodes";
+        (Array.copy owned, Some emit)
+  in
   let master = Rng.create config.Config.seed in
   let deploy_rng = Rng.split master in
   let delay_rng = Rng.split master in
@@ -145,16 +218,41 @@ let create ?policy ~config sim graph =
      simulation order, so Marshal-based digests of anything referencing
      interned routes stay reproducible run to run. *)
   let table = Route.create_table ~size:(max 256 n) () in
-  let routers =
-    Array.init n (fun node ->
-        Router.create ~table ~sim ~id:node ~policy ~config ~damping:(params_at node)
-          ~rng:(Rng.split master) ~hooks ())
+  (* Every partition replays the full master split sequence — one split per
+     node, in node order — and builds only its owned routers, so a router's
+     RNG stream is a function of (seed, node id) alone, not of the
+     partitioning. *)
+  let routers = Array.make n None in
+  let rec build node =
+    if node < n then begin
+      let rng = Rng.split master in
+      if owned.(node) then
+        routers.(node) <-
+          Some
+            (Router.create ~table ~sim ~id:node ~policy ~config
+               ~damping:(params_at node) ~rng ~hooks ());
+      build (node + 1)
+    end
   in
+  build 0;
+  let m = Graph.num_edges graph in
   (* The fault RNG is derived from the seed without consuming a split of the
      master stream, so runs without fault injection are bit-identical to
-     historical (pre-fault) results. *)
-  let fault_rng = Rng.create (config.Config.seed lxor 0x7fa9_1e55) in
-  let m = Graph.num_edges graph in
+     historical (pre-fault) results. Partitioned mode swaps both transport
+     streams for per-directed-link ones (see [link_rngs] above). *)
+  let link_rngs =
+    match ownership with
+    | None ->
+        Shared { delay = delay_rng; fault = Rng.create (config.Config.seed lxor 0x7fa9_1e55) }
+    | Some _ ->
+        let delay_base = config.Config.seed lxor 0x2d35_8dcc in
+        let fault_base = config.Config.seed lxor 0x7fa9_1e55 in
+        Per_edge
+          {
+            delay = Array.init (2 * m) (stream_rng delay_base);
+            fault = Array.init (2 * m) (stream_rng fault_base);
+          }
+  in
   let t =
     {
       sim;
@@ -163,20 +261,25 @@ let create ?policy ~config sim graph =
       hooks;
       table;
       routers;
+      owned;
+      emit;
       routers_up = Array.make n true;
       damping_deployed;
       links = Array.init m (fun _ -> { up = true; epoch = 0 });
       directed =
         Array.init (2 * m) (fun _ -> { last_delivery = 0.; loss = 0.; duplication = 0. });
-      delay_rng;
-      fault_rng;
+      link_rngs;
       in_flight = 0;
     }
   in
   Array.iter
     (fun (u, v) ->
-      Router.connect t.routers.(u) ~peer:v ~send:(make_sender t u v);
-      Router.connect t.routers.(v) ~peer:u ~send:(make_sender t v u))
+      (match t.routers.(u) with
+      | Some r -> Router.connect r ~peer:v ~send:(make_sender t u v)
+      | None -> ());
+      match t.routers.(v) with
+      | Some r -> Router.connect r ~peer:u ~send:(make_sender t v u)
+      | None -> ())
     (Graph.edges graph);
   t
 
@@ -185,10 +288,21 @@ let graph t = t.graph
 let hooks t = t.hooks
 let route_table t = t.table
 
+let check_node t node =
+  if node < 0 || node >= Array.length t.routers then
+    invalid_arg (Printf.sprintf "Network: node %d out of range" node)
+
+let owns t node =
+  check_node t node;
+  t.owned.(node)
+
 let router t node =
   if node < 0 || node >= Array.length t.routers then
     invalid_arg (Printf.sprintf "Network.router: node %d out of range" node);
-  t.routers.(node)
+  match t.routers.(node) with
+  | Some r -> r
+  | None ->
+      invalid_arg (Printf.sprintf "Network.router: node %d owned by another partition" node)
 
 let num_routers t = Array.length t.routers
 let damping_at t node = t.damping_deployed.(node)
@@ -201,6 +315,30 @@ let schedule_originate t ~at ~node prefix =
 
 let schedule_withdraw t ~at ~node prefix =
   ignore (Sim.schedule_at t.sim ~time:at (fun _ -> withdraw t ~node prefix))
+
+(* Cross-partition delivery: schedule a message drained from another
+   partition's outbox at a barrier. The timestamp was fixed (FIFO floor
+   included) on the sending side; the epoch guard re-checks against this
+   partition's replica of the link state, which has executed exactly the
+   same administrative transitions. *)
+let deliver_remote t { remote_eid = eid; remote_src = src; remote_dst = dst;
+                       remote_at = at; remote_epoch = epoch; remote_update = update } =
+  let ls = t.links.(eid) in
+  (match t.routers.(dst) with
+  | Some _ -> ()
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Network.deliver_remote: node %d owned by another partition" dst));
+  t.in_flight <- t.in_flight + 1;
+  ignore
+    (Sim.schedule_at t.sim ~time:at (fun _ ->
+         t.in_flight <- t.in_flight - 1;
+         if operational t ls src dst && ls.epoch = epoch then begin
+           t.hooks.Hooks.on_deliver ~time:(Sim.now t.sim) ~src ~dst update;
+           match t.routers.(dst) with
+           | Some r -> Router.receive r ~from_peer:src update
+           | None -> assert false
+         end))
 
 let fail_link t u v =
   let ls = link_state_exn t u v in
@@ -230,10 +368,6 @@ let schedule_restore_link t ~at u v =
 
 (* ------------------------------------------------------------------ *)
 (* Router crash / restart                                              *)
-
-let check_node t node =
-  if node < 0 || node >= Array.length t.routers then
-    invalid_arg (Printf.sprintf "Network: node %d out of range" node)
 
 let router_is_up t node =
   check_node t node;
@@ -295,25 +429,29 @@ let run ?until t = Sim.run ?until t.sim
 
 let in_flight t = t.in_flight
 
+let fold_routers t ~init ~f =
+  Array.fold_left (fun acc r -> match r with Some r -> f acc r | None -> acc) init t.routers
+
 let reuse_timer_events t =
-  Array.fold_left (fun acc r -> acc + Router.reuse_timer_events r) 0 t.routers
+  fold_routers t ~init:0 ~f:(fun acc r -> acc + Router.reuse_timer_events r)
 
 let peak_reuse_timers t =
-  Array.fold_left (fun acc r -> acc + Router.peak_reuse_timers r) 0 t.routers
+  fold_routers t ~init:0 ~f:(fun acc r -> acc + Router.peak_reuse_timers r)
 
 let activity t =
-  Array.fold_left
-    (fun acc r -> Oracle.add acc (Router.activity r))
-    { Oracle.zero with Oracle.in_flight = t.in_flight }
-    t.routers
+  fold_routers t
+    ~init:{ Oracle.zero with Oracle.in_flight = t.in_flight }
+    ~f:(fun acc r -> Oracle.add acc (Router.activity r))
 
 let rib_fixpoint t prefix =
   Array.for_all
-    (fun r ->
-      match (Router.best r prefix, Router.recompute_best r prefix) with
-      | None, None -> true
-      | Some a, Some b -> Route.equal a b
-      | Some _, None | None, Some _ -> false)
+    (function
+      | None -> true
+      | Some r -> (
+          match (Router.best r prefix, Router.recompute_best r prefix) with
+          | None, None -> true
+          | Some a, Some b -> Route.equal a b
+          | Some _, None | None, Some _ -> false))
     t.routers
 
 let status t prefix = Oracle.classify ~rib_fixpoint:(rib_fixpoint t prefix) (activity t)
@@ -321,6 +459,4 @@ let converged t prefix = Oracle.is_stable (status t prefix)
 let quiescent t prefix = Oracle.is_quiet (status t prefix)
 
 let reachable_count t prefix =
-  Array.fold_left
-    (fun acc r -> if Router.best r prefix <> None then acc + 1 else acc)
-    0 t.routers
+  fold_routers t ~init:0 ~f:(fun acc r -> if Router.best r prefix <> None then acc + 1 else acc)

@@ -8,15 +8,55 @@
 
 type t
 
+type remote = {
+  remote_eid : int;  (** graph edge id of the link *)
+  remote_src : int;
+  remote_dst : int;
+  remote_at : float;  (** absolute delivery time, FIFO floor already applied *)
+  remote_epoch : int;  (** sender-side link epoch at send time *)
+  remote_update : Update.t;
+}
+(** A cross-partition message: fully timestamped on the sending side, to be
+    scheduled into the owning partition with {!deliver_remote} at an epoch
+    barrier. *)
+
 val create :
   ?policy:Policy.t ->
+  ?ownership:bool array * (remote -> unit) ->
   config:Config.t ->
   Rfd_engine.Sim.t ->
   Rfd_topology.Graph.t ->
   t
 (** One router per node. [policy] defaults to {!Policy.announce_all}; pass
     [Policy.no_valley relations] for valley-free routing. Damping deployment
-    follows [config]. Raises [Invalid_argument] on invalid config. *)
+    follows [config]. Raises [Invalid_argument] on invalid config.
+
+    [ownership] puts the network in partitioned mode: only nodes flagged
+    [true] get routers; messages to unowned destinations are handed —
+    fully timestamped — to the given outbox function instead of the local
+    event queue. Partitioned mode also switches transport randomness to
+    per-directed-link seed-derived streams, so delay jitter and
+    loss/duplication draws depend only on each link's own send sequence —
+    the property that makes results independent of the partition count.
+    Administrative operations (link fail/restore, router crash/restart,
+    degradation) must be replicated to {e every} partition by the caller;
+    each replica applies the state change and signals only its own routers.
+    Raises [Invalid_argument] when the ownership array length differs from
+    the node count. *)
+
+val owns : t -> int -> bool
+(** Whether this network instance owns (hosts the router of) a node. Always
+    [true] outside partitioned mode. Raises [Invalid_argument] on an
+    out-of-range node. *)
+
+val deliver_remote : t -> remote -> unit
+(** Schedule a message drained from another partition's outbox. The epoch
+    guard re-checks the link against this partition's replica at delivery
+    time, so messages voided by a link failure are dropped exactly as in
+    the single-domain run. Raises [Invalid_argument] when the destination
+    is not owned here, or (from the simulator) when the delivery time lies
+    in this partition's past — which cannot happen when the exchange obeys
+    the epoch protocol's lookahead. *)
 
 val sim : t -> Rfd_engine.Sim.t
 val graph : t -> Rfd_topology.Graph.t
@@ -30,6 +70,8 @@ val route_table : t -> Route.table
     tests); mutating it directly is never necessary. *)
 
 val router : t -> int -> Router.t
+(** Raises [Invalid_argument] on an out-of-range or unowned node. *)
+
 val num_routers : t -> int
 val damping_at : t -> int -> bool
 (** Whether damping is deployed at a node (per [config.deployment]). *)
@@ -119,6 +161,11 @@ val peak_reuse_timers : t -> int
 val activity : t -> Oracle.counts
 (** Exact live totals: in-flight messages plus every router's parked MRAI
     updates, armed flush timers and outstanding reuse timers. *)
+
+val rib_fixpoint : t -> Prefix.t -> bool
+(** Every owned router's Loc-RIB entry for the prefix equals what its
+    decision process would select right now. A partitioned ensemble is at a
+    fixpoint iff every partition is. *)
 
 val status : t -> Prefix.t -> Oracle.level
 (** The oracle's verdict for a prefix: [Active], [Stable] (routing

@@ -31,6 +31,9 @@ module Clock = Rfd_engine.Clock
 module Timeseries = Rfd_engine.Timeseries
 module Stats = Rfd_engine.Stats
 module Trace = Rfd_engine.Trace
+module Partition = Rfd_engine.Partition
+module Par_sim = Rfd_engine.Par_sim
+module Procfs = Rfd_engine.Procfs
 module Graph = Rfd_topology.Graph
 module Builders = Rfd_topology.Builders
 module Random_graphs = Rfd_topology.Random_graphs
@@ -78,6 +81,8 @@ module Report = Rfd_experiment.Report
 module Json = Rfd_experiment.Json
 module Plot = Rfd_experiment.Plot
 module Tracing = Rfd_experiment.Tracing
+module Recorder = Rfd_experiment.Recorder
+module Par_net = Rfd_experiment.Par_net
 
 (** {1 Convenience} *)
 

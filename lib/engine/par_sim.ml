@@ -1,0 +1,53 @@
+(* Conservative lockstep-epoch execution over several simulators.
+
+   Chandy–Misra-style null-message-free variant: all partitions share one
+   global epoch. Each barrier computes T = min over partitions of the next
+   pending event time; the epoch then executes every event in [T, T + L)
+   where L is the lookahead — the minimum latency any cross-partition
+   interaction can have. A message sent during the epoch therefore lands at
+   or beyond the epoch's end, so it can safely wait in a mailbox until the
+   barrier, and every partition's local event order equals its order in the
+   equivalent single-simulator run. *)
+
+let lockstep ~pool ~lookahead ?until ?max_events ~executed ~exchange sims =
+  if Float.is_nan lookahead || lookahead <= 0. then
+    invalid_arg "Par_sim.lockstep: lookahead must be positive";
+  (match until with
+  | Some u when Float.is_nan u -> invalid_arg "Par_sim.lockstep: NaN until"
+  | Some _ | None -> ());
+  (match max_events with
+  | Some m when m < 0 -> invalid_arg "Par_sim.lockstep: negative max_events"
+  | Some _ | None -> ());
+  if Array.length sims = 0 then invalid_arg "Par_sim.lockstep: no simulators";
+  let indices = Array.to_list (Array.mapi (fun i _ -> i) sims) in
+  let global_next () =
+    Array.fold_left
+      (fun acc sim ->
+        match (acc, Sim.next_time sim) with
+        | None, next -> next
+        | acc, None -> acc
+        | Some a, Some b -> Some (Float.min a b))
+      None sims
+  in
+  let out_of_events () =
+    match max_events with Some m -> executed () >= m | None -> false
+  in
+  let verdict = ref None in
+  while !verdict = None do
+    (* The barrier: drain cross-partition mailboxes (scheduling their events
+       into the receiving simulators) before looking at the global clock, so
+       buffered messages count as pending work. *)
+    exchange ();
+    if out_of_events () then verdict := Some `Budget
+    else
+      match global_next () with
+      | None -> verdict := Some `Drained
+      | Some t when (match until with Some u -> t > u | None -> false) ->
+          verdict := Some `Horizon
+      | Some t ->
+        let horizon = t +. lookahead in
+        (* Single-partition pools run this inline — the degenerate
+           single-domain path, bit-identical by construction. *)
+        ignore (Pool.map pool (fun i -> Sim.run_before ?until ~horizon sims.(i)) indices)
+  done;
+  match !verdict with Some v -> v | None -> assert false

@@ -1,0 +1,40 @@
+(* Minimal /proc/self/status reader for benchmark memory reporting.
+
+   Parsing is factored over an abstract line producer so tests can feed
+   malformed input without a procfs, and so every failure mode — missing
+   file, missing field, malformed value, I/O error mid-scan — degrades to 0
+   ("no RSS data") instead of crashing the harness. *)
+
+let field = "VmHWM:"
+
+(* [Some kb] when the line is a VmHWM line (0 when its value is malformed),
+   [None] when it is some other field. *)
+let parse_kb line =
+  let flen = String.length field in
+  if String.length line > flen && String.sub line 0 flen = field then
+    let rest = String.sub line flen (String.length line - flen) in
+    match Scanf.sscanf rest " %d" Fun.id with
+    | kb when kb >= 0 -> Some kb
+    | _ -> Some 0
+    | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> Some 0
+  else None
+
+let vm_hwm_kb next_line =
+  let rec scan () =
+    match next_line () with
+    | None -> 0
+    | Some line -> ( match parse_kb line with Some kb -> kb | None -> scan ())
+  in
+  try scan () with _ -> 0
+
+let peak_rss_kb ?(path = "/proc/self/status") () =
+  match open_in path with
+  | exception Sys_error _ -> 0
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          vm_hwm_kb (fun () ->
+              match input_line ic with
+              | line -> Some line
+              | exception End_of_file -> None))

@@ -1,0 +1,17 @@
+(** Peak-RSS reporting via [/proc/self/status].
+
+    Used by the benchmark harness; every failure mode degrades to [0]
+    ("no RSS data") rather than raising, so a malformed or missing procfs
+    can never crash a bench suite mid-run. *)
+
+val peak_rss_kb : ?path:string -> unit -> int
+(** VmHWM (peak resident set size) in kB, read from [path] (default
+    [/proc/self/status]). [0] when the file is missing, unreadable, lacks a
+    [VmHWM:] line, or carries a malformed value. The channel is closed on
+    every path, including exceptions mid-scan. *)
+
+val vm_hwm_kb : (unit -> string option) -> int
+(** Parsing core behind {!peak_rss_kb}, over an abstract line producer
+    ([None] = end of input) — the seam tests use to feed stubbed or
+    malformed [/proc] content. Same degradation contract: any parse or I/O
+    failure yields [0]. *)

@@ -118,11 +118,16 @@ let compact t =
       incr kept
     end
   done;
-  (* Release dropped slots so dead events' closures can be collected. *)
+  (* Release dropped slots so dead events' closures can be collected. When
+     nothing survives there is no live event to overwrite the slots with, so
+     drop the whole backing array instead — [grow] re-allocates from scratch
+     on the next push. Keeping the array here (the old [kept > 0]-guarded
+     code) pinned every dead closure until the next schedule. *)
   if !kept > 0 then
     for i = !kept to t.size - 1 do
       t.data.(i) <- t.data.(0)
-    done;
+    done
+  else t.data <- [||];
   t.size <- !kept;
   t.dead <- 0;
   t.compactions <- t.compactions + 1;
@@ -226,6 +231,41 @@ let run_budgeted ?until ?max_events t =
      event: a budget verdict must leave the clock at the point where the run
      actually stopped, so partial-result metrics stay truthful. *)
   !verdict
+
+(* Epoch primitive for conservative parallel simulation: execute every event
+   strictly before [horizon] (and, when [until] is given, at or before
+   [until]), including events scheduled mid-epoch that still land inside the
+   window. The clock is left at the last executed event, exactly like
+   [run_budgeted]. *)
+let run_before ?until ~horizon t =
+  if Float.is_nan horizon then invalid_arg "Sim.run_before: NaN horizon";
+  (match until with
+  | Some u when Float.is_nan u -> invalid_arg "Sim.run_before: NaN until"
+  | Some _ | None -> ());
+  let continue = ref true in
+  while !continue do
+    match next_time t with
+    | Some time
+      when time < horizon && (match until with Some u -> time <= u | None -> true) ->
+        ignore (step t)
+    | Some _ | None -> continue := false
+  done
+
+(* Barrier primitive: jump an idle simulator's clock forward without running
+   anything, so a later immediate action samples the same "now" regardless of
+   which partition executed the globally-latest event. *)
+let advance_clock t ~time =
+  if Float.is_nan time then invalid_arg "Sim.advance_clock: NaN time";
+  if time > t.clock then begin
+    (match next_time t with
+    | Some pending when pending < time ->
+        invalid_arg
+          (Printf.sprintf
+             "Sim.advance_clock: pending event at %g earlier than target %g" pending
+             time)
+    | Some _ | None -> ());
+    t.clock <- time
+  end
 
 type repeating = { mutable current : event option }
 

@@ -90,6 +90,26 @@ val run_budgeted :
     [`Drained]. Raises [Invalid_argument] on a negative [max_events] or a
     NaN [until]. *)
 
+(** {2 Conservative parallel-simulation primitives}
+
+    Building blocks for lockstep-epoch execution over several simulators
+    (see {!Par_sim}): each partition runs its local events up to a shared
+    safe horizon, then all partitions synchronise at a barrier. *)
+
+val run_before : ?until:float -> horizon:float -> t -> unit
+(** [run_before ~horizon sim] executes every event with time strictly below
+    [horizon] — including events scheduled during the pass that still land
+    inside the window. With [until], events beyond it are additionally left
+    unexecuted (inclusive cap, matching {!run_budgeted}'s horizon
+    semantics). The clock stays at the last executed event. Raises
+    [Invalid_argument] on NaN bounds. *)
+
+val advance_clock : t -> time:float -> unit
+(** [advance_clock sim ~time] jumps an idle simulator's clock forward to
+    [time] without executing anything; a no-op when [time <= now]. Raises
+    [Invalid_argument] if a pending event lies before [time] (the jump
+    would make that event's timestamp lie in the past). *)
+
 type repeating
 (** Handle to a periodic task started with {!every}. *)
 

@@ -254,11 +254,188 @@ let run ?(budget = no_budget) ?observe scenario =
 
 (* Host timings are the only nondeterministic fields of a result, so they
    are zeroed before hashing: equal digests mean equal simulation outcomes,
-   and the digest of a retried run must equal that of a first-try run. *)
+   and the digest of a retried run must equal that of a first-try run.
+   [peak_heap] is zeroed too: a partitioned run reports the sum of its
+   per-partition heap high-water marks, which legitimately depends on the
+   partition count even when the simulation outcome is bit-identical. *)
 let result_digest r =
   Digest.to_hex
     (Digest.string
-       (Marshal.to_string { r with wall_seconds = 0.; cpu_seconds = 0. } []))
+       (Marshal.to_string { r with wall_seconds = 0.; cpu_seconds = 0.; peak_heap = 0 } []))
+
+(* ------------------------------------------------------------------ *)
+(* Partitioned execution                                               *)
+
+type par_stats = {
+  partitions : int;
+  cut_edges : int;
+  epochs : int;
+  per_partition_events : int array;
+  routes_interned_total : int;
+  paths_interned_total : int;
+}
+
+(* Mirrors [run] phase by phase: same RNG split order, same scheduling
+   order, same collector handover points. Observation happens on the
+   ensemble's canonical replay bus instead of a network's own hook bus, so
+   the collected series are identical for any partition count (including
+   1). The two deliberate differences from [run] are documented on
+   {!Par_net}: per-directed-link transport RNG streams and the
+   barrier-granular budget check. *)
+let run_partitioned ?(budget = no_budget) ?observe ?on_bus ~partitions scenario =
+  (match Scenario.validate scenario with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Runner.run_partitioned: " ^ msg));
+  if partitions < 1 then invalid_arg "Runner.run_partitioned: partitions must be >= 1";
+  let wall_start = Rfd_engine.Clock.wall () in
+  let cpu_start = Rfd_engine.Clock.cpu () in
+  let rng = Rng.create scenario.Scenario.config.Config.seed in
+  let base_graph = build_graph scenario (Rng.split rng) in
+  let isp = pick_isp scenario (Rng.split rng) base_graph in
+  let graph, origin = attach_origin base_graph isp in
+  let relations = relations_for scenario graph ~origin ~isp in
+  let policy =
+    match relations with
+    | None -> Policy.announce_all
+    | Some rel -> Policy.no_valley rel
+  in
+  let par = Par_net.create ~policy ~config:scenario.Scenario.config ~partitions graph in
+  Fun.protect ~finally:(fun () -> Par_net.shutdown par) @@ fun () ->
+  let bus = Par_net.bus par in
+  let exceeded = ref false in
+  let drive () =
+    if not !exceeded then
+      match
+        Par_net.drive ?until:budget.max_sim_time ?max_events:budget.max_events par
+      with
+      | `Drained -> ()
+      | `Horizon | `Budget -> exceeded := true
+  in
+  (* Phase 1: background prefixes, then the origin announcement (Tup). *)
+  let initial = Collector.create () in
+  Collector.attach initial bus;
+  let background_rng = Rng.split rng in
+  let background =
+    List.init scenario.Scenario.background_prefixes (fun i ->
+        let prefix = Prefix.v (i + 1) in
+        let node = Rng.int background_rng (Graph.num_nodes graph) in
+        Par_net.originate par ~node prefix;
+        (node, prefix))
+  in
+  drive ();
+  (* Jump every partition's clock to the global last-event time before the
+     direct origination below, so the origin's send times are sampled from
+     the same "now" no matter which partition owns it. *)
+  let origin_announced_at = Par_net.now par in
+  Par_net.advance_all par ~time:origin_announced_at;
+  Par_net.originate par ~node:origin origin_prefix;
+  drive ();
+  let tup =
+    match Collector.last_update_time initial with
+    | Some t -> Float.max 0. (t -. origin_announced_at)
+    | None -> 0.
+  in
+  (* Phase 2: the flap train. *)
+  let probe_pairs = resolve_probe scenario graph ~origin in
+  let collector = Collector.create ~probe_pairs () in
+  Collector.attach collector bus;
+  (match on_bus with Some f -> f bus | None -> ());
+  (match observe with Some f -> Par_net.iter_nets par f | None -> ());
+  let phase2_now = Par_net.now par in
+  Par_net.advance_all par ~time:phase2_now;
+  let flap_start = phase2_now +. scenario.Scenario.settle_gap in
+  let pattern =
+    match scenario.Scenario.pattern with
+    | Some pattern -> pattern
+    | None ->
+        Pulse.Periodic
+          { pulses = scenario.Scenario.pulses; interval = scenario.Scenario.flap_interval }
+  in
+  let final_announcement =
+    let events = Pulse.events pattern in
+    List.iter
+      (fun (e : Pulse.event) ->
+        let at = flap_start +. e.Pulse.at in
+        match (scenario.Scenario.mechanism, e.Pulse.kind) with
+        | Scenario.Origin_updates, `Withdraw ->
+            Par_net.schedule_withdraw par ~at ~node:origin origin_prefix
+        | Scenario.Origin_updates, `Announce ->
+            Par_net.schedule_originate par ~at ~node:origin origin_prefix
+        | Scenario.Link_state, `Withdraw -> Par_net.schedule_fail_link par ~at isp origin
+        | Scenario.Link_state, `Announce -> Par_net.schedule_restore_link par ~at isp origin)
+      events;
+    match List.rev events with
+    | [] -> flap_start
+    | last :: _ -> flap_start +. last.Pulse.at
+  in
+  (match scenario.Scenario.faults with
+  | Some plan -> Par_net.install_faults ~start:flap_start plan par
+  | None -> ());
+  drive ();
+  (* Flush observations recorded after the last barrier (e.g. hooks fired
+     by direct originations when a budget tripped mid-phase). *)
+  Par_net.flush par;
+  let convergence_time =
+    match Collector.last_update_time collector with
+    | Some t -> Float.max 0. (t -. final_announcement)
+    | None -> 0.
+  in
+  let final_status =
+    let level = Par_net.status par origin_prefix in
+    if !exceeded then Budget_exceeded level else Finished level
+  in
+  let fold_last acc = function Some t -> Float.max acc t | None -> acc in
+  let stable_abs =
+    List.fold_left fold_last final_announcement
+      [ Collector.last_update_time collector; Collector.last_mrai_time collector ]
+  in
+  let quiet_abs = fold_last stable_abs (Collector.last_timer_time collector) in
+  let time_to_stable = stable_abs -. final_announcement in
+  let time_to_quiet = quiet_abs -. final_announcement in
+  let update_times =
+    Array.map fst (Rfd_engine.Timeseries.points (Collector.update_series collector))
+  in
+  let reuse_times =
+    Array.map fst (Rfd_engine.Timeseries.points (Collector.reuse_series collector))
+  in
+  let spans = Phases.classify ~update_times ~reuse_times ~flap_start in
+  let result =
+    {
+      scenario;
+      origin;
+      isp;
+      num_nodes = Graph.num_nodes graph;
+      tup;
+      initial_updates = Collector.update_count initial;
+      flap_start;
+      final_announcement;
+      convergence_time;
+      time_to_stable;
+      time_to_quiet;
+      final_status;
+      message_count = Collector.update_count collector;
+      collector;
+      spans;
+      background;
+      sim_events = Par_net.sim_events par;
+      peak_heap = Par_net.peak_heap par;
+      reuse_timer_events = Par_net.reuse_timer_events par;
+      peak_reuse_timers = Par_net.peak_reuse_timers par;
+      wall_seconds = Rfd_engine.Clock.wall () -. wall_start;
+      cpu_seconds = Rfd_engine.Clock.cpu () -. cpu_start;
+    }
+  in
+  let stats =
+    {
+      partitions = Par_net.partitions par;
+      cut_edges = Par_net.cut_edges par;
+      epochs = Par_net.epochs par;
+      per_partition_events = Par_net.per_partition_events par;
+      routes_interned_total = Par_net.routes_interned par;
+      paths_interned_total = Par_net.paths_interned par;
+    }
+  in
+  (result, stats)
 
 let pp_result ppf r =
   Format.fprintf ppf

@@ -116,10 +116,47 @@ val origin_prefix : Rfd_bgp.Prefix.t
 
 val result_digest : result -> string
 (** Hex MD5 over the marshalled result with the host-timing fields
-    ([wall_seconds], [cpu_seconds]) zeroed — a fingerprint of everything
-    the simulation determined. Two runs of the same job (any [jobs]
-    count, first try or retry) must produce equal digests; the supervised
-    sweep's journal and tests use this to verify bit-identity cheaply. *)
+    ([wall_seconds], [cpu_seconds]) and [peak_heap] zeroed — a fingerprint
+    of everything the simulation determined. Two runs of the same job (any
+    [jobs] count, first try or retry) must produce equal digests; the
+    supervised sweep's journal and tests use this to verify bit-identity
+    cheaply. [peak_heap] is excluded because a partitioned run reports the
+    sum of per-partition heap peaks, which varies with the partition count
+    even when the simulation outcome is identical. *)
+
+(** {1 Partitioned execution}
+
+    {!run_partitioned} executes the same scenario phases on a {!Par_net}:
+    the topology is split across domains and advanced in conservative
+    lockstep epochs. The result is bit-identical (per {!result_digest})
+    for every [partitions] value — including 1 — but deliberately not
+    comparable to {!run}, which uses the historical shared transport RNG
+    streams; see {!Par_net} for the two documented differences. *)
+
+type par_stats = {
+  partitions : int;  (** effective count (clamped to the node count) *)
+  cut_edges : int;  (** topology edges crossing partitions *)
+  epochs : int;  (** lockstep epochs executed *)
+  per_partition_events : int array;  (** raw executed events per partition *)
+  routes_interned_total : int;  (** summed per-partition interning tables *)
+  paths_interned_total : int;
+}
+
+val run_partitioned :
+  ?budget:budget ->
+  ?observe:(Rfd_bgp.Network.t -> unit) ->
+  ?on_bus:(Rfd_bgp.Hooks.t -> unit) ->
+  partitions:int ->
+  Scenario.t ->
+  result * par_stats
+(** Like {!run} on a partitioned ensemble. [observe] is called once per
+    partition network (introspection of tables/graphs); [on_bus] is called
+    once with the canonical replay bus — attach {!Tracing} and other
+    event observers there, right where [run]'s [observe] would wrap the
+    network hooks. Budget limits are checked at epoch barriers, so a
+    tripped budget can overshoot by up to one epoch (identically for every
+    partition count). Raises [Invalid_argument] when the scenario fails
+    validation or [partitions < 1]. *)
 
 val pp_result : Format.formatter -> result -> unit
 (** One-paragraph human summary. *)

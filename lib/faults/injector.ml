@@ -16,10 +16,33 @@ let check_node graph node =
       (Printf.sprintf "router %d outside the target network (%d nodes)" node
          (Graph.num_nodes graph))
 
-let install ?(start = 0.) (plan : Fault_plan.t) net =
+(* The five operations a fault plan needs from its target. A plain network
+   maps each to the corresponding [Network] call; a partitioned ensemble
+   broadcasts the administrative ones to every partition. *)
+type target = {
+  tgt_graph : Graph.t;
+  tgt_set_degradation : src:int -> dst:int -> loss:float -> duplication:float -> unit;
+  tgt_fail_link : at:float -> int -> int -> unit;
+  tgt_restore_link : at:float -> int -> int -> unit;
+  tgt_crash : at:float -> int -> unit;
+  tgt_restart : at:float -> int -> unit;
+}
+
+let target_of_network net =
+  {
+    tgt_graph = Network.graph net;
+    tgt_set_degradation =
+      (fun ~src ~dst ~loss ~duplication -> Network.set_degradation net ~src ~dst ~loss ~duplication);
+    tgt_fail_link = (fun ~at u v -> Network.schedule_fail_link net ~at u v);
+    tgt_restore_link = (fun ~at u v -> Network.schedule_restore_link net ~at u v);
+    tgt_crash = (fun ~at node -> Network.schedule_crash net ~at node);
+    tgt_restart = (fun ~at node -> Network.schedule_restart net ~at node);
+  }
+
+let install_target ?(start = 0.) (plan : Fault_plan.t) tgt =
   (match Fault_plan.validate plan with Ok () -> () | Error msg -> fail msg);
   if Float.is_nan start || start < 0. then fail "start time must be non-negative";
-  let graph = Network.graph net in
+  let graph = tgt.tgt_graph in
   (* Range-check everything against the concrete topology up front, so a
      bad plan fails loudly at install time instead of mid-run. *)
   List.iter (fun (e : Fault_plan.link_event) -> check_link graph e.Fault_plan.link)
@@ -36,14 +59,14 @@ let install ?(start = 0.) (plan : Fault_plan.t) net =
   if default <> Fault_plan.perfect then
     Array.iter
       (fun (u, v) ->
-        Network.set_degradation net ~src:u ~dst:v ~loss:default.Fault_plan.loss
+        tgt.tgt_set_degradation ~src:u ~dst:v ~loss:default.Fault_plan.loss
           ~duplication:default.Fault_plan.duplication;
-        Network.set_degradation net ~src:v ~dst:u ~loss:default.Fault_plan.loss
+        tgt.tgt_set_degradation ~src:v ~dst:u ~loss:default.Fault_plan.loss
           ~duplication:default.Fault_plan.duplication)
       (Graph.edges graph);
   List.iter
     (fun ((src, dst), (deg : Fault_plan.degradation)) ->
-      Network.set_degradation net ~src ~dst ~loss:deg.Fault_plan.loss
+      tgt.tgt_set_degradation ~src ~dst ~loss:deg.Fault_plan.loss
         ~duplication:deg.Fault_plan.duplication)
     plan.Fault_plan.per_link_degradation;
   (* Events: expand (random flaps draw candidates from the whole topology
@@ -53,10 +76,12 @@ let install ?(start = 0.) (plan : Fault_plan.t) net =
     (function
       | Fault_plan.Link { Fault_plan.at; link = u, v; action } -> (
           match action with
-          | `Fail -> Network.schedule_fail_link net ~at:(start +. at) u v
-          | `Recover -> Network.schedule_restore_link net ~at:(start +. at) u v)
+          | `Fail -> tgt.tgt_fail_link ~at:(start +. at) u v
+          | `Recover -> tgt.tgt_restore_link ~at:(start +. at) u v)
       | Fault_plan.Router { Fault_plan.at; node; action } -> (
           match action with
-          | `Crash -> Network.schedule_crash net ~at:(start +. at) node
-          | `Restart -> Network.schedule_restart net ~at:(start +. at) node))
+          | `Crash -> tgt.tgt_crash ~at:(start +. at) node
+          | `Restart -> tgt.tgt_restart ~at:(start +. at) node))
     (Fault_plan.expand ~candidates plan)
+
+let install ?start plan net = install_target ?start plan (target_of_network net)

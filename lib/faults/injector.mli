@@ -16,3 +16,26 @@ val install : ?start:float -> Fault_plan.t -> Rfd_bgp.Network.t -> unit
     list draw from every link of [net]'s topology. Raises
     [Invalid_argument] when the plan fails {!Fault_plan.validate}, when a
     link/node is outside the topology, or when [start] is negative. *)
+
+(** {2 Generic targets}
+
+    A fault plan only needs five operations from whatever it is installed
+    into. {!install} is [install_target] over a plain network; a
+    partitioned ensemble supplies a target that broadcasts the
+    administrative operations to every partition. *)
+
+type target = {
+  tgt_graph : Rfd_topology.Graph.t;
+  tgt_set_degradation : src:int -> dst:int -> loss:float -> duplication:float -> unit;
+  tgt_fail_link : at:float -> int -> int -> unit;
+  tgt_restore_link : at:float -> int -> int -> unit;
+  tgt_crash : at:float -> int -> unit;
+  tgt_restart : at:float -> int -> unit;
+}
+
+val target_of_network : Rfd_bgp.Network.t -> target
+
+val install_target : ?start:float -> Fault_plan.t -> target -> unit
+(** Same contract as {!install}; expansion, range checks and scheduling
+    order are identical, so a broadcast target sees events in exactly the
+    order a plain network would. *)

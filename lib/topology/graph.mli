@@ -56,6 +56,27 @@ val add_nodes : t -> int -> t
 val is_connected : t -> bool
 (** True for the empty and one-node graph. *)
 
+(** {2 Partitioning}
+
+    Support for partitioned (conservative parallel) simulation: split the
+    node set into balanced chunks, minimising — heuristically — the edges
+    that cross chunks. *)
+
+val partition : t -> parts:int -> int array
+(** [partition g ~parts] assigns every node a partition in
+    [0 .. parts - 1]: nodes are laid out in BFS order (sources in
+    ascending id order, so disconnected graphs work) and cut into
+    contiguous chunks balanced by [degree + 1] — a proxy for per-node
+    event load. Deterministic for a given graph and [parts]. Every
+    partition is non-empty when [parts <= num_nodes]; with [parts = 1]
+    every node is in partition 0. Raises [Invalid_argument] when
+    [parts < 1]. *)
+
+val cut_edges : t -> int array -> int
+(** Number of edges whose endpoints lie in different partitions of the
+    given assignment. Raises [Invalid_argument] when the array length is
+    not [num_nodes]. *)
+
 val bfs_distances : t -> int -> int array
 (** Hop counts from a source; [-1] marks unreachable nodes. *)
 

@@ -10,6 +10,8 @@ let () =
       ("engine.stats", Test_stats.suite);
       ("engine.trace", Test_trace.suite);
       ("engine.pool", Test_pool.suite);
+      ("engine.partition", Test_partition.suite);
+      ("engine.procfs", Test_procfs.suite);
       ("engine.supervisor", Test_supervisor.suite);
       ("topology.graph", Test_graph.suite);
       ("topology.builders", Test_builders.suite);
@@ -44,6 +46,7 @@ let () =
       ("experiment.plot", Test_plot.suite);
       ("experiment.json", Test_json.suite);
       ("experiment.runner", Test_runner.suite);
+      ("experiment.partitioned", Test_partitioned.suite);
       ("experiment.tracing", Test_tracing.suite);
       ("protocol.properties", Test_properties.suite);
       ("paper.integration", Test_paper.suite);

@@ -1,0 +1,121 @@
+(* Engine-level partition plumbing: the per-(src, dst) FIFO mailbox and the
+   topology partitioner. *)
+
+module Partition = Rfd_engine.Partition
+module Graph = Rfd_topology.Graph
+module Builders = Rfd_topology.Builders
+
+let test_mailbox_fifo_order () =
+  let t = Partition.create ~parts:3 in
+  (* Interleave posts; drain must visit dst ascending, then src ascending,
+     then FIFO within each (src, dst) queue. *)
+  Partition.post t ~src:2 ~dst:0 "c0-a";
+  Partition.post t ~src:0 ~dst:1 "a1-a";
+  Partition.post t ~src:2 ~dst:0 "c0-b";
+  Partition.post t ~src:1 ~dst:0 "b0-a";
+  Partition.post t ~src:0 ~dst:1 "a1-b";
+  Alcotest.(check int) "pending counts posts" 5 (Partition.pending t);
+  let seen = ref [] in
+  let n = Partition.drain t ~deliver:(fun ~dst msg -> seen := (dst, msg) :: !seen) in
+  Alcotest.(check int) "drain reports count" 5 n;
+  Alcotest.(check (list (pair int string)))
+    "deterministic (dst, src, fifo) order"
+    [ (0, "b0-a"); (0, "c0-a"); (0, "c0-b"); (1, "a1-a"); (1, "a1-b") ]
+    (List.rev !seen);
+  Alcotest.(check int) "drained empty" 0 (Partition.pending t);
+  Alcotest.(check int) "second drain is a no-op" 0
+    (Partition.drain t ~deliver:(fun ~dst:_ _ -> Alcotest.fail "nothing to deliver"))
+
+let test_mailbox_validation () =
+  Alcotest.check_raises "parts must be >= 1"
+    (Invalid_argument "Partition.create: parts must be >= 1") (fun () ->
+      ignore (Partition.create ~parts:0));
+  let t = Partition.create ~parts:2 in
+  Alcotest.check_raises "src out of range"
+    (Invalid_argument "Partition.post: partition 2 out of range") (fun () ->
+      Partition.post t ~src:2 ~dst:0 ())
+
+let test_partitioner_covers_every_node () =
+  let graph = Builders.mesh ~rows:4 ~cols:5 in
+  let n = Graph.num_nodes graph in
+  List.iter
+    (fun parts ->
+      let part_of = Graph.partition graph ~parts in
+      Alcotest.(check int) "one owner per node" n (Array.length part_of);
+      let sizes = Array.make parts 0 in
+      Array.iter
+        (fun p ->
+          Alcotest.(check bool) "assignment in range" true (p >= 0 && p < parts);
+          sizes.(p) <- sizes.(p) + 1)
+        part_of;
+      Array.iteri
+        (fun p size ->
+          Alcotest.(check bool) (Printf.sprintf "partition %d non-empty" p) true (size > 0))
+        sizes)
+    [ 1; 2; 3; 7; n ]
+
+let test_partitioner_degenerate () =
+  let graph = Builders.mesh ~rows:3 ~cols:3 in
+  Alcotest.(check (array int)) "parts=1 assigns everything to 0"
+    (Array.make (Graph.num_nodes graph) 0)
+    (Graph.partition graph ~parts:1);
+  Alcotest.check_raises "parts must be >= 1"
+    (Invalid_argument "Graph.partition: parts must be >= 1") (fun () ->
+      ignore (Graph.partition graph ~parts:0))
+
+let test_partitioner_balance () =
+  (* Chunks are weighted by degree + 1; on a uniform-ish mesh no partition
+     should dwarf another. *)
+  let graph = Builders.mesh ~rows:6 ~cols:6 in
+  let part_of = Graph.partition graph ~parts:4 in
+  let sizes = Array.make 4 0 in
+  Array.iter (fun p -> sizes.(p) <- sizes.(p) + 1) part_of;
+  let min_size = Array.fold_left min max_int sizes in
+  let max_size = Array.fold_left max 0 sizes in
+  Alcotest.(check bool)
+    (Printf.sprintf "balanced within 3x (min %d, max %d)" min_size max_size)
+    true
+    (max_size <= 3 * min_size)
+
+let test_cut_edges () =
+  let graph = Builders.mesh ~rows:3 ~cols:3 in
+  Alcotest.(check int) "parts=1 cuts nothing" 0
+    (Graph.cut_edges graph (Graph.partition graph ~parts:1));
+  let part_of = Graph.partition graph ~parts:2 in
+  let cut = Graph.cut_edges graph part_of in
+  Alcotest.(check bool) "parts=2 cuts a connected mesh" true
+    (cut > 0 && cut < Graph.num_edges graph);
+  (* Recount by hand to pin the definition: undirected edges with endpoints
+     in different partitions. *)
+  let manual =
+    Array.fold_left
+      (fun acc (u, v) -> if part_of.(u) <> part_of.(v) then acc + 1 else acc)
+      0 (Graph.edges graph)
+  in
+  Alcotest.(check int) "matches manual recount" manual cut;
+  Alcotest.check_raises "assignment length checked"
+    (Invalid_argument "Graph.cut_edges: assignment length mismatch") (fun () ->
+      ignore (Graph.cut_edges graph [| 0 |]))
+
+let test_partitioner_disconnected () =
+  (* Two disjoint triangles: BFS order restarts per component, every node
+     still gets exactly one owner. *)
+  let graph =
+    Graph.of_edges ~num_nodes:6 [ (0, 1); (1, 2); (0, 2); (3, 4); (4, 5); (3, 5) ]
+  in
+  let part_of = Graph.partition graph ~parts:2 in
+  Alcotest.(check int) "all nodes assigned" 6 (Array.length part_of);
+  let sizes = Array.make 2 0 in
+  Array.iter (fun p -> sizes.(p) <- sizes.(p) + 1) part_of;
+  Alcotest.(check bool) "both partitions populated" true (sizes.(0) > 0 && sizes.(1) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "mailbox: deterministic drain order" `Quick test_mailbox_fifo_order;
+    Alcotest.test_case "mailbox: validation" `Quick test_mailbox_validation;
+    Alcotest.test_case "partitioner: total coverage" `Quick test_partitioner_covers_every_node;
+    Alcotest.test_case "partitioner: degenerate cases" `Quick test_partitioner_degenerate;
+    Alcotest.test_case "partitioner: balance" `Quick test_partitioner_balance;
+    Alcotest.test_case "cut edges" `Quick test_cut_edges;
+    Alcotest.test_case "partitioner: disconnected graph" `Quick test_partitioner_disconnected;
+  ]

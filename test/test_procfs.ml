@@ -1,0 +1,74 @@
+(* Procfs peak-RSS parsing: every failure mode must degrade to 0, never
+   raise, and the file channel must be closed on all paths. *)
+
+module Procfs = Rfd_engine.Procfs
+
+let feed lines =
+  let remaining = ref lines in
+  fun () ->
+    match !remaining with
+    | [] -> None
+    | line :: rest ->
+        remaining := rest;
+        Some line
+
+let test_well_formed () =
+  Alcotest.(check int) "plain status file" 123456
+    (Procfs.vm_hwm_kb
+       (feed [ "Name:\trfd"; "VmPeak:\t  999999 kB"; "VmHWM:\t  123456 kB"; "VmRSS:\t 1 kB" ]))
+
+let test_first_match_wins () =
+  Alcotest.(check int) "first VmHWM line wins" 7
+    (Procfs.vm_hwm_kb (feed [ "VmHWM:\t7 kB"; "VmHWM:\t8 kB" ]))
+
+let test_missing_field () =
+  Alcotest.(check int) "no VmHWM line" 0
+    (Procfs.vm_hwm_kb (feed [ "Name:\trfd"; "VmRSS:\t 10 kB" ]));
+  Alcotest.(check int) "empty input" 0 (Procfs.vm_hwm_kb (feed []))
+
+let test_malformed_value () =
+  (* A VmHWM line whose value does not scan as an integer used to let
+     Scanf.Scan_failure escape through the bench harness; it must yield 0. *)
+  Alcotest.(check int) "non-numeric value" 0 (Procfs.vm_hwm_kb (feed [ "VmHWM:\tgarbage kB" ]));
+  Alcotest.(check int) "empty value" 0 (Procfs.vm_hwm_kb (feed [ "VmHWM:" ]));
+  Alcotest.(check int) "whitespace only" 0 (Procfs.vm_hwm_kb (feed [ "VmHWM:   " ]))
+
+let test_reader_exception () =
+  (* An I/O error mid-scan (e.g. End_of_file from a truncated read) also
+     degrades to 0 instead of escaping. *)
+  let blowing_reader () = raise End_of_file in
+  Alcotest.(check int) "raising reader" 0 (Procfs.vm_hwm_kb blowing_reader)
+
+let test_peak_rss_missing_file () =
+  Alcotest.(check int) "missing file" 0
+    (Procfs.peak_rss_kb ~path:"/nonexistent/proc/self/status" ())
+
+let test_peak_rss_real_file () =
+  (* Exercise the channel path end to end with stub files on disk. *)
+  let write_tmp contents =
+    let path = Filename.temp_file "rfd-procfs" ".status" in
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    path
+  in
+  let good = write_tmp "Name:\trfd\nVmHWM:\t  4242 kB\nVmRSS:\t1 kB\n" in
+  let bad = write_tmp "Name:\trfd\nVmHWM:\tnot-a-number\n" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove good;
+      Sys.remove bad)
+    (fun () ->
+      Alcotest.(check int) "well-formed stub file" 4242 (Procfs.peak_rss_kb ~path:good ());
+      Alcotest.(check int) "malformed stub file" 0 (Procfs.peak_rss_kb ~path:bad ()))
+
+let suite =
+  [
+    Alcotest.test_case "well-formed status" `Quick test_well_formed;
+    Alcotest.test_case "first match wins" `Quick test_first_match_wins;
+    Alcotest.test_case "missing field" `Quick test_missing_field;
+    Alcotest.test_case "malformed value" `Quick test_malformed_value;
+    Alcotest.test_case "raising reader" `Quick test_reader_exception;
+    Alcotest.test_case "missing file" `Quick test_peak_rss_missing_file;
+    Alcotest.test_case "stub files on disk" `Quick test_peak_rss_real_file;
+  ]

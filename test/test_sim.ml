@@ -172,6 +172,70 @@ let prop_compaction_preserves_pop_order =
       in
       List.rev !seen = expected)
 
+let test_compaction_all_dead_releases_slots () =
+  (* Regression: compacting a heap whose events are ALL dead used to skip
+     the slot-release pass (it was guarded by kept > 0), leaving the array
+     aliasing every cancelled event — and its action closure — until the
+     next grow. The storage must be dropped so the closures can be
+     collected. *)
+  let sim = Sim.create () in
+  let payload = ref (Some (Bytes.create 1024)) in
+  let weak = Weak.create 1 in
+  Weak.set weak 0 !payload;
+  (* Build an all-dead heap: 63 cancellations accumulate below the 64-slot
+     compaction floor, then one more schedule + cancel crosses it with
+     every slot dead. *)
+  let ids =
+    List.init 63 (fun i ->
+        Sim.schedule_at sim ~time:(float_of_int (i + 1)) (fun _ -> ignore !payload))
+  in
+  payload := None;
+  List.iter (fun ev -> Sim.cancel sim ev) ids;
+  Alcotest.(check int) "dead pile below the floor" 0 (Sim.compactions sim);
+  let last = Sim.schedule_at sim ~time:100. (fun _ -> ()) in
+  Sim.cancel sim last;
+  Alcotest.(check bool) "compacted" true (Sim.compactions sim >= 1);
+  Alcotest.(check int) "no resident events" 0 (Sim.heap_size sim);
+  Alcotest.(check int) "no dead leftovers" 0 (Sim.dead_count sim);
+  Gc.full_major ();
+  Alcotest.(check bool) "cancelled actions are collectable" false (Weak.check weak 0);
+  (* The emptied heap must still grow back and run correctly. *)
+  let fired = ref 0 in
+  ignore (Sim.schedule_at sim ~time:500. (fun _ -> incr fired));
+  Sim.run sim;
+  Alcotest.(check int) "fresh event ran after all-dead compaction" 1 !fired
+
+let test_run_before_horizon_exclusive () =
+  let sim = Sim.create () in
+  let seen = ref [] in
+  List.iter
+    (fun time -> ignore (Sim.schedule_at sim ~time (fun _ -> seen := time :: !seen)))
+    [ 1.; 2.; 3.; 4. ];
+  Sim.run_before ~horizon:3. sim;
+  Alcotest.(check (list (float 0.))) "events strictly below horizon ran" [ 1.; 2. ]
+    (List.rev !seen);
+  Alcotest.(check int) "later events untouched" 2 (Sim.pending sim);
+  Sim.run_before ~until:3. ~horizon:10. sim;
+  Alcotest.(check (list (float 0.))) "until is inclusive" [ 1.; 2.; 3. ] (List.rev !seen);
+  Alcotest.check_raises "NaN horizon rejected"
+    (Invalid_argument "Sim.run_before: NaN horizon") (fun () ->
+      Sim.run_before ~horizon:Float.nan sim)
+
+let test_advance_clock () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule_at sim ~time:5. (fun _ -> ()));
+  Sim.run sim;
+  Alcotest.(check (float 0.)) "clock at last event" 5. (Sim.now sim);
+  Sim.advance_clock sim ~time:3.;
+  Alcotest.(check (float 0.)) "never moves backward" 5. (Sim.now sim);
+  Sim.advance_clock sim ~time:8.;
+  Alcotest.(check (float 0.)) "jumps forward" 8. (Sim.now sim);
+  ignore (Sim.schedule_at sim ~time:9. (fun _ -> ()));
+  Alcotest.check_raises "cannot jump past a pending event"
+    (Invalid_argument "Sim.advance_clock: pending event at 9 earlier than target 12")
+    (fun () -> Sim.advance_clock sim ~time:12.);
+  Sim.run sim
+
 let test_every_start_in_past_rejected () =
   let sim = Sim.create () in
   ignore (Sim.schedule_at sim ~time:5.0 (fun _ -> ()));
@@ -226,6 +290,10 @@ let suite =
     Alcotest.test_case "compaction reclaims dead slots" `Quick test_compaction_reclaims_dead;
     Alcotest.test_case "no compaction below size floor" `Quick
       test_no_compaction_below_size_floor;
+    Alcotest.test_case "all-dead compaction releases storage" `Quick
+      test_compaction_all_dead_releases_slots;
+    Alcotest.test_case "run_before: exclusive horizon" `Quick test_run_before_horizon_exclusive;
+    Alcotest.test_case "advance_clock" `Quick test_advance_clock;
     Alcotest.test_case "every: past start rejected" `Quick test_every_start_in_past_rejected;
     Alcotest.test_case "every: stop after final occurrence" `Quick
       test_every_stop_after_final_occurrence;
