@@ -418,23 +418,25 @@ let resume_arg =
   in
   Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
 
-(* SIGINT triggers a graceful drain: in-flight points finish (and are
-   journalled), queued points are abandoned as Interrupted failures. A
-   second Ctrl-C falls back to the default die-now behaviour. *)
+(* SIGINT and SIGTERM trigger the same graceful drain: in-flight points
+   finish (and are journalled), queued points are abandoned as
+   Interrupted failures — so a supervisor's `kill` gets the same clean
+   checkpoint a Ctrl-C does. A second signal falls back to die-now. *)
 let interrupted = Atomic.make false
 
-let install_sigint_drain () =
-  try
-    ignore
-      (Sys.signal Sys.sigint
-         (Sys.Signal_handle
-            (fun _ ->
-              if Atomic.exchange interrupted true then exit 130
-              else
-                prerr_endline
-                  "rfd-sim: interrupted — draining in-flight points (Ctrl-C again to \
-                   kill)")))
-  with Invalid_argument _ -> ()
+let install_drain_signals () =
+  let handler =
+    Sys.Signal_handle
+      (fun _ ->
+        if Atomic.exchange interrupted true then exit 130
+        else
+          prerr_endline
+            "rfd-sim: interrupted — draining in-flight points (again to kill)")
+  in
+  List.iter
+    (fun signal ->
+      try ignore (Sys.signal signal handler) with Invalid_argument _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
 
 let sweep_cmd =
   let action topology damping mode policy interval mrai seed isp reuse_tick table_hint
@@ -454,7 +456,7 @@ let sweep_cmd =
         should_stop = (fun () -> Atomic.get interrupted);
       }
     in
-    install_sigint_drain ();
+    install_drain_signals ();
     let sweep =
       Rfd.Sweep.run_supervised ~label:"cli" ~pulses ~jobs ~budget ~supervision scenario
     in
@@ -573,8 +575,207 @@ let metrics_cmd =
   Cmd.v (Cmd.info "metrics" ~doc) Term.(const action $ topology_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
+(* query — client side of the rfd-simd daemon                          *)
+
+module Svc = Rfd.Svc_protocol
+
+let socket_arg =
+  let doc = "Unix-domain socket of the rfd-simd daemon." in
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let svc_topo_conv =
+  Arg.conv
+    ( (fun s -> Result.map_error (fun e -> `Msg e) (Svc.topo_of_string s)),
+      fun ppf t -> Format.pp_print_string ppf (Svc.topo_to_string t) )
+
+let svc_topology_arg =
+  let doc = "Topology: mesh:RxC, internet:N[,M], line:N, ring:N or clique:N." in
+  Arg.(
+    value
+    & opt svc_topo_conv Svc.default_spec.Svc.topology
+    & info [ "t"; "topology" ] ~doc)
+
+let svc_damping_arg =
+  let doc = "Damping parameters: cisco, juniper or none." in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("cisco", Svc.Cisco);
+             ("juniper", Svc.Juniper);
+             ("none", Svc.No_damping);
+             ("off", Svc.No_damping);
+           ])
+        Svc.Cisco
+    & info [ "d"; "damping" ] ~doc)
+
+let query_timeout_arg =
+  let doc =
+    "Socket send/receive timeout in seconds — also how long to wait for an \
+     uncached result."
+  in
+  Arg.(value & opt float 300. & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let connect_retry_arg =
+  let doc =
+    "Keep retrying a failing connect for up to $(docv) seconds (absorbs the \
+     daemon-startup race in scripts)."
+  in
+  Arg.(value & opt float 0. & info [ "connect-retry" ] ~docv:"SECONDS" ~doc)
+
+let attempts_arg =
+  let doc =
+    "Total tries when the daemon sheds the query as overloaded, spaced by the \
+     deterministic jittered backoff."
+  in
+  Arg.(value & opt int 5 & info [ "attempts" ] ~docv:"N" ~doc)
+
+let stats_flag =
+  let doc = "Fetch the daemon's stats JSON instead of querying." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let ping_flag =
+  let doc = "Just check the daemon is alive." in
+  Arg.(value & flag & info [ "ping" ] ~doc)
+
+let query_man =
+  [
+    `S Cmdliner.Manpage.s_exit_status;
+    `P
+      "$(b,0) when a result body was printed (cache hit or fresh run); \
+       $(b,1) on transport errors, invalid queries and journalled crashes; \
+       $(b,2) on benign refusals — overloaded after every retry, a \
+       journalled watchdog timeout, or a draining server.";
+  ]
+
+let query_cmd =
+  let action socket topology damping mode policy pulses interval mrai seed isp
+      table_hint reuse_tick timeout connect_retry attempts do_stats do_ping =
+    let client =
+      match Rfd.Svc_client.connect ~timeout ~retry_for:connect_retry socket with
+      | client -> client
+      | exception e ->
+          Format.eprintf "rfd-sim query: cannot connect to %s: %s@." socket
+            (Printexc.to_string e);
+          exit exit_crashed
+    in
+    Fun.protect ~finally:(fun () -> Rfd.Svc_client.close client) @@ fun () ->
+    if do_ping then begin
+      if Rfd.Svc_client.ping client then print_endline "pong"
+      else begin
+        Format.eprintf "rfd-sim query: no pong from %s@." socket;
+        exit exit_crashed
+      end
+    end
+    else if do_stats then begin
+      match Rfd.Svc_client.stats client with
+      | Ok body -> print_endline body
+      | Error e ->
+          Format.eprintf "rfd-sim query: %s@." e;
+          exit exit_crashed
+    end
+    else begin
+      let spec =
+        {
+          Svc.topology;
+          damping;
+          mode;
+          policy;
+          pulses;
+          interval;
+          mrai;
+          seed;
+          isp;
+          table_hint;
+          reuse_tick;
+        }
+      in
+      match Rfd.Svc_client.query ~attempts client spec with
+      | Error e ->
+          Format.eprintf "rfd-sim query: %s@." e;
+          exit exit_crashed
+      | Ok (Svc.Result { cached; body }) ->
+          (* The hit/miss marker goes to stderr so stdout stays pure JSON
+             — CI diffs it byte-for-byte across hit, miss and restart. *)
+          Format.eprintf "rfd-sim query: cache %s@."
+            (if cached then "hit" else "miss");
+          print_endline body
+      | Ok (Svc.Refused { code; body }) -> (
+          Format.eprintf "rfd-sim query: refused (%s): %s@."
+            (Svc.error_code_to_string code)
+            body;
+          match code with
+          | Svc.Overloaded | Svc.Timeout | Svc.Shutting_down ->
+              exit exit_degraded
+          | Svc.Invalid | Svc.Crashed -> exit exit_crashed)
+      | Ok Svc.Pong | Ok (Svc.Stats _) ->
+          Format.eprintf "rfd-sim query: unexpected response@.";
+          exit exit_crashed
+    end
+  in
+  let doc = "query an rfd-simd daemon for a (cached) simulation result" in
+  Cmd.v
+    (Cmd.info "query" ~doc ~man:query_man)
+    Term.(
+      const action $ socket_arg $ svc_topology_arg $ svc_damping_arg $ mode_arg
+      $ policy_arg $ pulses_arg $ interval_arg $ mrai_arg $ seed_arg $ isp_arg
+      $ table_hint_arg $ reuse_tick_arg $ query_timeout_arg $ connect_retry_arg
+      $ attempts_arg $ stats_flag $ ping_flag)
+
+(* ------------------------------------------------------------------ *)
+(* journal-compact                                                     *)
+
+let journal_compact_cmd =
+  let action path =
+    match Rfd.Journal.compact path with
+    | c ->
+        Format.printf
+          "compacted %s: kept %d entr%s, dropped %d duplicate(s), %d corrupt \
+           line(s)@."
+          path c.Rfd.Journal.kept
+          (if c.Rfd.Journal.kept = 1 then "y" else "ies")
+          c.Rfd.Journal.dropped_duplicates c.Rfd.Journal.dropped_corrupt
+    | exception Failure msg ->
+        Format.eprintf "rfd-sim journal-compact: %s@." msg;
+        exit exit_crashed
+    | exception Sys_error msg ->
+        Format.eprintf "rfd-sim journal-compact: %s@." msg;
+        exit exit_crashed
+  in
+  let file_arg =
+    let doc = "The rfd-journal/1 file to compact in place." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "rewrite a sweep/daemon journal keeping only the newest line per job"
+  in
+  let man =
+    [
+      `S Cmdliner.Manpage.s_description;
+      `P
+        "Compaction is atomic (write to a temp file, fsync, rename) and \
+         byte-preserving: surviving lines are copied verbatim, so results \
+         replayed from the compacted journal are identical to before. Do not \
+         run it while a daemon or sweep holds the journal open for writing.";
+    ]
+  in
+  Cmd.v (Cmd.info "journal-compact" ~doc ~man) Term.(const action $ file_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "route flap damping simulator (ICDCS 2005 reproduction)" in
   let info = Cmd.info "rfd-sim" ~version:Rfd.version ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; intended_cmd; topo_cmd; metrics_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            run_cmd;
+            sweep_cmd;
+            intended_cmd;
+            topo_cmd;
+            metrics_cmd;
+            query_cmd;
+            journal_compact_cmd;
+          ]))

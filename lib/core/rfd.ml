@@ -48,6 +48,10 @@ module Plot = Rfd_experiment.Plot
 module Tracing = Rfd_experiment.Tracing
 module Recorder = Rfd_experiment.Recorder
 module Par_net = Rfd_experiment.Par_net
+module Svc_protocol = Rfd_service.Protocol
+module Svc_store = Rfd_service.Store
+module Svc_server = Rfd_service.Server
+module Svc_client = Rfd_service.Client
 
 let cisco_damping_config = Config.with_damping Params.cisco Config.default
 let juniper_damping_config = Config.with_damping Params.juniper Config.default

@@ -84,6 +84,13 @@ module Tracing = Rfd_experiment.Tracing
 module Recorder = Rfd_experiment.Recorder
 module Par_net = Rfd_experiment.Par_net
 
+(** {1 Serving} — the [rfd-simd] daemon's building blocks *)
+
+module Svc_protocol = Rfd_service.Protocol
+module Svc_store = Rfd_service.Store
+module Svc_server = Rfd_service.Server
+module Svc_client = Rfd_service.Client
+
 (** {1 Convenience} *)
 
 val cisco_damping_config : Config.t

@@ -40,6 +40,11 @@ let of_hex s =
     done;
     if !ok then Some (Bytes.to_string bytes) else None
 
+let render_line ~key outcome =
+  let payload = marshal outcome in
+  let digest = Digest.to_hex (Digest.string payload) in
+  Printf.sprintf "%s %s %s\n" key digest (to_hex payload)
+
 type writer = { fd : Unix.file_descr; mutable closed : bool }
 
 let write_fully fd s =
@@ -58,14 +63,12 @@ let create path =
    end);
   { fd; closed = false }
 
+(* One [write] of one line, then fsync: the line is durable before the
+   caller moves on, and a crash between lines never leaves more than a
+   single torn tail for [load] to skip. *)
 let append w ~key outcome =
   if w.closed then invalid_arg "Journal.append: writer is closed";
-  let payload = marshal outcome in
-  let digest = Digest.to_hex (Digest.string payload) in
-  (* One [write] of one line, then fsync: the line is durable before the
-     caller moves on, and a crash between lines never leaves more than a
-     single torn tail for [load] to skip. *)
-  write_fully w.fd (Printf.sprintf "%s %s %s\n" key digest (to_hex payload));
+  write_fully w.fd (render_line ~key outcome);
   Unix.fsync w.fd
 
 let close w =
@@ -86,6 +89,66 @@ let parse_line line =
           | exception _ -> None)
       | Some _ | None -> None)
   | _ -> None
+
+(* Raw variant of [load] for compaction: keeps the original line bytes per
+   key (newest wins) and the order keys first appeared, so the compacted
+   file is deterministic and never re-serializes payloads. *)
+let scan_raw path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      (match input_line ic with
+      | first when first = header -> ()
+      | first ->
+          failwith
+            (Printf.sprintf "Journal.compact: %s is not a %s file (header %S)"
+               path header first)
+      | exception End_of_file ->
+          failwith (Printf.sprintf "Journal.compact: %s is empty" path));
+      let latest = Hashtbl.create 64 in
+      let order = ref [] in
+      let duplicates = ref 0 in
+      let corrupt = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.length line > 0 then
+             match parse_line line with
+             | Some (key, _) ->
+                 if Hashtbl.mem latest key then incr duplicates
+                 else order := key :: !order;
+                 Hashtbl.replace latest key line
+             | None -> incr corrupt
+         done
+       with End_of_file -> ());
+      (List.rev !order, latest, !duplicates, !corrupt))
+
+type compaction = { kept : int; dropped_duplicates : int; dropped_corrupt : int }
+
+(* Rewrite-to-temp + rename: the original file stays intact (and loadable)
+   until the atomic rename, so a crash mid-compaction loses nothing. The
+   temp file is fsync'd before the rename and the directory after it, so
+   the swap itself survives a power cut. *)
+let compact path =
+  let order, latest, dropped_duplicates, dropped_corrupt = scan_raw path in
+  let tmp = path ^ ".compact.tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      write_fully fd (header ^ "\n");
+      List.iter (fun key -> write_fully fd (Hashtbl.find latest key ^ "\n")) order;
+      Unix.fsync fd);
+  Unix.rename tmp path;
+  (* Persist the rename itself (the directory entry); best-effort — some
+     filesystems refuse fsync on a directory fd. *)
+  (match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | dirfd ->
+      (try Unix.fsync dirfd with Unix.Unix_error _ -> ());
+      Unix.close dirfd
+  | exception Unix.Unix_error _ -> ());
+  { kept = List.length order; dropped_duplicates; dropped_corrupt }
 
 let load path =
   let ic = open_in_bin path in

@@ -62,3 +62,35 @@ val load : string -> loaded
     with the [rfd-journal/1] header (wrong file, or a version this build
     cannot read); individually bad lines are skipped and counted, never
     fatal. *)
+
+val parse_line : string -> (string * outcome) option
+(** Decode one journal body line (no trailing newline): [Some (key,
+    outcome)] when the digest verifies and the payload unmarshals, [None]
+    for anything torn or corrupt. The random-access read path of the
+    result store ({!Rfd_service.Store}) uses this to decode a single line
+    without rescanning the whole file. *)
+
+val render_line : key:string -> outcome -> string
+(** The exact bytes {!append} would write for this entry, trailing
+    newline included — lets a caller that tracks file offsets (the result
+    store's index) compute an entry's extent without a [stat] race. *)
+
+type compaction = {
+  kept : int;  (** distinct keys surviving into the rewritten file *)
+  dropped_duplicates : int;
+      (** older superseded lines for keys that appear more than once *)
+  dropped_corrupt : int;
+      (** malformed / digest-mismatched / unmarshallable lines, torn
+          SIGKILL tails included *)
+}
+
+val compact : string -> compaction
+(** Rewrite the journal keeping only the newest line per key (first-seen
+    key order, so the output is deterministic), dropping corrupt lines.
+    Crash-safe: the new content is written to a temp file, fsync'd and
+    atomically renamed over the original — at every instant the path
+    holds a complete, loadable journal. Byte-preserving: surviving lines
+    are copied verbatim, never re-serialized. Must not run concurrently
+    with an open {!writer} on the same path (the writer's fd would keep
+    appending to the unlinked old file). Raises [Failure] on a missing
+    header, [Sys_error]/[Unix.Unix_error] on I/O failure. *)

@@ -41,7 +41,7 @@ let default_pulses = List.init 10 (fun i -> i + 1)
    split in Runner.build_graph still happens for Custom topologies, so the
    substitution is bit-identical. Invalid scenarios are left untouched so
    Runner.run reports their validation error unchanged. *)
-let materialize memo (scenario : Scenario.t) =
+let materialize ?(memo = Hashtbl.create 1) (scenario : Scenario.t) =
   match (Scenario.validate scenario, scenario.Scenario.topology) with
   | Error _, _ | Ok (), Scenario.Custom _ -> scenario
   | Ok (), ((Scenario.Mesh _ | Scenario.Internet _) as topology) ->
@@ -74,7 +74,7 @@ let plan ?(pulses = default_pulses) ?seeds base =
   List.concat_map
     (fun seed ->
       let config = { base.Scenario.config with Rfd_bgp.Config.seed } in
-      let scenario = materialize memo { base with Scenario.config } in
+      let scenario = materialize ~memo { base with Scenario.config } in
       List.map
         (fun n ->
           { job_scenario = Scenario.with_pulses scenario n; job_seed = seed; job_pulses = n })
@@ -186,9 +186,11 @@ let run_supervised ?label ?(pulses = default_pulses) ?seeds ?jobs ?budget
                 Journal.append w ~key (Journal.Crashed error)
             | Supervisor.Timed_out { attempts; deadline } ->
                 Journal.append w ~key (Journal.Timed_out { attempts; deadline })
-            (* A cancelled job has no terminal outcome — a resumed sweep
-               must run it, so it must not be checkpointed. *)
-            | Supervisor.Cancelled -> ())
+            (* A cancelled or shed job has no terminal outcome — a resumed
+               sweep must run it, so it must not be checkpointed. (Sweeps
+               pass no [max_queue], so shed cannot occur here; the arm
+               keeps the match exhaustive for the serving layer's sake.) *)
+            | Supervisor.Cancelled | Supervisor.Shed _ -> ())
       in
       let outcomes =
         Supervisor.supervise ?jobs ?deadline:supervision.deadline
@@ -223,7 +225,8 @@ let run_supervised ?label ?(pulses = default_pulses) ?seeds ?jobs ?budget
                 | Some (Supervisor.Crashed { error; _ }) -> fail (Crashed error)
                 | Some (Supervisor.Timed_out { attempts; deadline }) ->
                     fail (Timed_out { attempts; deadline })
-                | Some Supervisor.Cancelled -> fail Interrupted
+                | Some (Supervisor.Cancelled | Supervisor.Shed _) ->
+                    fail Interrupted
                 | None -> assert false))
           ([], []) keyed
       in

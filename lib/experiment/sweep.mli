@@ -63,6 +63,21 @@ type job = {
   job_pulses : int;
 }
 
+val materialize :
+  ?memo:(int * Scenario.topology, Rfd_topology.Graph.t) Hashtbl.t ->
+  Scenario.t ->
+  Scenario.t
+(** Resolve a valid scenario's [Mesh]/[Internet] topology into the
+    [Custom] graph {!Rfd_experiment.Runner.run} would build for it (the
+    graph comes from the same split of the config seed's RNG stream, so
+    the substitution is bit-identical). [Custom] topologies and invalid
+    scenarios pass through untouched. [memo], keyed by
+    [(config seed, topology)], lets repeated callers — the jobs of one
+    sweep, or a long-lived {!Rfd_service} daemon — share one graph
+    instead of rebuilding it per request. This resolved form is what
+    {!job_key} / {!Journal.job_key} hash, so two parties that materialize
+    the same base scenario derive the same cache key. *)
+
 val plan : ?pulses:int list -> ?seeds:int list -> Scenario.t -> job list
 (** Describe a sweep as pure jobs, seed-major ([pulses] jobs per seed, in
     order). Default pulse counts: [1 .. 10] (the paper's x axis); default

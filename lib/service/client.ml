@@ -1,0 +1,113 @@
+module Supervisor = Rfd_engine.Supervisor
+
+type t = {
+  fd : Unix.file_descr;
+  mutable inbuf : string;  (* bytes read past the last returned line *)
+  mutable closed : bool;
+}
+
+let connect ?(timeout = 60.) ?(retry_for = 0.) path =
+  if timeout <= 0. then invalid_arg "Client.connect: timeout must be positive";
+  let deadline = Unix.gettimeofday () +. retry_for in
+  let rec attempt () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception
+        (Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) as e) ->
+        Unix.close fd;
+        if Unix.gettimeofday () < deadline then begin
+          Unix.sleepf 0.05;
+          attempt ()
+        end
+        else raise e
+    | exception e ->
+        Unix.close fd;
+        raise e
+  in
+  let fd = attempt () in
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
+  { fd; inbuf = ""; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let send_all t line =
+  let len = String.length line in
+  let rec go pos =
+    if pos < len then begin
+      let n = Unix.write_substring t.fd line pos (len - pos) in
+      go (pos + n)
+    end
+  in
+  go 0
+
+(* Read up to (and including) the next '\n'; surplus bytes stay buffered
+   for the next call, so pipelined responses are never lost. *)
+let read_line t =
+  let buf = Bytes.create 4096 in
+  let rec go () =
+    match String.index_opt t.inbuf '\n' with
+    | Some i ->
+        let line = String.sub t.inbuf 0 i in
+        t.inbuf <-
+          String.sub t.inbuf (i + 1) (String.length t.inbuf - i - 1);
+        Ok line
+    | None -> (
+        match Unix.read t.fd buf 0 4096 with
+        | 0 -> Error "connection closed by server"
+        | n ->
+            t.inbuf <- t.inbuf ^ Bytes.sub_string buf 0 n;
+            go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            Error "receive timeout"
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error (e, _, _) ->
+            Error (Unix.error_message e))
+  in
+  go ()
+
+let roundtrip t request =
+  if t.closed then Error "client is closed"
+  else
+    match send_all t (Protocol.render_request request) with
+    | () -> (
+        match read_line t with
+        | Error _ as e -> e
+        | Ok line -> Protocol.parse_response line)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Error "send timeout"
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let ping t = match roundtrip t Protocol.Ping with Ok Protocol.Pong -> true | _ -> false
+
+let stats t =
+  match roundtrip t Protocol.Stats with
+  | Ok (Protocol.Stats body) -> Ok body
+  | Ok _ -> Error "unexpected response to stats"
+  | Error _ as e -> e
+
+let query ?(attempts = 5) ?(backoff_base = 0.05) t spec =
+  if attempts < 1 then invalid_arg "Client.query: attempts must be >= 1";
+  let request = Protocol.Query spec in
+  (* Key the backoff stream by the request line itself: equal queries
+     back off identically on every run, unequal queries decorrelate. *)
+  let key = Protocol.render_request request in
+  let rec go attempt =
+    match roundtrip t request with
+    | Ok (Protocol.Refused { code = Protocol.Overloaded; _ }) as shed ->
+        if attempt >= attempts then shed
+        else begin
+          Unix.sleepf
+            (Supervisor.backoff_delay ~key ~attempt:(attempt + 1)
+               ~base:backoff_base);
+          go (attempt + 1)
+        end
+    | other -> other
+  in
+  go 1

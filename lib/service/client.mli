@@ -1,0 +1,48 @@
+(** Blocking [rfd-svc/1] client — the other end of {!Server}.
+
+    One {!t} wraps one connected Unix-domain socket. All operations are
+    synchronous and bounded: socket send/receive timeouts are set at
+    connect time, so a dead or wedged daemon surfaces as a clean
+    [Error], never a hang. {!query} adds the retry discipline the
+    protocol expects of well-behaved clients: an [overloaded] refusal is
+    retried after {!Rfd_engine.Supervisor.backoff_delay} — the same
+    deterministic jittered backoff the supervisor itself uses — for a
+    bounded number of attempts. *)
+
+type t
+
+val connect : ?timeout:float -> ?retry_for:float -> string -> t
+(** Connect to the daemon socket at the given path. [timeout] (default
+    60 s) bounds every subsequent send and receive. [retry_for] (default
+    0) keeps retrying a failing connect — socket not there yet, nobody
+    listening — in 50 ms steps for up to that many seconds, absorbing
+    the daemon-startup race in scripts ([rfd-simd &] then query).
+    Raises [Unix.Unix_error] when the last attempt fails. *)
+
+val close : t -> unit
+
+val roundtrip : t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request line, read one response line, parse it. [Error]s
+    are transport-level: connection closed, receive timeout, or an
+    unparsable response. *)
+
+val ping : t -> bool
+(** [roundtrip Ping] succeeded. *)
+
+val stats : t -> (string, string) result
+(** The daemon's stats JSON body. *)
+
+val query :
+  ?attempts:int ->
+  ?backoff_base:float ->
+  t ->
+  Protocol.spec ->
+  (Protocol.response, string) result
+(** Submit a query. An [overloaded] refusal is retried — after the
+    deterministic backoff for (request line, attempt number) — up to
+    [attempts] total tries (default 5; [backoff_base] defaults to
+    0.05 s as in the supervisor). Any other response, including other
+    refusals, is returned as-is: [invalid] will not improve,
+    [shutting-down] wants a different server, and a journalled
+    [crashed]/[timeout] is the (cached, deterministic) answer. The last
+    [overloaded] is returned if every attempt shed. *)

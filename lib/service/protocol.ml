@@ -1,0 +1,449 @@
+(* The pure half of the rfd-svc/1 wire protocol: line grammar, query-spec
+   elaboration, response bodies. No I/O here — Server and Client own the
+   sockets — which is what makes every parser and renderer unit-testable
+   and the hit/miss byte-identity an inspectable property of
+   [result_body] rather than of socket plumbing. *)
+
+module Scenario = Rfd_experiment.Scenario
+module Runner = Rfd_experiment.Runner
+module Journal = Rfd_experiment.Journal
+module Json = Rfd_experiment.Json
+module Config = Rfd_bgp.Config
+module Params = Rfd_damping.Params
+module Builders = Rfd_topology.Builders
+
+let version = "rfd-svc/1"
+
+type topo =
+  | Mesh of { rows : int; cols : int }
+  | Internet of { nodes : int; m : int }
+  | Line of int
+  | Ring of int
+  | Clique of int
+
+type damping = No_damping | Cisco | Juniper
+
+type spec = {
+  topology : topo;
+  damping : damping;
+  mode : Config.damping_mode;
+  policy : Scenario.policy_kind;
+  pulses : int;
+  interval : float;
+  mrai : float;
+  seed : int;
+  isp : int;
+  table_hint : int;
+  reuse_tick : float option;
+}
+
+let default_spec =
+  {
+    topology = Mesh { rows = 10; cols = 10 };
+    damping = Cisco;
+    mode = Config.Plain;
+    policy = Scenario.Announce_all;
+    pulses = 1;
+    interval = 60.;
+    mrai = 30.;
+    seed = 42;
+    isp = 0;
+    table_hint = Config.default.Config.prefix_table_hint;
+    reuse_tick = None;
+  }
+
+let max_nodes = 100_000
+let max_pulses = 10_000
+
+(* ------------------------------------------------------------------ *)
+(* Scalar round-trips                                                  *)
+
+(* %.17g is lossless for every finite float, so a spec survives
+   client -> line -> server with its exact bits — anything less would
+   let two byte-different scenarios print as the same query. *)
+let float_str f = Printf.sprintf "%.17g" f
+
+let topo_to_string = function
+  | Mesh { rows; cols } -> Printf.sprintf "mesh:%dx%d" rows cols
+  | Internet { nodes; m } -> Printf.sprintf "internet:%d,%d" nodes m
+  | Line n -> Printf.sprintf "line:%d" n
+  | Ring n -> Printf.sprintf "ring:%d" n
+  | Clique n -> Printf.sprintf "clique:%d" n
+
+let topo_of_string s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad topology %S (expected mesh:RxC, internet:N[,M], line:N, ring:N or \
+          clique:N)"
+         s)
+  in
+  match String.index_opt s ':' with
+  | None -> fail ()
+  | Some i -> (
+      let kind = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match kind with
+      | "mesh" -> (
+          match String.split_on_char 'x' rest with
+          | [ r; c ] -> (
+              match (int_of_string_opt r, int_of_string_opt c) with
+              | Some rows, Some cols -> Ok (Mesh { rows; cols })
+              | _ -> fail ())
+          | _ -> fail ())
+      | "internet" -> (
+          match String.split_on_char ',' rest with
+          | [ n ] -> (
+              match int_of_string_opt n with
+              | Some nodes -> Ok (Internet { nodes; m = 2 })
+              | None -> fail ())
+          | [ n; m ] -> (
+              match (int_of_string_opt n, int_of_string_opt m) with
+              | Some nodes, Some m -> Ok (Internet { nodes; m })
+              | _ -> fail ())
+          | _ -> fail ())
+      | "line" | "ring" | "clique" -> (
+          match int_of_string_opt rest with
+          | Some n ->
+              Ok
+                (match kind with
+                | "line" -> Line n
+                | "ring" -> Ring n
+                | _ -> Clique n)
+          | None -> fail ())
+      | _ -> fail ())
+
+let damping_to_string = function
+  | No_damping -> "none"
+  | Cisco -> "cisco"
+  | Juniper -> "juniper"
+
+let damping_of_string = function
+  | "none" | "off" -> Ok No_damping
+  | "cisco" -> Ok Cisco
+  | "juniper" -> Ok Juniper
+  | s -> Error (Printf.sprintf "unknown damping preset %S" s)
+
+let mode_to_string = function
+  | Config.Plain -> "plain"
+  | Config.Rcn -> "rcn"
+  | Config.Selective -> "selective"
+
+let mode_of_string = function
+  | "plain" -> Ok Config.Plain
+  | "rcn" -> Ok Config.Rcn
+  | "selective" -> Ok Config.Selective
+  | s -> Error (Printf.sprintf "unknown damping mode %S" s)
+
+let policy_to_string = function
+  | Scenario.Announce_all -> "shortest"
+  | Scenario.No_valley -> "no-valley"
+
+let policy_of_string = function
+  | "shortest" -> Ok Scenario.Announce_all
+  | "no-valley" -> Ok Scenario.No_valley
+  | s -> Error (Printf.sprintf "unknown policy %S" s)
+
+(* ------------------------------------------------------------------ *)
+(* Spec elaboration                                                    *)
+
+let topo_nodes = function
+  | Mesh { rows; cols } ->
+      if rows <= 0 || cols <= 0 then 0 else rows * cols
+  | Internet { nodes; _ } -> nodes
+  | Line n | Ring n | Clique n -> n
+
+let scenario_of_spec spec =
+  let nodes = topo_nodes spec.topology in
+  if nodes <= 0 then
+    Error (Printf.sprintf "topology %s has no nodes" (topo_to_string spec.topology))
+  else if nodes > max_nodes then
+    Error
+      (Printf.sprintf "topology %s exceeds the %d-node admission cap"
+         (topo_to_string spec.topology) max_nodes)
+  else if spec.pulses > max_pulses then
+    Error (Printf.sprintf "pulses=%d exceeds the %d-pulse admission cap" spec.pulses max_pulses)
+  else
+    let topology =
+      match spec.topology with
+      | Mesh { rows; cols } -> Scenario.Mesh { rows; cols }
+      | Internet { nodes; m } -> Scenario.Internet { nodes; m }
+      | Line n -> Scenario.Custom (Builders.line n)
+      | Ring n -> Scenario.Custom (Builders.ring n)
+      | Clique n -> Scenario.Custom (Builders.clique n)
+    in
+    let base =
+      {
+        Config.default with
+        Config.mrai = spec.mrai;
+        seed = spec.seed;
+        prefix_table_hint = spec.table_hint;
+      }
+    in
+    let reuse =
+      match spec.reuse_tick with None -> Config.Exact | Some t -> Config.Tick t
+    in
+    let config =
+      match spec.damping with
+      | No_damping -> base
+      | Cisco -> Config.with_damping ~mode:spec.mode ~reuse Params.cisco base
+      | Juniper -> Config.with_damping ~mode:spec.mode ~reuse Params.juniper base
+    in
+    match
+      Scenario.make ~name:"svc" ~policy:spec.policy ~config
+        ~isp:(if spec.isp < 0 then `Random else `Node spec.isp)
+        ~pulses:spec.pulses ~flap_interval:spec.interval topology
+    with
+    | scenario -> (
+        (* Scenario.make checks its own arguments eagerly; validate catches
+           the structural rest (config ranges, topology shape) so a bad
+           query is refused before it is keyed, stored or scheduled. *)
+        match Scenario.validate scenario with
+        | Ok () -> Ok scenario
+        | Error e -> Error e)
+    | exception Invalid_argument msg -> Error msg
+    | exception Failure msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Request grammar                                                     *)
+
+type request = Query of spec | Stats | Ping
+
+let spec_fields spec =
+  [
+    ("topology", topo_to_string spec.topology);
+    ("damping", damping_to_string spec.damping);
+    ("mode", mode_to_string spec.mode);
+    ("policy", policy_to_string spec.policy);
+    ("pulses", string_of_int spec.pulses);
+    ("interval", float_str spec.interval);
+    ("mrai", float_str spec.mrai);
+    ("seed", string_of_int spec.seed);
+    ("isp", string_of_int spec.isp);
+    ("table-hint", string_of_int spec.table_hint);
+  ]
+  @ match spec.reuse_tick with None -> [] | Some t -> [ ("reuse-tick", float_str t) ]
+
+let render_request = function
+  | Stats -> version ^ " stats\n"
+  | Ping -> version ^ " ping\n"
+  | Query spec ->
+      let fields =
+        List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) (spec_fields spec)
+      in
+      Printf.sprintf "%s query %s\n" version (String.concat " " fields)
+
+let parse_int name v =
+  match int_of_string_opt v with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "bad integer for %s: %S" name v)
+
+let parse_float name v =
+  match float_of_string_opt v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "bad number for %s: %S" name v)
+
+let ( let* ) = Result.bind
+
+let parse_spec tokens =
+  let seen = Hashtbl.create 11 in
+  List.fold_left
+    (fun acc token ->
+      let* spec = acc in
+      let* key, value =
+        match String.index_opt token '=' with
+        | Some i ->
+            Ok
+              ( String.sub token 0 i,
+                String.sub token (i + 1) (String.length token - i - 1) )
+        | None -> Error (Printf.sprintf "expected key=value, got %S" token)
+      in
+      if Hashtbl.mem seen key then Error (Printf.sprintf "duplicate field %S" key)
+      else begin
+        Hashtbl.add seen key ();
+        match key with
+        | "topology" ->
+            let* t = topo_of_string value in
+            Ok { spec with topology = t }
+        | "damping" ->
+            let* d = damping_of_string value in
+            Ok { spec with damping = d }
+        | "mode" ->
+            let* m = mode_of_string value in
+            Ok { spec with mode = m }
+        | "policy" ->
+            let* p = policy_of_string value in
+            Ok { spec with policy = p }
+        | "pulses" ->
+            let* n = parse_int key value in
+            Ok { spec with pulses = n }
+        | "interval" ->
+            let* f = parse_float key value in
+            Ok { spec with interval = f }
+        | "mrai" ->
+            let* f = parse_float key value in
+            Ok { spec with mrai = f }
+        | "seed" ->
+            let* n = parse_int key value in
+            Ok { spec with seed = n }
+        | "isp" ->
+            let* n = parse_int key value in
+            Ok { spec with isp = n }
+        | "table-hint" ->
+            let* n = parse_int key value in
+            Ok { spec with table_hint = n }
+        | "reuse-tick" ->
+            if value = "none" then Ok { spec with reuse_tick = None }
+            else
+              let* f = parse_float key value in
+              Ok { spec with reuse_tick = Some f }
+        | _ -> Error (Printf.sprintf "unknown field %S" key)
+      end)
+    (Ok default_spec) tokens
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let split_words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let parse_request line =
+  match split_words (strip_cr line) with
+  | v :: rest when v = version -> (
+      match rest with
+      | [ "stats" ] -> Ok Stats
+      | [ "ping" ] -> Ok Ping
+      | "query" :: tokens ->
+          let* spec = parse_spec tokens in
+          Ok (Query spec)
+      | cmd :: _ -> Error (Printf.sprintf "unknown command %S" cmd)
+      | [] -> Error "missing command")
+  | v :: _ -> Error (Printf.sprintf "unsupported protocol %S (want %s)" v version)
+  | [] -> Error "empty request"
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+
+type error_code = Invalid | Overloaded | Crashed | Timeout | Shutting_down
+
+let error_code_to_string = function
+  | Invalid -> "invalid"
+  | Overloaded -> "overloaded"
+  | Crashed -> "crashed"
+  | Timeout -> "timeout"
+  | Shutting_down -> "shutting-down"
+
+let error_code_of_string = function
+  | "invalid" -> Some Invalid
+  | "overloaded" -> Some Overloaded
+  | "crashed" -> Some Crashed
+  | "timeout" -> Some Timeout
+  | "shutting-down" -> Some Shutting_down
+  | _ -> None
+
+type response =
+  | Result of { cached : bool; body : string }
+  | Stats of string
+  | Pong
+  | Refused of { code : error_code; body : string }
+
+let render_response = function
+  | Result { cached; body } ->
+      Printf.sprintf "%s ok %s %s\n" version (if cached then "hit" else "miss") body
+  | Stats body -> Printf.sprintf "%s ok stats %s\n" version body
+  | Pong -> version ^ " ok pong\n"
+  | Refused { code; body } ->
+      Printf.sprintf "%s error %s %s\n" version (error_code_to_string code) body
+
+(* The JSON body may contain spaces (error messages), so responses are
+   parsed by splitting off a bounded number of framing tokens and taking
+   the remainder of the line verbatim. *)
+let parse_response line =
+  let line = strip_cr line in
+  let after prefix =
+    if
+      String.length line >= String.length prefix
+      && String.sub line 0 (String.length prefix) = prefix
+    then Some (String.sub line (String.length prefix) (String.length line - String.length prefix))
+    else None
+  in
+  match after (version ^ " ok hit ") with
+  | Some body -> Ok (Result { cached = true; body })
+  | None -> (
+      match after (version ^ " ok miss ") with
+      | Some body -> Ok (Result { cached = false; body })
+      | None -> (
+          match after (version ^ " ok stats ") with
+          | Some body -> Ok (Stats body)
+          | None ->
+              if strip_cr line = version ^ " ok pong" then Ok Pong
+              else (
+                match after (version ^ " error ") with
+                | Some rest -> (
+                    match String.index_opt rest ' ' with
+                    | Some i -> (
+                        let code = String.sub rest 0 i in
+                        let body =
+                          String.sub rest (i + 1) (String.length rest - i - 1)
+                        in
+                        match error_code_of_string code with
+                        | Some code -> Ok (Refused { code; body })
+                        | None -> Error (Printf.sprintf "unknown error code %S" code))
+                    | None -> Error "malformed error response")
+                | None -> Error (Printf.sprintf "unparsable response %S" line))))
+
+(* ------------------------------------------------------------------ *)
+(* Bodies                                                              *)
+
+let result_body ~key (r : Runner.result) =
+  (* Deterministic fields only: no wall/cpu time, no heap layout. The
+     body must be a pure function of the simulation outcome so that a
+     cache hit, a fresh re-run and a post-restart replay all serve the
+     same bytes (CI diffs them). *)
+  let obj =
+    Json.Obj
+      [
+        ("schema", Json.String version);
+        ("key", Json.String key);
+        ("digest", Json.String (Runner.result_digest r));
+        ("pulses", Json.Int r.Runner.scenario.Scenario.pulses);
+        ("seed", Json.Int r.Runner.scenario.Scenario.config.Config.seed);
+        ("num_nodes", Json.Int r.Runner.num_nodes);
+        ("origin", Json.Int r.Runner.origin);
+        ("isp", Json.Int r.Runner.isp);
+        ("tup", Json.Float r.Runner.tup);
+        ("convergence_time", Json.Float r.Runner.convergence_time);
+        ("time_to_stable", Json.Float r.Runner.time_to_stable);
+        ("time_to_quiet", Json.Float r.Runner.time_to_quiet);
+        ("final_status", Json.String (Runner.status_to_string r.Runner.final_status));
+        ("initial_updates", Json.Int r.Runner.initial_updates);
+        ("message_count", Json.Int r.Runner.message_count);
+        ("sim_events", Json.Int r.Runner.sim_events);
+        ("reuse_timer_events", Json.Int r.Runner.reuse_timer_events);
+        ("peak_reuse_timers", Json.Int r.Runner.peak_reuse_timers);
+      ]
+  in
+  String.trim (Json.to_string ~minify:true obj)
+
+let error_body ?key ~code ~message () =
+  let fields =
+    [
+      ("schema", Json.String version);
+      ("code", Json.String (error_code_to_string code));
+      ("message", Json.String message);
+    ]
+    @ match key with None -> [] | Some k -> [ ("key", Json.String k) ]
+  in
+  String.trim (Json.to_string ~minify:true (Json.Obj fields))
+
+let outcome_response ~key ~cached = function
+  | Journal.Result r -> Result { cached; body = result_body ~key r }
+  | Journal.Crashed msg ->
+      Refused { code = Crashed; body = error_body ~key ~code:Crashed ~message:msg () }
+  | Journal.Timed_out { attempts; deadline } ->
+      let message =
+        Printf.sprintf "every attempt overran its %gs watchdog (%d attempt(s))"
+          deadline attempts
+      in
+      Refused { code = Timeout; body = error_body ~key ~code:Timeout ~message () }

@@ -48,6 +48,7 @@ let () =
       ("experiment.runner", Test_runner.suite);
       ("experiment.partitioned", Test_partitioned.suite);
       ("experiment.tracing", Test_tracing.suite);
+      ("service.daemon", Test_service.suite);
       ("protocol.properties", Test_properties.suite);
       ("paper.integration", Test_paper.suite);
     ]

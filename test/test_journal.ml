@@ -154,6 +154,75 @@ let test_job_key_stability () =
     (k1 <> Journal.job_key sc ~seed:1 ~pulses:3);
   Alcotest.(check int) "hex MD5 length" 32 (String.length k1)
 
+let test_compact_drops_duplicates_and_corrupt () =
+  with_tmp (fun path ->
+      let w = Journal.create path in
+      Journal.append w ~key:"a" (Journal.Crashed "old");
+      Journal.append w ~key:"b" (Journal.Crashed "keep-b");
+      Journal.append w ~key:"a" (Journal.Crashed "new");
+      Journal.close w;
+      (* Simulate a SIGKILL mid-append: torn, newline-less tail. *)
+      let whole = read_file path in
+      write_file path (whole ^ "c 0123 deadbeef");
+      let c = Journal.compact path in
+      Alcotest.(check int) "kept" 2 c.Journal.kept;
+      Alcotest.(check int) "duplicates dropped" 1 c.Journal.dropped_duplicates;
+      Alcotest.(check int) "corrupt dropped" 1 c.Journal.dropped_corrupt;
+      let loaded = Journal.load path in
+      Alcotest.(check int) "compacted journal is clean" 0 loaded.Journal.corrupt;
+      Alcotest.(check int) "two entries" 2 (Hashtbl.length loaded.Journal.entries);
+      (match Hashtbl.find_opt loaded.Journal.entries "a" with
+      | Some (Journal.Crashed msg) ->
+          Alcotest.(check string) "newest line survived compaction" "new" msg
+      | _ -> Alcotest.fail "entry a missing");
+      (* Byte preservation: surviving lines are the exact bytes append
+         wrote, and first-seen key order is kept (a before b). *)
+      let expected =
+        "rfd-journal/1\n"
+        ^ Journal.render_line ~key:"a" (Journal.Crashed "new")
+        ^ Journal.render_line ~key:"b" (Journal.Crashed "keep-b")
+      in
+      Alcotest.(check string) "compacted bytes" expected (read_file path))
+
+let test_compact_idempotent () =
+  with_tmp (fun path ->
+      let w = Journal.create path in
+      Journal.append w ~key:"a" (Journal.Crashed "one");
+      Journal.append w ~key:"a" (Journal.Crashed "two");
+      Journal.close w;
+      ignore (Journal.compact path);
+      let bytes_once = read_file path in
+      let c = Journal.compact path in
+      Alcotest.(check int) "kept" 1 c.Journal.kept;
+      Alcotest.(check int) "nothing left to drop" 0
+        (c.Journal.dropped_duplicates + c.Journal.dropped_corrupt);
+      Alcotest.(check string) "second compaction is a no-op byte-wise"
+        bytes_once (read_file path))
+
+let test_compact_result_payload_survives () =
+  (* The payload a daemon serves must be untouched by compaction: same
+     digest, bit for bit. *)
+  with_tmp (fun path ->
+      let r = Runner.run (Scenario.with_pulses (scenario ()) 1) in
+      let w = Journal.create path in
+      Journal.append w ~key:"job" (Journal.Result r);
+      Journal.append w ~key:"job" (Journal.Result r);
+      Journal.close w;
+      let c = Journal.compact path in
+      Alcotest.(check int) "one survivor" 1 c.Journal.kept;
+      match Hashtbl.find_opt (Journal.load path).Journal.entries "job" with
+      | Some (Journal.Result r') ->
+          Alcotest.(check string) "digest preserved" (Runner.result_digest r)
+            (Runner.result_digest r')
+      | _ -> Alcotest.fail "result entry missing after compaction")
+
+let test_compact_rejects_non_journal () =
+  with_tmp (fun path ->
+      write_file path "not-a-journal\nx y z\n";
+      match Journal.compact path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "compact accepted a non-journal file")
+
 let suite =
   [
     Alcotest.test_case "round trip" `Quick test_round_trip;
@@ -164,4 +233,11 @@ let suite =
       test_reopen_appends_without_new_header;
     Alcotest.test_case "newest entry wins" `Quick test_newest_entry_wins;
     Alcotest.test_case "job key stability" `Quick test_job_key_stability;
+    Alcotest.test_case "compact drops duplicates and corrupt" `Quick
+      test_compact_drops_duplicates_and_corrupt;
+    Alcotest.test_case "compact is idempotent" `Quick test_compact_idempotent;
+    Alcotest.test_case "compact preserves result payloads" `Quick
+      test_compact_result_payload_survives;
+    Alcotest.test_case "compact rejects non-journal" `Quick
+      test_compact_rejects_non_journal;
   ]
