@@ -37,7 +37,7 @@ let ablations =
 
 let all = experiments @ ablations
 
-let lookup ~tick ~scale_json ~scale_nodes ~scale_partitions name =
+let lookup ~tick ~scale_json ~scale_nodes ~scale_partitions ~traffic_json name =
   match List.find_opt (fun (n, _, _) -> n = name) all with
   | Some (_, _, f) -> Ok f
   | None -> (
@@ -57,6 +57,13 @@ let lookup ~tick ~scale_json ~scale_nodes ~scale_partitions name =
               | Some file ->
                   Scale.write_json ctx ~file ~partitions:scale_partitions points
               | None -> ())
+      | "traffic" ->
+          Ok
+            (fun ctx ->
+              let points = Traffic.run ctx in
+              match traffic_json with
+              | Some file -> Traffic.write_json ctx ~file points
+              | None -> ())
       | _ -> Error (Printf.sprintf "unknown experiment %S" name))
 
 open Cmdliner
@@ -66,7 +73,8 @@ let names_arg =
   let doc =
     Printf.sprintf
       "Experiments to run: %s, micro, perf, scale (Internet-scale BA-graph \
-       benchmark), paper (all tables and figures), ablations, all. Default: paper."
+       benchmark), traffic (multi-origin heavy-traffic workload benchmark), \
+       paper (all tables and figures), ablations, all. Default: paper."
       (String.concat ", " (List.map (fun (name, _, _) -> name) all))
   in
   Arg.(value & pos_all string [ "paper" ] & info [] ~docv:"EXPERIMENT" ~doc)
@@ -125,6 +133,14 @@ let scale_nodes_arg =
     & opt (some (list ~sep:',' int)) None
     & info [ "scale-nodes" ] ~docv:"SIZES" ~doc)
 
+let traffic_json_arg =
+  let doc =
+    "Write the $(b,traffic) experiment's machine-readable results (rfd-bench/1 \
+     schema: per-point prefixes/router, simulator throughput and peak RSS) to \
+     $(docv). Only meaningful together with the $(b,traffic) experiment."
+  in
+  Arg.(value & opt (some string) None & info [ "traffic-json" ] ~docv:"FILE" ~doc)
+
 let jobs_arg =
   let doc =
     "Worker domains executing simulation runs in parallel (results are \
@@ -178,7 +194,7 @@ let scale_partitions_arg =
   Arg.(value & opt int 1 & info [ "scale-partitions" ] ~docv:"N" ~doc)
 
 let run names quick seed jobs csv_dir plot_dir micro json tick deadline retries scale_json
-    scale_nodes scale_partitions =
+    scale_nodes scale_partitions traffic_json =
   let jobs = match jobs with Some j -> max 1 j | None -> Rfd.Pool.default_jobs () in
   let opts = { Context.quick; seed; jobs; csv_dir; plot_dir; deadline; retries } in
   let ctx = Context.create opts in
@@ -191,7 +207,9 @@ let run names quick seed jobs csv_dir plot_dir micro json tick deadline retries 
         match acc with
         | Error _ -> acc
         | Ok () -> (
-            match lookup ~tick ~scale_json ~scale_nodes ~scale_partitions name with
+            match
+              lookup ~tick ~scale_json ~scale_nodes ~scale_partitions ~traffic_json name
+            with
             | Ok f ->
                 f ctx;
                 Ok ()
@@ -216,6 +234,6 @@ let cmd =
     Term.(
       const run $ names_arg $ quick_arg $ seed_arg $ jobs_arg $ csv_arg $ plots_arg
       $ micro_arg $ json_arg $ tick_arg $ deadline_arg $ retries_arg $ scale_json_arg
-      $ scale_nodes_arg $ scale_partitions_arg)
+      $ scale_nodes_arg $ scale_partitions_arg $ traffic_json_arg)
 
 let () = exit (Cmd.eval cmd)

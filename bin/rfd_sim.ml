@@ -3,6 +3,8 @@
    Subcommands:
      run       — one flap scenario, full metrics and phases
      sweep     — convergence/messages across pulse counts
+     replay    — drive a recorded rfd-trace/1 update trace as the workload
+     trace-gen — synthesize a heavy-tailed multi-origin flap trace
      intended  — the analytic (Section 3) calculation only
      topo      — generate a topology and print it as an edge list *)
 
@@ -152,6 +154,49 @@ let table_hint_arg =
     & opt int Config.default.Config.prefix_table_hint
     & info [ "table-hint" ] ~docv:"N" ~doc)
 
+let background_arg =
+  let doc =
+    "Announce $(docv) steady background prefixes (one per seeded-random \
+     origin router) before the flap phase, so damping acts on a loaded RIB."
+  in
+  Arg.(value & opt int 0 & info [ "background" ] ~docv:"N" ~doc)
+
+let flappers_arg =
+  let doc =
+    "Add $(docv) background flapper prefixes — extra origins that keep \
+     withdrawing and re-announcing concurrently with the measured flap, with \
+     heavy-tailed (Pareto) inter-flap gaps. 0 disables the workload."
+  in
+  Arg.(value & opt int 0 & info [ "background-flappers" ] ~docv:"N" ~doc)
+
+let flaps_arg =
+  let doc = "Withdraw/announce pairs each background flapper performs." in
+  Arg.(value & opt int 3 & info [ "flaps" ] ~docv:"N" ~doc)
+
+let flap_gap_arg =
+  let doc = "Mean gap (seconds) between a background flapper's events." in
+  Arg.(value & opt float 60. & info [ "flap-gap" ] ~docv:"SECONDS" ~doc)
+
+let flap_alpha_arg =
+  let doc =
+    "Pareto tail exponent of the inter-flap gaps (smaller = heavier tail; \
+     must be positive)."
+  in
+  Arg.(value & opt float 1.5 & info [ "flap-alpha" ] ~docv:"ALPHA" ~doc)
+
+let flap_seed_arg =
+  let doc = "Seed of the background-flapper workload (independent of --seed)." in
+  Arg.(value & opt int 1 & info [ "flap-seed" ] ~docv:"SEED" ~doc)
+
+let workload_term =
+  let make flappers flaps gap alpha seed =
+    if flappers = 0 then Scenario.Pulses_only
+    else Scenario.Flappers { count = flappers; flaps; mean_gap = gap; alpha; seed }
+  in
+  Term.(
+    const make $ flappers_arg $ flaps_arg $ flap_gap_arg $ flap_alpha_arg
+    $ flap_seed_arg)
+
 let reuse_tick_arg =
   let doc =
     "Schedule reuse timers on an RFC 2439 reuse-list tick wheel with this tick period \
@@ -230,8 +275,9 @@ let faults_term =
     const make $ loss_arg $ dup_arg $ chaos_flaps_arg $ chaos_window_arg
     $ chaos_downtime_arg $ chaos_seed_arg)
 
-let build_scenario ?faults ?reuse_tick ?table_hint topology damping mode policy pulses
-    interval mrai seed isp probe =
+let build_scenario ?faults ?reuse_tick ?table_hint ?(background_prefixes = 0)
+    ?(workload = Scenario.Pulses_only) topology damping mode policy pulses interval mrai
+    seed isp probe =
   let prefix_table_hint =
     match table_hint with Some h -> h | None -> Config.default.Config.prefix_table_hint
   in
@@ -247,7 +293,8 @@ let build_scenario ?faults ?reuse_tick ?table_hint topology damping mode policy 
   in
   Scenario.make ~name:"cli" ~policy ~config
     ~isp:(if isp < 0 then `Random else `Node isp)
-    ~pulses ~flap_interval:interval ~probe ?faults topology
+    ~pulses ~flap_interval:interval ~background_prefixes ~probe ?faults ~workload
+    topology
 
 (* ------------------------------------------------------------------ *)
 (* Exit-code convention (documented in every subcommand's man page):
@@ -295,10 +342,10 @@ let print_digest_arg =
 
 let run_cmd =
   let action topology damping mode policy pulses interval mrai seed isp probe reuse_tick
-      table_hint transcript budget faults partitions print_digest =
+      table_hint background workload transcript budget faults partitions print_digest =
     let scenario =
-      build_scenario ?faults ?reuse_tick ~table_hint topology damping mode policy pulses
-        interval mrai seed isp probe
+      build_scenario ?faults ?reuse_tick ~table_hint ~background_prefixes:background
+        ~workload topology damping mode policy pulses interval mrai seed isp probe
     in
     let trace = Rfd.Trace.create ~enabled:(transcript <> None) () in
     let observe net = Rfd.Tracing.attach trace (Rfd.Network.hooks net) in
@@ -370,8 +417,8 @@ let run_cmd =
     Term.(
       const action $ topology_arg $ damping_arg $ mode_arg $ policy_arg $ pulses_arg
       $ interval_arg $ mrai_arg $ seed_arg $ isp_arg $ probe_arg $ reuse_tick_arg
-      $ table_hint_arg $ transcript_arg $ budget_term $ faults_term $ partitions_arg
-      $ print_digest_arg)
+      $ table_hint_arg $ background_arg $ workload_term $ transcript_arg $ budget_term
+      $ faults_term $ partitions_arg $ print_digest_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
@@ -440,10 +487,10 @@ let install_drain_signals () =
 
 let sweep_cmd =
   let action topology damping mode policy interval mrai seed isp reuse_tick table_hint
-      max_pulses jobs budget faults deadline retries journal resume =
+      background workload max_pulses jobs budget faults deadline retries journal resume =
     let scenario =
-      build_scenario ?faults ?reuse_tick ~table_hint topology damping mode policy 1
-        interval mrai seed isp None
+      build_scenario ?faults ?reuse_tick ~table_hint ~background_prefixes:background
+        ~workload topology damping mode policy 1 interval mrai seed isp None
     in
     let jobs = if jobs <= 0 then Rfd.Pool.default_jobs () else jobs in
     let pulses = List.init max_pulses (fun i -> i + 1) in
@@ -498,9 +545,143 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc ~man:exit_doc)
     Term.(
       const action $ topology_arg $ damping_arg $ mode_arg $ policy_arg $ interval_arg
-      $ mrai_arg $ seed_arg $ isp_arg $ reuse_tick_arg $ table_hint_arg $ max_pulses_arg
-      $ jobs_arg $ budget_term $ faults_term $ deadline_arg $ retries_arg $ journal_arg
-      $ resume_arg)
+      $ mrai_arg $ seed_arg $ isp_arg $ reuse_tick_arg $ table_hint_arg $ background_arg
+      $ workload_term $ max_pulses_arg $ jobs_arg $ budget_term $ faults_term
+      $ deadline_arg $ retries_arg $ journal_arg $ resume_arg)
+
+(* ------------------------------------------------------------------ *)
+(* replay / trace-gen                                                  *)
+
+let replay_cmd =
+  let action trace_file topology damping mode policy pulses interval mrai seed isp
+      table_hint background budget partitions print_digest =
+    let trace =
+      match Rfd.Update_trace.of_file trace_file with
+      | Ok trace -> trace
+      | Error e ->
+          Format.eprintf "rfd-sim replay: %s: %s@." trace_file e;
+          exit exit_crashed
+      | exception Sys_error msg ->
+          Format.eprintf "rfd-sim replay: %s@." msg;
+          exit exit_crashed
+    in
+    let scenario =
+      try
+        build_scenario ~table_hint ~background_prefixes:background
+          ~workload:(Scenario.Replay trace) topology damping mode policy pulses interval
+          mrai seed isp None
+      with Invalid_argument msg ->
+        Format.eprintf "rfd-sim replay: %s@." msg;
+        exit exit_crashed
+    in
+    let r, par_stats =
+      try
+        match partitions with
+        | None -> (Rfd.Runner.run ~budget scenario, None)
+        | Some partitions ->
+            let r, stats = Rfd.Runner.run_partitioned ~budget ~partitions scenario in
+            (r, Some stats)
+      with e ->
+        Format.eprintf "rfd-sim replay: crashed: %s@." (Printexc.to_string e);
+        exit exit_crashed
+    in
+    Format.printf "replayed %d trace event(s) over %d prefix(es)@."
+      (Rfd.Update_trace.event_count trace)
+      (Rfd.Update_trace.max_prefix trace);
+    Format.printf "%a@." Rfd.Runner.pp_result r;
+    (match par_stats with
+    | None -> ()
+    | Some s ->
+        Format.printf
+          "partitions: %d (cut edges %d, epochs %d, per-partition events %s)@."
+          s.Rfd.Runner.partitions s.Rfd.Runner.cut_edges s.Rfd.Runner.epochs
+          (String.concat "/"
+             (Array.to_list (Array.map string_of_int s.Rfd.Runner.per_partition_events))));
+    Format.printf "oracle: time-to-stable=%.1fs time-to-quiet=%.1fs final=%s@."
+      r.Rfd.Runner.time_to_stable r.Rfd.Runner.time_to_quiet
+      (Rfd.Runner.status_to_string r.Rfd.Runner.final_status);
+    if print_digest then Format.printf "digest: %s@." (Rfd.Runner.result_digest r);
+    if Rfd.Runner.status_is_budget_exceeded r.Rfd.Runner.final_status then
+      exit exit_degraded
+  in
+  let trace_file_arg =
+    let doc = "The rfd-trace/1 update trace to replay." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let replay_pulses_arg =
+    let doc =
+      "Withdrawal/announcement pulses of the measured origin. Defaults to 0: \
+       the replayed trace is the traffic, the measured origin only announces \
+       once and damping of the recorded prefixes is what is under study."
+    in
+    Arg.(value & opt int 0 & info [ "n"; "pulses" ] ~doc)
+  in
+  let doc = "replay a recorded rfd-trace/1 update trace as the scenario workload" in
+  let man =
+    exit_doc
+    @ [
+        `S Cmdliner.Manpage.s_description;
+        `P
+          "Reads an $(b,rfd-trace/1) file (one $(i,time prefix \
+           announce|withdraw [origin]) event per line), validates it against \
+           the topology, and schedules every recorded event during the flap \
+           phase. Prefixes whose first recorded event is a withdrawal are \
+           originated before the measurement starts, so the withdrawal has \
+           reachability to revoke. Replays are deterministic: the same trace, \
+           topology and seed produce bit-identical digests for any \
+           $(b,--partitions) value.";
+      ]
+  in
+  Cmd.v (Cmd.info "replay" ~doc ~man)
+    Term.(
+      const action $ trace_file_arg $ topology_arg $ damping_arg $ mode_arg $ policy_arg
+      $ replay_pulses_arg $ interval_arg $ mrai_arg $ seed_arg $ isp_arg $ table_hint_arg
+      $ background_arg $ budget_term $ partitions_arg $ print_digest_arg)
+
+let trace_gen_cmd =
+  let action flappers flaps gap alpha seed nodes first_prefix =
+    match
+      Rfd.Update_trace.flappers ~seed ~nodes ~count:flappers ~flaps ~mean_gap:gap ~alpha
+        ~first_prefix
+    with
+    | trace -> print_string (Rfd.Update_trace.to_string trace)
+    | exception Invalid_argument msg ->
+        Format.eprintf "rfd-sim trace-gen: %s@." msg;
+        exit exit_crashed
+  in
+  let gen_flappers_arg =
+    let doc = "Flapping prefixes to synthesize." in
+    Arg.(value & opt int 100 & info [ "flappers" ] ~docv:"N" ~doc)
+  in
+  let nodes_arg =
+    let doc =
+      "Home routers to spread the flappers over (must not exceed the node \
+       count of the topology the trace will be replayed on)."
+    in
+    Arg.(value & opt int 9 & info [ "nodes" ] ~docv:"N" ~doc)
+  in
+  let first_prefix_arg =
+    let doc =
+      "Lowest prefix id to use (ids below it are reserved: 0 is the measured \
+       origin prefix, 1..B the background range of the replaying scenario)."
+    in
+    Arg.(value & opt int 1 & info [ "first-prefix" ] ~docv:"ID" ~doc)
+  in
+  let doc = "synthesize a heavy-tailed multi-origin flap trace (rfd-trace/1)" in
+  let man =
+    [
+      `S Cmdliner.Manpage.s_description;
+      `P
+        "Writes to stdout the same seeded workload a $(b,--background-flappers) \
+         run expands internally: per flapper, withdraw/announce pairs separated \
+         by Pareto-distributed gaps. Piping it into $(b,rfd-sim replay) with a \
+         matching topology and seed reproduces that run's digest exactly.";
+    ]
+  in
+  Cmd.v (Cmd.info "trace-gen" ~doc ~man)
+    Term.(
+      const action $ gen_flappers_arg $ flaps_arg $ flap_gap_arg $ flap_alpha_arg
+      $ flap_seed_arg $ nodes_arg $ first_prefix_arg)
 
 (* ------------------------------------------------------------------ *)
 (* intended                                                            *)
@@ -651,7 +832,8 @@ let query_man =
 
 let query_cmd =
   let action socket topology damping mode policy pulses interval mrai seed isp
-      table_hint reuse_tick timeout connect_retry attempts do_stats do_ping =
+      table_hint reuse_tick background flappers flaps flap_gap flap_alpha flap_seed
+      timeout connect_retry attempts do_stats do_ping =
     let client =
       match Rfd.Svc_client.connect ~timeout ~retry_for:connect_retry socket with
       | client -> client
@@ -689,6 +871,12 @@ let query_cmd =
           isp;
           table_hint;
           reuse_tick;
+          background;
+          flappers;
+          flaps;
+          flap_gap;
+          flap_alpha;
+          flap_seed;
         }
       in
       match Rfd.Svc_client.query ~attempts client spec with
@@ -720,8 +908,9 @@ let query_cmd =
     Term.(
       const action $ socket_arg $ svc_topology_arg $ svc_damping_arg $ mode_arg
       $ policy_arg $ pulses_arg $ interval_arg $ mrai_arg $ seed_arg $ isp_arg
-      $ table_hint_arg $ reuse_tick_arg $ query_timeout_arg $ connect_retry_arg
-      $ attempts_arg $ stats_flag $ ping_flag)
+      $ table_hint_arg $ reuse_tick_arg $ background_arg $ flappers_arg $ flaps_arg
+      $ flap_gap_arg $ flap_alpha_arg $ flap_seed_arg $ query_timeout_arg
+      $ connect_retry_arg $ attempts_arg $ stats_flag $ ping_flag)
 
 (* ------------------------------------------------------------------ *)
 (* journal-compact                                                     *)
@@ -773,6 +962,8 @@ let () =
           [
             run_cmd;
             sweep_cmd;
+            replay_cmd;
+            trace_gen_cmd;
             intended_cmd;
             topo_cmd;
             metrics_cmd;

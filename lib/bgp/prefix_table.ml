@@ -1,0 +1,64 @@
+(* Prefixes are small contiguous integers (0 = the measured origin prefix,
+   then background prefixes, then workload flappers), so per-prefix router
+   state lives in a dense growable array instead of a hashtable: O(1)
+   unhashed lookups on the hot RIB paths, one slot per prefix id, and
+   ascending iteration order for free (the determinism-sensitive fold sites
+   in Router used to sort their fold output by Prefix.compare to erase
+   Hashtbl's iteration order). *)
+
+type 'a t = { mutable slots : 'a option array; mutable size : int }
+
+let create ~hint =
+  if hint <= 0 then invalid_arg "Prefix_table.create: hint must be positive";
+  { slots = Array.make hint None; size = 0 }
+
+let length t = t.size
+
+let index prefix = Prefix.to_int prefix
+
+let find_opt t prefix =
+  let i = index prefix in
+  if i < Array.length t.slots then Array.unsafe_get t.slots i else None
+
+let mem t prefix = find_opt t prefix <> None
+
+let grow t needed =
+  let cap = Array.length t.slots in
+  let cap' = max needed (cap * 2) in
+  let slots = Array.make cap' None in
+  Array.blit t.slots 0 slots 0 cap;
+  t.slots <- slots
+
+let set t prefix v =
+  let i = index prefix in
+  if i >= Array.length t.slots then grow t (i + 1);
+  if Array.unsafe_get t.slots i = None then t.size <- t.size + 1;
+  Array.unsafe_set t.slots i (Some v)
+
+let remove t prefix =
+  let i = index prefix in
+  if i < Array.length t.slots && Array.unsafe_get t.slots i <> None then begin
+    Array.unsafe_set t.slots i None;
+    t.size <- t.size - 1
+  end
+
+let reset t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.size <- 0
+
+(* Ascending prefix order — deterministic by construction. *)
+let iter f t =
+  for i = 0 to Array.length t.slots - 1 do
+    match Array.unsafe_get t.slots i with
+    | Some v -> f (Prefix.v i) v
+    | None -> ()
+  done
+
+let fold f t init =
+  let acc = ref init in
+  for i = 0 to Array.length t.slots - 1 do
+    match Array.unsafe_get t.slots i with
+    | Some v -> acc := f (Prefix.v i) v !acc
+    | None -> ()
+  done;
+  !acc

@@ -1,0 +1,39 @@
+(** Dense per-prefix state tables.
+
+    Prefix ids are small and contiguous (the origin prefix is 0, background
+    prefixes 1..B, workload flappers above them), so a router's per-prefix
+    state maps onto a growable array indexed by {!Prefix.to_int}: constant
+    time lookups with no hashing, and iteration in ascending prefix order —
+    the order every determinism-sensitive consumer wants.
+
+    Memory is proportional to the {e largest} prefix id stored (one word
+    per slot plus the payload), which is the right trade for this codebase:
+    at 100k+ prefixes per router the per-peer RIBs are near-fully populated
+    anyway. [hint] pre-sizes the array; growth doubles. *)
+
+type 'a t
+
+val create : hint:int -> 'a t
+(** [hint] is the initial capacity in slots (see
+    {!Config.prefix_table_hint}). Raises [Invalid_argument] when
+    non-positive. *)
+
+val length : 'a t -> int
+(** Number of entries present. *)
+
+val find_opt : 'a t -> Prefix.t -> 'a option
+val mem : 'a t -> Prefix.t -> bool
+
+val set : 'a t -> Prefix.t -> 'a -> unit
+(** Insert or overwrite ([Hashtbl.replace] semantics). *)
+
+val remove : 'a t -> Prefix.t -> unit
+
+val reset : 'a t -> unit
+(** Clear every entry, keeping the allocated capacity. *)
+
+val iter : (Prefix.t -> 'a -> unit) -> 'a t -> unit
+(** Ascending prefix order. *)
+
+val fold : (Prefix.t -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+(** Ascending prefix order. *)

@@ -20,11 +20,14 @@ type peer_state = {
   peer_id : int;
   mutable send : (Update.t -> unit) option;
   mrai_interval : float; (* jittered once per session *)
-  rib_in : (Prefix.t, entry) Hashtbl.t;
-  rib_out : (Prefix.t, Route.t) Hashtbl.t; (* absent = withdrawn / never sent *)
-  mrai_deadline : (Prefix.t, float) Hashtbl.t;
-  pending : (Prefix.t, pending_out) Hashtbl.t;
-  flush_scheduled : (Prefix.t, Sim.event_id) Hashtbl.t;
+  (* Per-prefix session state lives in dense int-indexed tables (prefix
+     ids are contiguous): O(1) unhashed lookups on the RIB hot paths and
+     ascending iteration order for free. *)
+  rib_in : entry Prefix_table.t;
+  rib_out : Route.t Prefix_table.t; (* absent = withdrawn / never sent *)
+  mrai_deadline : float Prefix_table.t;
+  pending : pending_out Prefix_table.t;
+  flush_scheduled : Sim.event_id Prefix_table.t;
       (* armed flush timer per prefix, cancellable on session failure *)
   rcn_history : Root_cause.t History.t option;
       (* Some iff this router damps in RCN mode — the only consumer *)
@@ -62,8 +65,8 @@ type t = {
   rng : Rng.t;
   table : Route.table; (* per-network intern table, shared across routers *)
   mutable peers : peer_state array; (* ascending peer_id; dense, no hashing *)
-  loc_rib : (Prefix.t, int option * Route.t) Hashtbl.t; (* learned-from peer, route *)
-  originated : (Prefix.t, unit) Hashtbl.t;
+  loc_rib : (int option * Route.t) Prefix_table.t; (* learned-from peer, route *)
+  originated : unit Prefix_table.t;
   mutable rc_seq : int;
   (* Reuse-timer accounting, the cost centre the tick wheel optimises:
      simulator events spent on reuse scheduling (fired per-entry timers in
@@ -108,8 +111,8 @@ let create ?table ~sim ~id ~policy ~config ~damping ~rng ~hooks () =
     rng;
     table = (match table with Some tbl -> tbl | None -> Route.create_table ());
     peers = [||];
-    loc_rib = Hashtbl.create 8;
-    originated = Hashtbl.create 4;
+    loc_rib = Prefix_table.create ~hint:config.Config.prefix_table_hint;
+    originated = Prefix_table.create ~hint:4;
     rc_seq = 0;
     timer_events = 0;
     timer_live = 0;
@@ -148,11 +151,11 @@ let connect t ~peer ~send =
       peer_id = peer;
       send = Some send;
       mrai_interval = t.config.Config.mrai *. Rng.uniform t.rng ~lo ~hi;
-      rib_in = Hashtbl.create hint;
-      rib_out = Hashtbl.create hint;
-      mrai_deadline = Hashtbl.create hint;
-      pending = Hashtbl.create hint;
-      flush_scheduled = Hashtbl.create hint;
+      rib_in = Prefix_table.create ~hint;
+      rib_out = Prefix_table.create ~hint;
+      mrai_deadline = Prefix_table.create ~hint;
+      pending = Prefix_table.create ~hint;
+      flush_scheduled = Prefix_table.create ~hint;
       rcn_history =
         (* Only RCN-mode damping routers consult the history; everywhere
            else the (capacity-sized) table would be dead weight per session. *)
@@ -202,14 +205,14 @@ let better_candidate ~pref_a ~len_a ~peer_a ~pref_b ~len_b ~peer_b =
   || (pref_a = pref_b && (len_a < len_b || (len_a = len_b && peer_a < peer_b)))
 
 let compute_best t prefix =
-  if Hashtbl.mem t.originated prefix then Some (None, self_route t prefix)
+  if Prefix_table.mem t.originated prefix then Some (None, self_route t prefix)
   else begin
     let best = ref None in
     Array.iter
       (fun ps ->
         let peer = ps.peer_id in
         if ps.up then
-          match Hashtbl.find_opt ps.rib_in prefix with
+          match Prefix_table.find_opt ps.rib_in prefix with
           | Some ({ route = Some route; _ } as entry) ->
               let usable =
                 match entry.damper with
@@ -254,8 +257,8 @@ let mrai_hook t ps prefix action =
   t.hooks.Hooks.on_mrai ~time:(Sim.now t.sim) ~router:t.id ~peer:ps.peer_id ~prefix action
 
 let drop_pending t ps prefix action =
-  if Hashtbl.mem ps.pending prefix then begin
-    Hashtbl.remove ps.pending prefix;
+  if Prefix_table.mem ps.pending prefix then begin
+    Prefix_table.remove ps.pending prefix;
     mrai_hook t ps prefix action
   end
 
@@ -264,12 +267,12 @@ let send_now t ps prefix desired rc =
   drop_pending t ps prefix Hooks.Mrai_superseded;
   match desired with
   | D_withdraw ->
-      Hashtbl.remove ps.rib_out prefix;
+      Prefix_table.remove ps.rib_out prefix;
       dispatch t ps (Update.withdraw ?rc prefix)
       (* withdrawals do not restart the MRAI *)
   | D_announce route ->
       let rel_pref =
-        match Hashtbl.find_opt ps.rib_out prefix with
+        match Prefix_table.find_opt ps.rib_out prefix with
         | Some prev ->
             let c = Int.compare (Route.path_length route) (Route.path_length prev) in
             Some
@@ -278,12 +281,12 @@ let send_now t ps prefix desired rc =
                else Update.Same_pref)
         | None -> None
       in
-      Hashtbl.replace ps.rib_out prefix route;
+      Prefix_table.set ps.rib_out prefix route;
       dispatch t ps (Update.announce ?rc ?rel_pref route);
       if t.config.Config.mrai > 0. then begin
         let deadline = now +. ps.mrai_interval in
         if t.config.Config.mrai_per_peer then ps.peer_deadline <- deadline
-        else Hashtbl.replace ps.mrai_deadline prefix deadline
+        else Prefix_table.set ps.mrai_deadline prefix deadline
       end
 
 (* [emit] reconciles the desired advertisement for (peer, prefix) with what
@@ -291,7 +294,7 @@ let send_now t ps prefix desired rc =
    queued, 0 when the peer is already up to date. *)
 let rec emit t ps prefix desired rc =
   let same =
-    match (desired, Hashtbl.find_opt ps.rib_out prefix) with
+    match (desired, Prefix_table.find_opt ps.rib_out prefix) with
     | D_withdraw, None -> true
     | D_announce r, Some r' -> Route.equal r r'
     | D_withdraw, Some _ | D_announce _, None -> false
@@ -306,7 +309,7 @@ let rec emit t ps prefix desired rc =
     let deadline =
       if t.config.Config.mrai_per_peer then ps.peer_deadline
       else
-        match Hashtbl.find_opt ps.mrai_deadline prefix with Some d -> d | None -> 0.
+        match Prefix_table.find_opt ps.mrai_deadline prefix with Some d -> d | None -> 0.
     in
     let rate_limited =
       match desired with
@@ -318,12 +321,12 @@ let rec emit t ps prefix desired rc =
       1
     end
     else begin
-      let fresh = not (Hashtbl.mem ps.pending prefix) in
-      Hashtbl.replace ps.pending prefix { desired; rc };
+      let fresh = not (Prefix_table.mem ps.pending prefix) in
+      Prefix_table.set ps.pending prefix { desired; rc };
       if fresh then mrai_hook t ps prefix Hooks.Mrai_queued;
-      if not (Hashtbl.mem ps.flush_scheduled prefix) then begin
+      if not (Prefix_table.mem ps.flush_scheduled prefix) then begin
         let ev = Sim.schedule_at t.sim ~time:deadline (fun _ -> flush t ps prefix) in
-        Hashtbl.replace ps.flush_scheduled prefix ev;
+        Prefix_table.set ps.flush_scheduled prefix ev;
         mrai_hook t ps prefix Hooks.Flush_armed
       end;
       1
@@ -331,26 +334,26 @@ let rec emit t ps prefix desired rc =
   end
 
 and flush t ps prefix =
-  Hashtbl.remove ps.flush_scheduled prefix;
+  Prefix_table.remove ps.flush_scheduled prefix;
   mrai_hook t ps prefix Hooks.Flush_fired;
   if ps.up then
-    match Hashtbl.find_opt ps.pending prefix with
+    match Prefix_table.find_opt ps.pending prefix with
     | None -> ()
     | Some { desired; rc } ->
-        Hashtbl.remove ps.pending prefix;
+        Prefix_table.remove ps.pending prefix;
         mrai_hook t ps prefix Hooks.Mrai_sent;
         ignore (emit t ps prefix desired rc)
 
 (* Run the decision process for [prefix]; on a best-path change, reconcile
    every peer. Returns the number of updates sent or queued. *)
 let decision t prefix ~trigger_rc =
-  let old_best = Hashtbl.find_opt t.loc_rib prefix in
+  let old_best = Prefix_table.find_opt t.loc_rib prefix in
   let new_best = compute_best t prefix in
   if best_equal old_best new_best then 0
   else begin
     (match new_best with
-    | Some b -> Hashtbl.replace t.loc_rib prefix b
-    | None -> Hashtbl.remove t.loc_rib prefix);
+    | Some b -> Prefix_table.set t.loc_rib prefix b
+    | None -> Prefix_table.remove t.loc_rib prefix);
     t.hooks.Hooks.on_best_change ~time:(Sim.now t.sim) ~router:t.id ~prefix
       ~best:(Option.map snd new_best);
     let emitted = ref 0 in
@@ -529,11 +532,11 @@ let new_entry t =
   { route = None; damper; reuse_pending = false; wheel_slot = 0; last_rc = None }
 
 let find_or_create_entry t ps prefix =
-  match Hashtbl.find_opt ps.rib_in prefix with
+  match Prefix_table.find_opt ps.rib_in prefix with
   | Some entry -> (entry, false)
   | None ->
       let entry = new_entry t in
-      Hashtbl.replace ps.rib_in prefix entry;
+      Prefix_table.set ps.rib_in prefix entry;
       (entry, true)
 
 (* ------------------------------------------------------------------ *)
@@ -562,7 +565,7 @@ let damping_event t ~rc ~local =
   | (Config.Rcn | Config.Plain | Config.Selective), _ -> local
 
 let handle_withdraw t ps prefix ~rc ~count =
-  match Hashtbl.find_opt ps.rib_in prefix with
+  match Prefix_table.find_opt ps.rib_in prefix with
   | Some ({ route = Some _; _ } as entry) ->
       entry.route <- None;
       entry.last_rc <- rc;
@@ -623,20 +626,20 @@ let receive t ~from_peer update =
 (* Local origination                                                   *)
 
 let originate t prefix =
-  if not (Hashtbl.mem t.originated prefix) then begin
-    Hashtbl.replace t.originated prefix ();
+  if not (Prefix_table.mem t.originated prefix) then begin
+    Prefix_table.set t.originated prefix ();
     let rc = fresh_rc t ~status:Root_cause.Link_up in
     ignore (decision t prefix ~trigger_rc:(Some rc))
   end
 
 let withdraw_prefix t prefix =
-  if Hashtbl.mem t.originated prefix then begin
-    Hashtbl.remove t.originated prefix;
+  if Prefix_table.mem t.originated prefix then begin
+    Prefix_table.remove t.originated prefix;
     let rc = fresh_rc t ~status:Root_cause.Link_down in
     ignore (decision t prefix ~trigger_rc:(Some rc))
   end
 
-let originates t prefix = Hashtbl.mem t.originated prefix
+let originates t prefix = Prefix_table.mem t.originated prefix
 
 (* ------------------------------------------------------------------ *)
 (* Session flaps                                                       *)
@@ -650,31 +653,35 @@ let peer_down t ~peer =
        obsolete deadline would flush post-restore updates early, violating
        the MRAI), and both MRAI deadline forms reset so the restored
        session starts with a fresh rate-limit budget. *)
-    let parked = Hashtbl.fold (fun prefix _ acc -> prefix :: acc) ps.pending [] in
+    let parked = Prefix_table.fold (fun prefix _ acc -> prefix :: acc) ps.pending [] in
     List.iter
       (fun prefix -> drop_pending t ps prefix Hooks.Mrai_cancelled)
       (List.sort Prefix.compare parked);
     let armed =
-      Hashtbl.fold (fun prefix ev acc -> (prefix, ev) :: acc) ps.flush_scheduled []
+      Prefix_table.fold (fun prefix ev acc -> (prefix, ev) :: acc) ps.flush_scheduled []
     in
     List.iter
       (fun (prefix, ev) ->
         Sim.cancel t.sim ev;
-        Hashtbl.remove ps.flush_scheduled prefix;
+        Prefix_table.remove ps.flush_scheduled prefix;
         mrai_hook t ps prefix Hooks.Flush_cancelled)
       (List.sort (fun (a, _) (b, _) -> Prefix.compare a b) armed);
-    Hashtbl.reset ps.rib_out;
-    Hashtbl.reset ps.mrai_deadline;
+    Prefix_table.reset ps.rib_out;
+    Prefix_table.reset ps.mrai_deadline;
     ps.peer_deadline <- 0.;
     let rc = fresh_link_rc t ~peer ~status:Root_cause.Link_down in
     let affected =
-      Hashtbl.fold
+      Prefix_table.fold
         (fun prefix entry acc -> if entry.route <> None then prefix :: acc else acc)
         ps.rib_in []
     in
     List.iter
       (fun prefix ->
-        let entry = Hashtbl.find ps.rib_in prefix in
+        let entry =
+          match Prefix_table.find_opt ps.rib_in prefix with
+          | Some entry -> entry
+          | None -> assert false (* collected from rib_in just above *)
+        in
         entry.route <- None;
         entry.last_rc <- Some rc;
         apply_damping t ps prefix entry Damper.Withdrawal ~count:true;
@@ -688,10 +695,10 @@ let peer_up t ~peer =
     ps.up <- true;
     let rc = fresh_link_rc t ~peer ~status:Root_cause.Link_up in
     (* Re-advertise the full table to the restored session. *)
-    let prefixes = Hashtbl.fold (fun prefix _ acc -> prefix :: acc) t.loc_rib [] in
+    let prefixes = Prefix_table.fold (fun prefix _ acc -> prefix :: acc) t.loc_rib [] in
     List.iter
       (fun prefix ->
-        match Hashtbl.find_opt t.loc_rib prefix with
+        match Prefix_table.find_opt t.loc_rib prefix with
         | None -> ()
         | Some (learned_from, route) ->
             let desired =
@@ -708,21 +715,21 @@ let peer_up t ~peer =
 (* ------------------------------------------------------------------ *)
 (* Inspection                                                          *)
 
-let best t prefix = Option.map snd (Hashtbl.find_opt t.loc_rib prefix)
+let best t prefix = Option.map snd (Prefix_table.find_opt t.loc_rib prefix)
 let session_up t ~peer = (peer_state t peer).up
 
 let best_peer t prefix =
-  match Hashtbl.find_opt t.loc_rib prefix with
+  match Prefix_table.find_opt t.loc_rib prefix with
   | Some (peer, _) -> peer
   | None -> None
 
 let rib_in_route t ~peer prefix =
   let ps = peer_state t peer in
-  match Hashtbl.find_opt ps.rib_in prefix with Some { route; _ } -> route | None -> None
+  match Prefix_table.find_opt ps.rib_in prefix with Some { route; _ } -> route | None -> None
 
 let entry_damper t ~peer prefix =
   let ps = peer_state t peer in
-  match Hashtbl.find_opt ps.rib_in prefix with
+  match Prefix_table.find_opt ps.rib_in prefix with
   | Some { damper; _ } -> damper
   | None -> None
 
@@ -742,7 +749,7 @@ let peak_reuse_timers t = t.timer_peak
 let suppressed_count t =
   Array.fold_left
     (fun acc ps ->
-      Hashtbl.fold
+      Prefix_table.fold
         (fun _ entry acc ->
           match entry.damper with
           | Some damper when Damper.suppressed damper -> acc + 1
@@ -752,10 +759,10 @@ let suppressed_count t =
 
 let known_prefixes t =
   let set = Hashtbl.create 16 in
-  Hashtbl.iter (fun prefix _ -> Hashtbl.replace set prefix ()) t.loc_rib;
-  Hashtbl.iter (fun prefix _ -> Hashtbl.replace set prefix ()) t.originated;
+  Prefix_table.iter (fun prefix _ -> Hashtbl.replace set prefix ()) t.loc_rib;
+  Prefix_table.iter (fun prefix _ -> Hashtbl.replace set prefix ()) t.originated;
   Array.iter
-    (fun ps -> Hashtbl.iter (fun prefix _ -> Hashtbl.replace set prefix ()) ps.rib_in)
+    (fun ps -> Prefix_table.iter (fun prefix _ -> Hashtbl.replace set prefix ()) ps.rib_in)
     t.peers;
   Hashtbl.fold (fun prefix _ acc -> prefix :: acc) set [] |> List.sort Prefix.compare
 
@@ -766,12 +773,12 @@ let recompute_best t prefix = Option.map snd (compute_best t prefix)
 
 let peer_state_activity ps =
   let reuse_timers =
-    Hashtbl.fold (fun _ entry acc -> if entry.reuse_pending then acc + 1 else acc) ps.rib_in 0
+    Prefix_table.fold (fun _ entry acc -> if entry.reuse_pending then acc + 1 else acc) ps.rib_in 0
   in
   {
     Oracle.in_flight = 0;
-    mrai_pending = Hashtbl.length ps.pending;
-    scheduled_flushes = Hashtbl.length ps.flush_scheduled;
+    mrai_pending = Prefix_table.length ps.pending;
+    scheduled_flushes = Prefix_table.length ps.flush_scheduled;
     reuse_timers;
   }
 

@@ -71,6 +71,7 @@ module Reuse_index = Rfd_damping.Reuse_index
 
 module Scenario = Rfd_experiment.Scenario
 module Pulse = Rfd_experiment.Pulse
+module Update_trace = Rfd_experiment.Trace
 module Runner = Rfd_experiment.Runner
 module Sweep = Rfd_experiment.Sweep
 module Journal = Rfd_experiment.Journal

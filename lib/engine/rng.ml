@@ -42,6 +42,15 @@ let exponential t ~mean =
   let u = 1.0 -. float t 1.0 in
   -.mean *. log u
 
+let pareto t ~alpha ~xmin =
+  if not (Float.is_finite alpha) || alpha <= 0. then
+    invalid_arg "Rng.pareto: alpha must be positive and finite";
+  if not (Float.is_finite xmin) || xmin <= 0. then
+    invalid_arg "Rng.pareto: xmin must be positive and finite";
+  (* Inverse-CDF: x = xmin * u^(-1/alpha) with u uniform in (0,1]. *)
+  let u = 1.0 -. float t 1.0 in
+  xmin *. (u ** (-1. /. alpha))
+
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do
     let j = int t (i + 1) in

@@ -34,6 +34,11 @@ val bool : t -> bool
 val exponential : t -> mean:float -> float
 (** Exponentially distributed sample with the given positive mean. *)
 
+val pareto : t -> alpha:float -> xmin:float -> float
+(** Pareto-distributed sample: [P(X > x) = (xmin/x)^alpha] for [x >= xmin].
+    Heavy-tailed — the mean is [alpha*xmin/(alpha-1)] for [alpha > 1] and
+    infinite otherwise. Both parameters must be positive and finite. *)
+
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)
 

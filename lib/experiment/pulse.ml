@@ -28,7 +28,7 @@ let validate_events events =
 let events = function
   | Periodic { pulses; interval } ->
       require (pulses >= 0) "pulses must be non-negative";
-      require (interval > 0.) "interval must be positive";
+      require (Float.is_finite interval && interval > 0.) "interval must be positive and finite";
       List.concat
         (List.init pulses (fun i ->
              let base = 2. *. float_of_int i *. interval in
@@ -38,25 +38,36 @@ let events = function
              ]))
   | Poisson { pulses; mean_interval; seed } ->
       require (pulses >= 0) "pulses must be non-negative";
-      require (mean_interval > 0.) "mean_interval must be positive";
+      require
+        (Float.is_finite mean_interval && mean_interval > 0.)
+        "mean_interval must be positive and finite";
       let rng = Rng.create seed in
       let now = ref 0. in
-      List.concat
-        (List.init pulses (fun i ->
-             let w =
-               if i = 0 then 0.
-               else (
-                 now := !now +. Rng.exponential rng ~mean:mean_interval;
-                 !now)
-             in
-             now := w +. Rng.exponential rng ~mean:mean_interval;
-             (* guarantee strict progress even for tiny exponential draws *)
-             if !now <= w then now := w +. 1e-3;
-             [ { at = w; kind = `Withdraw }; { at = !now; kind = `Announce } ]))
+      validate_events
+        (List.concat
+           (List.init pulses (fun i ->
+                let w =
+                  if i = 0 then 0.
+                  else (
+                    let prev = !now in
+                    now := prev +. Rng.exponential rng ~mean:mean_interval;
+                    (* strict progress across pulses: a zero/denormal draw
+                       must not land this withdrawal on the previous
+                       announcement *)
+                    if !now <= prev then now := prev +. 1e-3;
+                    !now)
+                in
+                now := w +. Rng.exponential rng ~mean:mean_interval;
+                (* guarantee strict progress even for tiny exponential draws *)
+                if !now <= w then now := w +. 1e-3;
+                [ { at = w; kind = `Withdraw }; { at = !now; kind = `Announce } ])))
   | Bursty { bursts; pulses_per_burst; gap; burst_interval } ->
       require (bursts >= 0) "bursts must be non-negative";
       require (pulses_per_burst > 0) "pulses_per_burst must be positive";
-      require (gap > 0. && burst_interval > 0.) "gap and burst_interval must be positive";
+      require
+        (Float.is_finite gap && Float.is_finite burst_interval && gap > 0.
+       && burst_interval > 0.)
+        "gap and burst_interval must be positive and finite";
       let burst_span = 2. *. float_of_int pulses_per_burst *. burst_interval in
       List.concat
         (List.init bursts (fun b ->
@@ -68,7 +79,12 @@ let events = function
                       { at = base; kind = `Withdraw };
                       { at = base +. burst_interval; kind = `Announce };
                     ]))))
-  | Custom events -> validate_events events
+  | Custom events ->
+      (* An empty custom pattern would silently report [final_announcement]
+         as 0. and shift phase boundaries; [Periodic {pulses = 0; _}] is the
+         explicit way to spell "no flaps". *)
+      require (events <> []) "custom pattern must be non-empty";
+      validate_events events
 
 let final_announcement pattern =
   match List.rev (events pattern) with [] -> 0. | { at; _ } :: _ -> at

@@ -19,10 +19,15 @@ type pattern =
   | Custom of event list
 
 val events : pattern -> event list
-(** Expand a pattern. Raises [Invalid_argument] on non-positive counts or
-    intervals, or on a [Custom] list that is not strictly increasing or
-    alternating (a well-formed schedule alternates W, A, W, A, …,
-    starting with a withdrawal and ending with an announcement). *)
+(** Expand a pattern. Raises [Invalid_argument] on non-positive (or
+    non-finite) counts or intervals, or on a [Custom] list that is empty,
+    not strictly increasing, or not alternating (a well-formed schedule
+    alternates W, A, W, A, …, starting with a withdrawal and ending with an
+    announcement). Use [Periodic {pulses = 0; _}] for the empty schedule —
+    an empty [Custom] list is rejected because it would silently report a
+    [final_announcement] of [0.]. Generated patterns (Poisson in
+    particular) are guaranteed strictly increasing even under degenerate
+    zero/denormal gap draws. *)
 
 val final_announcement : pattern -> float
 (** Time of the last event (0. for an empty pattern). *)

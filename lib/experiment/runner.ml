@@ -95,6 +95,21 @@ let relations_for scenario graph ~origin ~isp =
       in
       Some (Relations.make graph labels)
 
+(* Resolve the scenario's workload to a concrete trace once per run.
+   [nodes] is the {e base} topology's node count (trace origins index base
+   nodes; the origin stub is appended after them), so a [Flappers] workload
+   expands to exactly the trace [Replay (Trace.flappers ...)] would carry. *)
+let workload_trace scenario ~nodes =
+  match scenario.Scenario.workload with
+  | Scenario.Pulses_only -> None
+  | Scenario.Replay trace -> Some trace
+  | Scenario.Flappers { count; flaps; mean_gap; alpha; seed } ->
+      Some
+        (Trace.flappers ~seed ~nodes ~count ~flaps ~mean_gap ~alpha
+           ~first_prefix:(scenario.Scenario.background_prefixes + 1))
+
+let trace_node ~origin = function Some n -> n | None -> origin
+
 let resolve_probe scenario graph ~origin =
   match scenario.Scenario.probe with
   | Scenario.No_probe -> []
@@ -154,6 +169,17 @@ let run ?(budget = no_budget) ?observe scenario =
         Network.originate net ~node prefix;
         (node, prefix))
   in
+  let workload = workload_trace scenario ~nodes:(Graph.num_nodes base_graph) in
+  (* Workload prefixes whose trace opens with a withdrawal were reachable
+     when recording started: originate them now so they converge alongside
+     the background prefixes, before anything is measured. *)
+  (match workload with
+  | None -> ()
+  | Some trace ->
+      List.iter
+        (fun (o, prefix) ->
+          Network.originate net ~node:(trace_node ~origin o) (Prefix.v prefix))
+        (Trace.pre_originations trace));
   drive ();
   let origin_announced_at = Sim.now sim in
   Network.originate net ~node:origin origin_prefix;
@@ -192,6 +218,24 @@ let run ?(budget = no_budget) ?observe scenario =
         (match List.rev events with
         | [] -> flap_start
         | last :: _ -> flap_start +. last.Pulse.at)
+  in
+  (* The workload trace shares the flap phase's time origin; its events are
+     scheduled after the pulse train's, so simultaneous events pop in the
+     same (pulse first) order on every engine. *)
+  let final_announcement =
+    match workload with
+    | None -> final_announcement
+    | Some trace ->
+        List.iter
+          (fun (e : Trace.event) ->
+            let at = flap_start +. e.Trace.time in
+            let node = trace_node ~origin e.Trace.origin in
+            let prefix = Prefix.v e.Trace.prefix in
+            match e.Trace.kind with
+            | Trace.Announce -> Network.schedule_originate net ~at ~node prefix
+            | Trace.Withdraw -> Network.schedule_withdraw net ~at ~node prefix)
+          trace;
+        Float.max final_announcement (flap_start +. Trace.last_time trace)
   in
   (* Fault injection shares the flap phase's time origin, so plan event
      times compose with the pulse pattern's. *)
@@ -322,6 +366,14 @@ let run_partitioned ?(budget = no_budget) ?observe ?on_bus ~partitions scenario 
         Par_net.originate par ~node prefix;
         (node, prefix))
   in
+  let workload = workload_trace scenario ~nodes:(Graph.num_nodes base_graph) in
+  (match workload with
+  | None -> ()
+  | Some trace ->
+      List.iter
+        (fun (o, prefix) ->
+          Par_net.originate par ~node:(trace_node ~origin o) (Prefix.v prefix))
+        (Trace.pre_originations trace));
   drive ();
   (* Jump every partition's clock to the global last-event time before the
      direct origination below, so the origin's send times are sampled from
@@ -367,6 +419,21 @@ let run_partitioned ?(budget = no_budget) ?observe ?on_bus ~partitions scenario 
     match List.rev events with
     | [] -> flap_start
     | last :: _ -> flap_start +. last.Pulse.at
+  in
+  let final_announcement =
+    match workload with
+    | None -> final_announcement
+    | Some trace ->
+        List.iter
+          (fun (e : Trace.event) ->
+            let at = flap_start +. e.Trace.time in
+            let node = trace_node ~origin e.Trace.origin in
+            let prefix = Prefix.v e.Trace.prefix in
+            match e.Trace.kind with
+            | Trace.Announce -> Par_net.schedule_originate par ~at ~node prefix
+            | Trace.Withdraw -> Par_net.schedule_withdraw par ~at ~node prefix)
+          trace;
+        Float.max final_announcement (flap_start +. Trace.last_time trace)
   in
   (match scenario.Scenario.faults with
   | Some plan -> Par_net.install_faults ~start:flap_start plan par

@@ -106,7 +106,10 @@ val run : ?budget:budget -> ?observe:(Rfd_bgp.Network.t -> unit) -> Scenario.t -
 (** Raises [Invalid_argument] when the scenario fails validation.
     [budget] (default {!no_budget}) bounds the whole run; see {!status}.
     The scenario's fault plan, if any, is installed with the flap start as
-    its time origin. [observe] is called once, after initial convergence
+    its time origin, and so is its workload trace (replayed or generated
+    multi-origin churn; prefixes opening with a withdrawal are
+    pre-originated during the settle phase, and [final_announcement]
+    covers the later of the pulse train and the trace). [observe] is called once, after initial convergence
     and right after the flap-phase collector is attached — wrap additional
     observers (e.g. {!Tracing.attach}) around the hooks there; they stay
     active for the whole measured flap phase. *)

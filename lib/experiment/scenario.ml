@@ -9,6 +9,11 @@ type mechanism = Origin_updates | Link_state
 
 type probe = No_probe | At_distance of int | Pairs of (int * int) list
 
+type workload =
+  | Pulses_only
+  | Replay of Trace.t
+  | Flappers of { count : int; flaps : int; mean_gap : float; alpha : float; seed : int }
+
 type t = {
   name : string;
   topology : topology;
@@ -23,6 +28,7 @@ type t = {
   probe : probe;
   settle_gap : float;
   faults : Rfd_faults.Fault_plan.t option;
+  workload : workload;
 }
 
 let topology_nodes = function
@@ -34,7 +40,42 @@ let topology_nodes = function
    generic [Invalid_argument] deep in the runner) or not at all (an
    out-of-range isp silently clamped by graph lookups). Failing in [make]
    points at the call site that wrote the bad value. *)
-let check_make ~pulses ~flap_interval ~background_prefixes ~settle_gap ~isp topology =
+(* Workload checks shared by [check_make] (raising) and [validate]
+   (result-returning). *)
+let workload_problem ~background_prefixes workload topology =
+  match workload with
+  | Pulses_only -> None
+  | Flappers { count; flaps; mean_gap; alpha; seed = _ } ->
+      if count < 0 then Some (Printf.sprintf "flapper count must be non-negative (got %d)" count)
+      else if flaps < 1 then
+        Some (Printf.sprintf "flaps per flapper must be positive (got %d)" flaps)
+      else if (not (Float.is_finite mean_gap)) || mean_gap <= 0. then
+        Some (Printf.sprintf "flapper mean_gap must be positive and finite (got %g)" mean_gap)
+      else if (not (Float.is_finite alpha)) || alpha <= 0. then
+        Some (Printf.sprintf "flapper alpha must be positive and finite (got %g)" alpha)
+      else None
+  | Replay trace -> (
+      match Trace.validate trace with
+      | Error e -> Some ("replay " ^ e)
+      | Ok () ->
+          let n = topology_nodes topology in
+          let worst = Trace.max_origin trace in
+          if worst >= n then
+            Some
+              (Printf.sprintf "replay trace origin %d is out of range for a %d-node topology"
+                 worst n)
+          else begin
+            let floor = background_prefixes + 1 in
+            List.find_opt (fun (e : Trace.event) -> e.Trace.prefix < floor) trace
+            |> Option.map (fun (e : Trace.event) ->
+                   Printf.sprintf
+                     "replay trace prefix %d collides with the background range 1..%d \
+                      (use prefixes >= %d)"
+                     e.Trace.prefix background_prefixes floor)
+          end)
+
+let check_make ~pulses ~flap_interval ~background_prefixes ~settle_gap ~isp ~workload
+    topology =
   let fail fmt = Format.kasprintf invalid_arg ("Scenario.make: " ^^ fmt) in
   if pulses < 0 then fail "pulses must be non-negative (got %d)" pulses;
   if background_prefixes < 0 then
@@ -43,6 +84,19 @@ let check_make ~pulses ~flap_interval ~background_prefixes ~settle_gap ~isp topo
     fail "flap_interval must be positive (got %g)" flap_interval;
   if Float.is_nan settle_gap || settle_gap <= 0. then
     fail "settle_gap must be positive (got %g)" settle_gap;
+  (* Topology-shape checks mirror [validate]: [make] used to accept shapes
+     that [validate] rejects, so the error only surfaced deep in the
+     runner, far from the call site that wrote the bad value. *)
+  (match topology with
+  | Mesh { rows; cols } when rows < 3 || cols < 3 ->
+      fail "mesh needs rows, cols >= 3 (got %dx%d)" rows cols
+  | Internet { nodes; m } when m < 1 || m >= nodes ->
+      fail "internet needs 1 <= m < nodes (got nodes=%d m=%d)" nodes m
+  | Custom g when Rfd_topology.Graph.num_nodes g = 0 -> fail "custom graph is empty"
+  | Mesh _ | Internet _ | Custom _ -> ());
+  (match workload_problem ~background_prefixes workload topology with
+  | Some e -> fail "%s" e
+  | None -> ());
   match isp with
   | `Random -> ()
   | `Node node ->
@@ -54,8 +108,9 @@ let check_make ~pulses ~flap_interval ~background_prefixes ~settle_gap ~isp topo
 let make ?(name = "scenario") ?(policy = Announce_all) ?(config = Rfd_bgp.Config.default)
     ?(isp = `Node 0) ?(pulses = 1) ?(flap_interval = 60.) ?pattern
     ?(mechanism = Origin_updates) ?(background_prefixes = 0) ?(probe = No_probe)
-    ?(settle_gap = 10.) ?faults topology =
-  check_make ~pulses ~flap_interval ~background_prefixes ~settle_gap ~isp topology;
+    ?(settle_gap = 10.) ?faults ?(workload = Pulses_only) topology =
+  check_make ~pulses ~flap_interval ~background_prefixes ~settle_gap ~isp ~workload
+    topology;
   {
     name;
     topology;
@@ -70,6 +125,7 @@ let make ?(name = "scenario") ?(policy = Announce_all) ?(config = Rfd_bgp.Config
     probe;
     settle_gap;
     faults;
+    workload;
   }
 
 let with_pulses t pulses = { t with pulses }
@@ -110,12 +166,23 @@ let validate t =
                 with
                 | Error _ as e -> e
                 | Ok () -> (
-                    match t.faults with
-                    | None -> Ok ()
-                    | Some plan -> (
-                        match Rfd_faults.Fault_plan.validate plan with
-                        | Error e -> Error ("faults: " ^ e)
-                        | Ok () -> Ok ())))))
+                    let faults_ok =
+                      match t.faults with
+                      | None -> Ok ()
+                      | Some plan -> (
+                          match Rfd_faults.Fault_plan.validate plan with
+                          | Error e -> Error ("faults: " ^ e)
+                          | Ok () -> Ok ())
+                    in
+                    match faults_ok with
+                    | Error _ as e -> e
+                    | Ok () -> (
+                        match
+                          workload_problem ~background_prefixes:t.background_prefixes
+                            t.workload t.topology
+                        with
+                        | Some e -> Error e
+                        | None -> Ok ())))))
   end
 
 let pp_topology ppf = function
@@ -133,8 +200,15 @@ let topology_summary = function
       Printf.sprintf "custom:%dn,%de" (Rfd_topology.Graph.num_nodes g)
         (Rfd_topology.Graph.num_edges g)
 
+let pp_workload ppf = function
+  | Pulses_only -> ()
+  | Replay trace -> Format.fprintf ppf ", replay of %a" Trace.pp trace
+  | Flappers { count; flaps; mean_gap; alpha; seed } ->
+      Format.fprintf ppf ", %d flappers x%d ~%gs pareto(%g) seed=%d" count flaps mean_gap
+        alpha seed
+
 let pp ppf t =
-  Format.fprintf ppf "%s: %a, %s policy, %a%s, damping=%s%s" t.name pp_topology t.topology
+  Format.fprintf ppf "%s: %a, %s policy, %a%s%a, damping=%s%s" t.name pp_topology t.topology
     (match t.policy with Announce_all -> "announce-all" | No_valley -> "no-valley")
     (fun ppf () ->
       match t.pattern with
@@ -142,6 +216,7 @@ let pp ppf t =
       | None -> Format.fprintf ppf "%d pulse(s) x %gs" t.pulses t.flap_interval)
     ()
     (match t.mechanism with Origin_updates -> "" | Link_state -> " via link flaps")
+    pp_workload t.workload
     (match t.config.Rfd_bgp.Config.damping with
     | None -> "off"
     | Some p ->

@@ -32,6 +32,23 @@ type probe =
           origin equals the given value (the paper's Figure 7 uses 7) *)
   | Pairs of (int * int) list  (** explicit (router, peer) pairs *)
 
+(** Additional churn scheduled alongside the origin stub's pulse train.
+    Workload events use prefixes above the background range
+    ([background_prefixes + 1] and up) and are scheduled relative to the
+    flap start, so they compose with (and default to replacing — run with
+    [pulses = 0]) the single-origin pulse train. *)
+type workload =
+  | Pulses_only  (** the default: only the origin stub flaps *)
+  | Replay of Trace.t
+      (** replay a recorded update trace; prefixes whose first event is a
+          withdrawal are pre-originated during the settle phase *)
+  | Flappers of { count : int; flaps : int; mean_gap : float; alpha : float; seed : int }
+      (** generated heavy-tailed multi-origin load — shorthand for
+          [Replay (Trace.flappers ...)] with the flapper prefix block
+          starting right after the background prefixes; kept symbolic so
+          sweeps and journals carry five scalars instead of a 100k-event
+          trace *)
+
 type t = {
   name : string;
   topology : topology;
@@ -56,6 +73,10 @@ type t = {
       (** fault-injection plan, installed by {!Runner.run} with the flap
           start as its time origin; [None] (and trivial plans) leave the
           run bit-identical to a fault-free one *)
+  workload : workload;
+      (** multi-origin churn scheduled with the flap start as its time
+          origin; [Pulses_only] leaves the run bit-identical to a
+          workload-free one *)
 }
 
 val make :
@@ -71,6 +92,7 @@ val make :
   ?probe:probe ->
   ?settle_gap:float ->
   ?faults:Rfd_faults.Fault_plan.t ->
+  ?workload:workload ->
   topology ->
   t
 (** Defaults: announce-all policy, {!Rfd_bgp.Config.default} (no damping),
@@ -80,10 +102,14 @@ val make :
     Raises [Invalid_argument "Scenario.make: ..."] eagerly — at the call
     site that wrote the bad value — on a negative [pulses] or
     [background_prefixes], a non-positive (or NaN) [flap_interval] or
-    [settle_gap], or an [isp] node outside the topology's node range.
-    Structural topology/config/pattern/fault problems are still reported by
-    {!validate} (and by {!Runner.run}), so records built by hand or via
-    [{ s with ... }] updates are checked too. *)
+    [settle_gap], an [isp] node outside the topology's node range, a
+    topology whose shape {!validate} would reject (mesh under 3x3,
+    [Internet] with [m < 1 || m >= nodes], an empty custom graph), or an
+    invalid [workload] (bad flapper parameters; a replay trace that fails
+    {!Trace.validate}, references an out-of-range origin, or collides with
+    the background prefix range). Config/pattern/fault problems are still
+    reported by {!validate} (and by {!Runner.run}), so records built by
+    hand or via [{ s with ... }] updates are checked too. *)
 
 val with_pulses : t -> int -> t
 val paper_mesh : topology

@@ -35,6 +35,12 @@ type spec = {
   isp : int;
   table_hint : int;
   reuse_tick : float option;
+  background : int;
+  flappers : int;
+  flaps : int;
+  flap_gap : float;
+  flap_alpha : float;
+  flap_seed : int;
 }
 
 let default_spec =
@@ -50,10 +56,19 @@ let default_spec =
     isp = 0;
     table_hint = Config.default.Config.prefix_table_hint;
     reuse_tick = None;
+    background = 0;
+    flappers = 0;
+    flaps = 3;
+    flap_gap = 60.;
+    flap_alpha = 1.5;
+    flap_seed = 1;
   }
 
 let max_nodes = 100_000
 let max_pulses = 10_000
+let max_background = 200_000
+let max_flappers = 10_000
+let max_workload_events = 1_000_000
 
 (* ------------------------------------------------------------------ *)
 (* Scalar round-trips                                                  *)
@@ -163,6 +178,24 @@ let scenario_of_spec spec =
          (topo_to_string spec.topology) max_nodes)
   else if spec.pulses > max_pulses then
     Error (Printf.sprintf "pulses=%d exceeds the %d-pulse admission cap" spec.pulses max_pulses)
+  else if spec.background > max_background then
+    Error
+      (Printf.sprintf "background=%d exceeds the %d-prefix admission cap"
+         spec.background max_background)
+  else if spec.flappers > max_flappers then
+    Error
+      (Printf.sprintf "flappers=%d exceeds the %d-flapper admission cap"
+         spec.flappers max_flappers)
+  else if
+    (* division form: flappers * flaps * 2 > max_workload_events without
+       the multiplication, so an absurd flaps value cannot overflow *)
+    spec.flappers > 0 && spec.flaps > 0
+    && spec.flaps > max_workload_events / (2 * spec.flappers)
+  then
+    Error
+      (Printf.sprintf
+         "flappers=%d x flaps=%d exceeds the %d-event workload admission cap"
+         spec.flappers spec.flaps max_workload_events)
   else
     let topology =
       match spec.topology with
@@ -189,10 +222,23 @@ let scenario_of_spec spec =
       | Cisco -> Config.with_damping ~mode:spec.mode ~reuse Params.cisco base
       | Juniper -> Config.with_damping ~mode:spec.mode ~reuse Params.juniper base
     in
+    let workload =
+      if spec.flappers = 0 then Scenario.Pulses_only
+      else
+        Scenario.Flappers
+          {
+            count = spec.flappers;
+            flaps = spec.flaps;
+            mean_gap = spec.flap_gap;
+            alpha = spec.flap_alpha;
+            seed = spec.flap_seed;
+          }
+    in
     match
       Scenario.make ~name:"svc" ~policy:spec.policy ~config
         ~isp:(if spec.isp < 0 then `Random else `Node spec.isp)
-        ~pulses:spec.pulses ~flap_interval:spec.interval topology
+        ~pulses:spec.pulses ~flap_interval:spec.interval
+        ~background_prefixes:spec.background ~workload topology
     with
     | scenario -> (
         (* Scenario.make checks its own arguments eagerly; validate catches
@@ -222,7 +268,22 @@ let spec_fields spec =
     ("isp", string_of_int spec.isp);
     ("table-hint", string_of_int spec.table_hint);
   ]
-  @ match spec.reuse_tick with None -> [] | Some t -> [ ("reuse-tick", float_str t) ]
+  @ (match spec.reuse_tick with None -> [] | Some t -> [ ("reuse-tick", float_str t) ])
+  @ (if spec.background = 0 then []
+     else [ ("background", string_of_int spec.background) ])
+  @
+  (* The flapper knobs travel together: without a flapper count they have
+     nothing to parameterize, and omitting them keeps pre-workload query
+     lines (and hand-typed smoke queries) byte-stable. *)
+  if spec.flappers = 0 then []
+  else
+    [
+      ("flappers", string_of_int spec.flappers);
+      ("flaps", string_of_int spec.flaps);
+      ("flap-gap", float_str spec.flap_gap);
+      ("flap-alpha", float_str spec.flap_alpha);
+      ("flap-seed", string_of_int spec.flap_seed);
+    ]
 
 let render_request = function
   | Stats -> version ^ " stats\n"
@@ -297,6 +358,24 @@ let parse_spec tokens =
             else
               let* f = parse_float key value in
               Ok { spec with reuse_tick = Some f }
+        | "background" ->
+            let* n = parse_int key value in
+            Ok { spec with background = n }
+        | "flappers" ->
+            let* n = parse_int key value in
+            Ok { spec with flappers = n }
+        | "flaps" ->
+            let* n = parse_int key value in
+            Ok { spec with flaps = n }
+        | "flap-gap" ->
+            let* f = parse_float key value in
+            Ok { spec with flap_gap = f }
+        | "flap-alpha" ->
+            let* f = parse_float key value in
+            Ok { spec with flap_alpha = f }
+        | "flap-seed" ->
+            let* n = parse_int key value in
+            Ok { spec with flap_seed = n }
         | _ -> Error (Printf.sprintf "unknown field %S" key)
       end)
     (Ok default_spec) tokens

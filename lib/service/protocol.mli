@@ -57,12 +57,18 @@ type spec = {
   isp : int;  (** node the origin attaches to; [-1] = seeded-random *)
   table_hint : int;  (** {!Rfd_bgp.Config.prefix_table_hint} *)
   reuse_tick : float option;  (** [Some t] = RFC 2439 tick-wheel reuse *)
+  background : int;  (** steady background prefixes announced before the flap *)
+  flappers : int;  (** concurrently flapping extra prefixes; [0] = none *)
+  flaps : int;  (** withdraw/announce pairs per flapper *)
+  flap_gap : float;  (** mean inter-flap gap (seconds, Pareto-distributed) *)
+  flap_alpha : float;  (** Pareto tail exponent of the inter-flap gaps *)
+  flap_seed : int;  (** workload seed, independent of [seed] *)
 }
 
 val default_spec : spec
 (** Paper defaults, matching [rfd-sim run] with no flags: 10×10 mesh,
     Cisco damping, plain mode, shortest-path policy, 1 pulse at 60 s,
-    MRAI 30 s, seed 42, isp node 0. *)
+    MRAI 30 s, seed 42, isp node 0, no background prefixes or flappers. *)
 
 val max_nodes : int
 (** Admission cap on the requested topology size (100_000 nodes). A
@@ -72,6 +78,17 @@ val max_nodes : int
 
 val max_pulses : int
 (** Admission cap on the pulse count (10_000), same rationale. *)
+
+val max_background : int
+(** Admission cap on the background prefix count (200_000). *)
+
+val max_flappers : int
+(** Admission cap on the flapper count (10_000). *)
+
+val max_workload_events : int
+(** Admission cap on the total recorded workload size:
+    [flappers * flaps * 2] events (1_000_000) — bounds both the trace
+    expansion and the simulated update load of one admitted query. *)
 
 val topo_to_string : topo -> string
 val topo_of_string : string -> (topo, string) result
@@ -91,7 +108,10 @@ type request = Query of spec | Stats | Ping
 
 val render_request : request -> string
 (** One full line, ['\n'] included. Spec fields are always written out
-    explicitly, in a fixed order, with round-trip float formatting. *)
+    explicitly, in a fixed order, with round-trip float formatting — except
+    the workload fields ([background], [flappers], [flaps], [flap-gap],
+    [flap-alpha], [flap-seed]), which are omitted at their zero/absent
+    defaults so pre-workload query lines stay byte-stable. *)
 
 val parse_request : string -> (request, string) result
 (** Parse one request line (no trailing newline). Unknown commands,

@@ -37,6 +37,8 @@ let () =
       ("faults.plans", Test_faults.suite);
       ("experiment.intended", Test_intended.suite);
       ("experiment.pulse", Test_pulse.suite);
+      ("experiment.update_trace", Test_update_trace.suite);
+      ("experiment.workload", Test_workload.suite);
       ("experiment.sweep", Test_sweep_stats.suite);
       ("experiment.sweep_parallel", Test_sweep_parallel.suite);
       ("experiment.sweep_supervised", Test_sweep_supervised.suite);

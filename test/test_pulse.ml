@@ -79,6 +79,31 @@ let test_custom_validation () =
     (Invalid_argument "Pulse: times must be strictly increasing") (fun () ->
       ignore (Pulse.events unordered))
 
+let test_empty_custom_rejected () =
+  (* Regression: Custom [] used to pass validation and silently report
+     final_announcement = 0, shifting every phase boundary. *)
+  Alcotest.check_raises "empty custom pattern"
+    (Invalid_argument "Pulse: custom pattern must be non-empty") (fun () ->
+      ignore (Pulse.events (Pulse.Custom [])))
+
+let test_non_finite_intervals_rejected () =
+  (* Regression: an infinite mean_interval made the Poisson cross-pulse
+     nudge a no-op (inf + anything = inf), producing equal consecutive
+     times — non-finite scales are now rejected up front for every arm. *)
+  Alcotest.check_raises "poisson infinite mean"
+    (Invalid_argument "Pulse: mean_interval must be positive and finite") (fun () ->
+      ignore (Pulse.events (Pulse.Poisson { pulses = 2; mean_interval = infinity; seed = 1 })));
+  Alcotest.check_raises "periodic infinite interval"
+    (Invalid_argument "Pulse: interval must be positive and finite") (fun () ->
+      ignore (Pulse.events (Pulse.Periodic { pulses = 2; interval = infinity })));
+  Alcotest.check_raises "bursty infinite gap"
+    (Invalid_argument "Pulse: gap and burst_interval must be positive and finite")
+    (fun () ->
+      ignore
+        (Pulse.events
+           (Pulse.Bursty
+              { bursts = 2; pulses_per_burst = 1; gap = infinity; burst_interval = 5. })))
+
 let test_to_intended () =
   let p = Pulse.Periodic { pulses = 1; interval = 60. } in
   let evs = Pulse.to_intended_events p in
@@ -145,6 +170,16 @@ let prop_poisson_always_well_formed =
       let evs = Pulse.events (Pulse.Poisson { pulses; mean_interval = 10.; seed }) in
       alternating evs && strictly_increasing evs && List.length evs = 2 * pulses)
 
+let prop_poisson_extreme_means =
+  (* Cross-pulse monotonicity must survive denormal and huge means, where
+     exponential draws round to 0 or the nudge is far below one ulp. *)
+  QCheck.Test.make ~name:"poisson well-formed at extreme means" ~count:100
+    QCheck.(triple (int_range 0 2_000) (int_range 1 8) (int_range (-300) 300))
+    (fun (seed, pulses, exponent) ->
+      let mean_interval = 10. ** float_of_int exponent in
+      let evs = Pulse.events (Pulse.Poisson { pulses; mean_interval; seed }) in
+      alternating evs && strictly_increasing evs && List.length evs = 2 * pulses)
+
 let suite =
   [
     Alcotest.test_case "periodic" `Quick test_periodic;
@@ -152,9 +187,13 @@ let suite =
     Alcotest.test_case "poisson well-formed" `Quick test_poisson_well_formed;
     Alcotest.test_case "bursty" `Quick test_bursty;
     Alcotest.test_case "custom validation" `Quick test_custom_validation;
+    Alcotest.test_case "empty custom pattern rejected" `Quick test_empty_custom_rejected;
+    Alcotest.test_case "non-finite intervals rejected" `Quick
+      test_non_finite_intervals_rejected;
     Alcotest.test_case "conversion to intended events" `Quick test_to_intended;
     Alcotest.test_case "schedule into network" `Quick test_schedule_into_network;
     Alcotest.test_case "runner accepts a pattern" `Quick test_runner_with_pattern;
     Alcotest.test_case "scenario validates pattern" `Quick test_scenario_validates_pattern;
     QCheck_alcotest.to_alcotest prop_poisson_always_well_formed;
+    QCheck_alcotest.to_alcotest prop_poisson_extreme_means;
   ]

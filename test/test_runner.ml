@@ -26,7 +26,7 @@ let test_scenario_validation () =
   Alcotest.(check bool) "negative pulses" true (Result.is_error (Scenario.validate bad));
   let bad = hand_made (fun s -> { s with Scenario.flap_interval = 0. }) in
   Alcotest.(check bool) "zero interval" true (Result.is_error (Scenario.validate bad));
-  let bad = Scenario.make (Scenario.Mesh { rows = 2; cols = 2 }) in
+  let bad = hand_made (fun s -> { s with Scenario.topology = Scenario.Mesh { rows = 2; cols = 2 } }) in
   Alcotest.(check bool) "tiny mesh" true (Result.is_error (Scenario.validate bad));
   let good = Scenario.make small_mesh in
   Alcotest.(check bool) "default valid" true (Scenario.validate good = Ok ());
@@ -55,8 +55,18 @@ let test_scenario_make_rejects_eagerly () =
     (Invalid_argument
        "Scenario.make: isp node -1 is out of range for a 9-node topology (want 0..8)")
     (fun () -> ignore (Scenario.make ~isp:(`Node (-1)) small_mesh));
+  Alcotest.check_raises "tiny mesh"
+    (Invalid_argument "Scenario.make: mesh needs rows, cols >= 3 (got 2x2)") (fun () ->
+      ignore (Scenario.make (Scenario.Mesh { rows = 2; cols = 2 })));
+  Alcotest.check_raises "internet with m >= nodes"
+    (Invalid_argument "Scenario.make: internet needs 1 <= m < nodes (got nodes=4 m=4)")
+    (fun () -> ignore (Scenario.make (Scenario.Internet { nodes = 4; m = 4 })));
+  Alcotest.check_raises "empty custom graph"
+    (Invalid_argument "Scenario.make: custom graph is empty") (fun () ->
+      ignore (Scenario.make (Scenario.Custom (Rfd_topology.Graph.of_edges ~num_nodes:0 []))));
   (* boundary values stay accepted *)
-  ignore (Scenario.make ~isp:(`Node 8) ~pulses:0 ~background_prefixes:0 small_mesh)
+  ignore (Scenario.make ~isp:(`Node 8) ~pulses:0 ~background_prefixes:0 small_mesh);
+  ignore (Scenario.make (Scenario.Internet { nodes = 4; m = 3 }))
 
 let test_run_no_damping () =
   let scenario = Scenario.make ~name:"plain" ~config:(fast ~damping:false ()) small_mesh in

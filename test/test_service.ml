@@ -70,6 +70,15 @@ let test_request_round_trip () =
         isp = -1;
         reuse_tick = Some 1.25;
       };
+      {
+        (small_spec ()) with
+        Protocol.background = 250;
+        flappers = 40;
+        flaps = 2;
+        flap_gap = 7.5;
+        flap_alpha = 1.25;
+        flap_seed = 9;
+      };
     ]
   in
   List.iter
@@ -160,6 +169,31 @@ let test_spec_admission () =
     "accepted an empty mesh";
   refuse { (small_spec ()) with Protocol.interval = 0. } "accepted a 0s interval";
   refuse { (small_spec ()) with Protocol.isp = 9 } "accepted isp outside a 3x3 mesh";
+  refuse
+    { (small_spec ()) with Protocol.background = Protocol.max_background + 1 }
+    "accepted an over-cap background prefix count";
+  refuse
+    { (small_spec ()) with Protocol.flappers = Protocol.max_flappers + 1 }
+    "accepted an over-cap flapper count";
+  refuse
+    { (small_spec ()) with Protocol.flappers = 1000; flaps = 1_000_000 }
+    "accepted an over-cap workload event count";
+  refuse
+    { (small_spec ()) with Protocol.flappers = 1000; flaps = max_int / 2 }
+    "accepted an overflowing workload event count";
+  refuse
+    { (small_spec ()) with Protocol.flappers = 5; flap_alpha = 0. }
+    "accepted a zero Pareto alpha";
+  (match
+     Protocol.scenario_of_spec
+       { (small_spec ()) with Protocol.background = 10; flappers = 5; flaps = 2 }
+   with
+  | Ok scenario ->
+      Alcotest.(check bool) "workload survives elaboration" true
+        (match scenario.Rfd_experiment.Scenario.workload with
+        | Rfd_experiment.Scenario.Flappers { count = 5; flaps = 2; _ } -> true
+        | _ -> false)
+  | Error e -> Alcotest.fail e);
   match Protocol.scenario_of_spec (small_spec ()) with
   | Ok _ -> ()
   | Error e -> Alcotest.fail e

@@ -17,6 +17,14 @@ let fast_config ?(damping = true) ?(seed = 42) () =
 
 let base_scenario () = Scenario.make ~name:"par" ~config:(fast_config ()) small_mesh
 
+(* [Scenario.make] now rejects a 2x2 mesh eagerly, so the invalid record is
+   built by hand — these tests exercise the late (Runner-side) validation
+   path that hand-built records still go through. *)
+let bad_scenario () =
+  { (Scenario.make ~name:"bad" small_mesh) with
+    Scenario.topology = Scenario.Mesh { rows = 2; cols = 2 }
+  }
+
 let test_plan_shape () =
   let jobs = Sweep.plan ~pulses:[ 1; 2 ] ~seeds:[ 7; 8 ] (base_scenario ()) in
   Alcotest.(check int) "pulses x seeds jobs" 4 (List.length jobs);
@@ -51,7 +59,7 @@ let test_plan_materializes_topology () =
 
 let test_plan_keeps_invalid_scenarios () =
   (* Validation errors must still surface from Runner.run, unchanged. *)
-  let bad = Scenario.make ~name:"bad" (Scenario.Mesh { rows = 2; cols = 2 }) in
+  let bad = bad_scenario () in
   let jobs = Sweep.plan ~pulses:[ 1 ] bad in
   match jobs with
   | [ j ] ->
@@ -139,9 +147,7 @@ let test_execute_results_partial () =
      error, every other slot still carries its result — identically at any
      jobs count. *)
   let good = Sweep.plan ~pulses:[ 1; 2 ] (base_scenario ()) in
-  let bad =
-    List.hd (Sweep.plan ~pulses:[ 1 ] (Scenario.make ~name:"bad" (Scenario.Mesh { rows = 2; cols = 2 })))
-  in
+  let bad = List.hd (Sweep.plan ~pulses:[ 1 ] (bad_scenario ())) in
   let jobs_list = [ List.nth good 0; bad; List.nth good 1 ] in
   let shape outcomes =
     List.map
@@ -163,7 +169,7 @@ let test_execute_results_partial () =
   | _ -> Alcotest.fail "expected ok/error/ok"
 
 let test_run_collects_crash_failures () =
-  let bad = Scenario.make ~name:"bad" (Scenario.Mesh { rows = 2; cols = 2 }) in
+  let bad = bad_scenario () in
   let sweep = Sweep.run ~pulses:[ 1; 2; 3 ] ~jobs:4 bad in
   Alcotest.(check int) "no clean points" 0 (List.length sweep.Sweep.points);
   Alcotest.(check int) "every point is a failure" 3 (List.length sweep.Sweep.failures);

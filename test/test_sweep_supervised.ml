@@ -175,7 +175,13 @@ let test_budget_failures_classified () =
   | fs -> Alcotest.failf "expected one failure, got %d" (List.length fs)
 
 let test_crash_failures_keep_context () =
-  let bad = Scenario.make ~name:"bad" (Scenario.Mesh { rows = 2; cols = 2 }) in
+  (* make rejects the 2x2 mesh eagerly; hand-build it to crash in the runner. *)
+  let bad =
+    { (base_scenario ()) with
+      Scenario.name = "bad";
+      Scenario.topology = Scenario.Mesh { rows = 2; cols = 2 }
+    }
+  in
   let sweep = Sweep.run_supervised ~pulses:[ 1; 2 ] ~jobs:2 bad in
   Alcotest.(check int) "every point failed" 2 (List.length sweep.Sweep.failures);
   List.iter
