@@ -37,7 +37,8 @@ let ablations =
 
 let all = experiments @ ablations
 
-let lookup ~tick ~scale_json ~scale_nodes ~scale_partitions ~traffic_json name =
+let lookup ~tick ~scale_json ~scale_nodes ~scale_partitions ~traffic_json
+    ~serving_json name =
   match List.find_opt (fun (n, _, _) -> n = name) all with
   | Some (_, _, f) -> Ok f
   | None -> (
@@ -64,6 +65,13 @@ let lookup ~tick ~scale_json ~scale_nodes ~scale_partitions ~traffic_json name =
               match traffic_json with
               | Some file -> Traffic.write_json ctx ~file points
               | None -> ())
+      | "serving" ->
+          Ok
+            (fun ctx ->
+              let points = Serving.run ctx in
+              match serving_json with
+              | Some file -> Serving.write_json ctx ~file points
+              | None -> ())
       | _ -> Error (Printf.sprintf "unknown experiment %S" name))
 
 open Cmdliner
@@ -74,7 +82,8 @@ let names_arg =
     Printf.sprintf
       "Experiments to run: %s, micro, perf, scale (Internet-scale BA-graph \
        benchmark), traffic (multi-origin heavy-traffic workload benchmark), \
-       paper (all tables and figures), ablations, all. Default: paper."
+       serving (sharded-fleet queries/sec benchmark), paper (all tables and \
+       figures), ablations, all. Default: paper."
       (String.concat ", " (List.map (fun (name, _, _) -> name) all))
   in
   Arg.(value & pos_all string [ "paper" ] & info [] ~docv:"EXPERIMENT" ~doc)
@@ -141,6 +150,14 @@ let traffic_json_arg =
   in
   Arg.(value & opt (some string) None & info [ "traffic-json" ] ~docv:"FILE" ~doc)
 
+let serving_json_arg =
+  let doc =
+    "Write the $(b,serving) experiment's machine-readable results \
+     (rfd-bench/1 schema: queries/sec per shard count and cache-hit ratio) to \
+     $(docv). Only meaningful together with the $(b,serving) experiment."
+  in
+  Arg.(value & opt (some string) None & info [ "serving-json" ] ~docv:"FILE" ~doc)
+
 let jobs_arg =
   let doc =
     "Worker domains executing simulation runs in parallel (results are \
@@ -194,7 +211,7 @@ let scale_partitions_arg =
   Arg.(value & opt int 1 & info [ "scale-partitions" ] ~docv:"N" ~doc)
 
 let run names quick seed jobs csv_dir plot_dir micro json tick deadline retries scale_json
-    scale_nodes scale_partitions traffic_json =
+    scale_nodes scale_partitions traffic_json serving_json =
   let jobs = match jobs with Some j -> max 1 j | None -> Rfd.Pool.default_jobs () in
   let opts = { Context.quick; seed; jobs; csv_dir; plot_dir; deadline; retries } in
   let ctx = Context.create opts in
@@ -208,7 +225,8 @@ let run names quick seed jobs csv_dir plot_dir micro json tick deadline retries 
         | Error _ -> acc
         | Ok () -> (
             match
-              lookup ~tick ~scale_json ~scale_nodes ~scale_partitions ~traffic_json name
+              lookup ~tick ~scale_json ~scale_nodes ~scale_partitions
+                ~traffic_json ~serving_json name
             with
             | Ok f ->
                 f ctx;
@@ -234,6 +252,7 @@ let cmd =
     Term.(
       const run $ names_arg $ quick_arg $ seed_arg $ jobs_arg $ csv_arg $ plots_arg
       $ micro_arg $ json_arg $ tick_arg $ deadline_arg $ retries_arg $ scale_json_arg
-      $ scale_nodes_arg $ scale_partitions_arg $ traffic_json_arg)
+      $ scale_nodes_arg $ scale_partitions_arg $ traffic_json_arg
+      $ serving_json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,179 @@
+(* `serving` experiment: end-to-end queries/sec through the rfd-simd
+   serving path — real daemons on real Unix sockets, driven by the
+   sharded fleet client, at controlled cache-hit ratios.
+
+   Each point starts a fresh fleet (1 or 2 shards, each with its own
+   journal), primes exactly hit_ratio * Q of the Q distinct query keys,
+   then times Q fleet queries: the primed fraction is answered from the
+   store, the rest pay a full (3x3 mesh, single pulse) simulation. The
+   100% row is therefore pure serving overhead (framing, routing,
+   socket, store lookup); the 0% row is the compute-bound floor; 50% is
+   the mixed regime a warm fleet actually operates in. Shard admission
+   stays on (no --accept-any): the fleet routes every key to its owner,
+   so a single wrong-shard refusal in this bench would be a routing
+   bug, and every response is checked. *)
+
+module Json = Rfd.Json
+module Protocol = Rfd.Svc_protocol
+module Server = Rfd.Svc_server
+module Fleet = Rfd.Svc_fleet
+module Clock = Rfd.Clock
+
+let shard_counts = [ 1; 2 ]
+let hit_ratios = [ 0.0; 0.5; 1.0 ]
+let quick_queries = 12
+let paper_queries = 36
+
+type point = {
+  shards : int;
+  hit_ratio : float;
+  queries : int;
+  wall_seconds : float;
+  queries_per_sec : float;
+}
+
+(* Q distinct keys: same tiny topology, distinct seeds. Distinct keys
+   spread over the shard map and make the hit ratio exact. *)
+let spec_of_index i =
+  {
+    Protocol.default_spec with
+    Protocol.topology = Protocol.Mesh { rows = 3; cols = 3 };
+    pulses = 1;
+    seed = 1000 + i;
+  }
+
+let rm_f path = try Sys.remove path with Sys_error _ -> ()
+
+let with_fleet ~shards f =
+  let dir = Filename.temp_file "rfd-serving" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sockets =
+    List.init shards (fun i -> Filename.concat dir (Printf.sprintf "s%d.sock" i))
+  in
+  let journals =
+    List.init shards (fun i ->
+        Filename.concat dir (Printf.sprintf "s%d.journal" i))
+  in
+  let servers =
+    List.mapi
+      (fun i socket ->
+        let cfg =
+          {
+            (Server.default_config ~socket_path:socket
+               ~journal_path:(List.nth journals i))
+            with
+            Server.jobs = Some 1;
+            deadline = Some 120.;
+            retries = 0;
+            shard_id = i;
+            shard_count = shards;
+          }
+        in
+        let t = Server.create cfg in
+        (t, Domain.spawn (fun () -> Server.serve t)))
+      sockets
+  in
+  let cleanup () =
+    List.iter
+      (fun (t, d) ->
+        Server.request_stop t;
+        ignore (Domain.join d : Server.stop))
+      servers;
+    List.iter rm_f (sockets @ journals);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup (fun () -> f sockets)
+
+let run_point ~queries ~shards ~hit_ratio =
+  with_fleet ~shards @@ fun sockets ->
+  let fleet = Fleet.create ~timeout:120. ~connect_retry:5. sockets in
+  Fun.protect ~finally:(fun () -> Fleet.close fleet) @@ fun () ->
+  let specs = List.init queries spec_of_index in
+  let ask spec =
+    match Fleet.query fleet spec with
+    | Ok (Protocol.Result _) -> ()
+    | Ok (Protocol.Refused { body; _ }) ->
+        failwith (Printf.sprintf "serving bench: query refused: %s" body)
+    | Ok _ -> failwith "serving bench: unexpected response"
+    | Error e -> failwith (Printf.sprintf "serving bench: %s" e)
+  in
+  let primed = int_of_float ((hit_ratio *. float_of_int queries) +. 0.5) in
+  List.iteri (fun i spec -> if i < primed then ask spec) specs;
+  (* A mixed pass can only run once (its misses become hits), but an
+     all-hit pass is repeatable — amplify it so the wall time is well
+     above timer resolution and the point is stable enough to guard. *)
+  let passes = if primed >= queries then 50 else 1 in
+  let t0 = Clock.wall () in
+  for _ = 1 to passes do
+    List.iter ask specs
+  done;
+  let wall = Clock.wall () -. t0 in
+  let timed = queries * passes in
+  {
+    shards;
+    hit_ratio;
+    queries = timed;
+    wall_seconds = wall;
+    queries_per_sec = (if wall > 0. then float_of_int timed /. wall else 0.);
+  }
+
+let point_to_json p =
+  Json.Obj
+    [
+      ("shards", Json.Int p.shards);
+      ("hit_ratio", Json.Float p.hit_ratio);
+      ("queries", Json.Int p.queries);
+      ("wall_seconds", Json.Float p.wall_seconds);
+      ("queries_per_sec", Json.Float p.queries_per_sec);
+    ]
+
+let to_json ~quick ~seed points =
+  Json.Obj
+    [
+      ("schema", Json.String "rfd-bench/1");
+      ("experiment", Json.String "serving");
+      ("scale", Json.String (if quick then "quick" else "paper"));
+      ("seed", Json.Int seed);
+      ("points", Json.List (List.map point_to_json points));
+    ]
+
+let run (ctx : Context.t) =
+  let opts = ctx.Context.opts in
+  let queries = if opts.Context.quick then quick_queries else paper_queries in
+  print_newline ();
+  print_endline "== serving: fleet queries/sec vs shards and cache-hit ratio ==";
+  Printf.printf "%7s %10s %8s %10s %12s\n" "shards" "hit ratio" "queries"
+    "wall(s)" "queries/s";
+  let points =
+    List.concat_map
+      (fun shards ->
+        List.map
+          (fun hit_ratio ->
+            let p = run_point ~queries ~shards ~hit_ratio in
+            Printf.printf "%7d %9.0f%% %8d %10.3f %12.1f\n%!" p.shards
+              (100. *. p.hit_ratio) p.queries p.wall_seconds p.queries_per_sec;
+            p)
+          hit_ratios)
+      shard_counts
+  in
+  Context.write_csv ctx ~name:"serving"
+    ~header:[ "shards"; "hit_ratio"; "queries"; "wall_seconds"; "queries_per_sec" ]
+    ~rows:
+      (List.map
+         (fun p ->
+           [
+             string_of_int p.shards;
+             Printf.sprintf "%.2f" p.hit_ratio;
+             string_of_int p.queries;
+             Printf.sprintf "%.4f" p.wall_seconds;
+             Printf.sprintf "%.1f" p.queries_per_sec;
+           ])
+         points);
+  points
+
+let write_json ctx ~file points =
+  let opts = ctx.Context.opts in
+  Json.write_file file
+    (to_json ~quick:opts.Context.quick ~seed:opts.Context.seed points);
+  Printf.printf "[serving baseline written to %s]\n" file

@@ -762,7 +762,20 @@ module Svc = Rfd.Svc_protocol
 
 let socket_arg =
   let doc = "Unix-domain socket of the rfd-simd daemon." in
-  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let fleet_arg =
+  let doc =
+    "Comma-separated rfd-simd sockets forming a sharded fleet. The query is \
+     routed to the shard owning its key and fails over, through per-shard \
+     circuit breakers, to the next healthy shard on refusal or transport \
+     error. Socket order is the shard map: every client of one fleet must \
+     pass the same list in the same order."
+  in
+  Arg.(
+    value
+    & opt (some (list ~sep:',' string)) None
+    & info [ "fleet" ] ~docv:"SOCK1,SOCK2,..." ~doc)
 
 let svc_topo_conv =
   Arg.conv
@@ -830,110 +843,192 @@ let query_man =
        journalled watchdog timeout, or a draining server.";
   ]
 
-let query_cmd =
-  let action socket topology damping mode policy pulses interval mrai seed isp
-      table_hint reuse_tick background flappers flaps flap_gap flap_alpha flap_seed
-      timeout connect_retry attempts do_stats do_ping =
-    let client =
-      match Rfd.Svc_client.connect ~timeout ~retry_for:connect_retry socket with
-      | client -> client
-      | exception e ->
-          Format.eprintf "rfd-sim query: cannot connect to %s: %s@." socket
-            (Printexc.to_string e);
-          exit exit_crashed
-    in
-    Fun.protect ~finally:(fun () -> Rfd.Svc_client.close client) @@ fun () ->
-    if do_ping then begin
-      if Rfd.Svc_client.ping client then print_endline "pong"
-      else begin
-        Format.eprintf "rfd-sim query: no pong from %s@." socket;
+(* Shared by the single-socket and fleet paths: print the body (stdout
+   stays pure JSON — CI diffs it byte-for-byte across hit, miss, restart
+   and failover) and map refusal codes onto the exit-code convention. *)
+let finish_query = function
+  | Error e ->
+      Format.eprintf "rfd-sim query: %s@." e;
+      exit exit_crashed
+  | Ok (Svc.Result { cached; body }) ->
+      Format.eprintf "rfd-sim query: cache %s@."
+        (if cached then "hit" else "miss");
+      print_endline body
+  | Ok (Svc.Refused { code; body }) -> (
+      Format.eprintf "rfd-sim query: refused (%s): %s@."
+        (Svc.error_code_to_string code)
+        body;
+      match code with
+      | Svc.Overloaded | Svc.Timeout | Svc.Shutting_down | Svc.Wrong_shard ->
+          exit exit_degraded
+      | Svc.Invalid | Svc.Crashed -> exit exit_crashed)
+  | Ok Svc.Pong | Ok (Svc.Stats _) ->
+      Format.eprintf "rfd-sim query: unexpected response@.";
+      exit exit_crashed
+
+let query_single ~timeout ~connect_retry ~attempts ~do_ping ~do_stats socket
+    spec =
+  let client =
+    match Rfd.Svc_client.connect ~timeout ~retry_for:connect_retry socket with
+    | client -> client
+    | exception e ->
+        Format.eprintf "rfd-sim query: cannot connect to %s: %s@." socket
+          (Printexc.to_string e);
         exit exit_crashed
-      end
-    end
-    else if do_stats then begin
-      match Rfd.Svc_client.stats client with
-      | Ok body -> print_endline body
-      | Error e ->
-          Format.eprintf "rfd-sim query: %s@." e;
-          exit exit_crashed
-    end
-    else begin
-      let spec =
-        {
-          Svc.topology;
-          damping;
-          mode;
-          policy;
-          pulses;
-          interval;
-          mrai;
-          seed;
-          isp;
-          table_hint;
-          reuse_tick;
-          background;
-          flappers;
-          flaps;
-          flap_gap;
-          flap_alpha;
-          flap_seed;
-        }
-      in
-      match Rfd.Svc_client.query ~attempts client spec with
-      | Error e ->
-          Format.eprintf "rfd-sim query: %s@." e;
-          exit exit_crashed
-      | Ok (Svc.Result { cached; body }) ->
-          (* The hit/miss marker goes to stderr so stdout stays pure JSON
-             — CI diffs it byte-for-byte across hit, miss and restart. *)
-          Format.eprintf "rfd-sim query: cache %s@."
-            (if cached then "hit" else "miss");
-          print_endline body
-      | Ok (Svc.Refused { code; body }) -> (
-          Format.eprintf "rfd-sim query: refused (%s): %s@."
-            (Svc.error_code_to_string code)
-            body;
-          match code with
-          | Svc.Overloaded | Svc.Timeout | Svc.Shutting_down ->
-              exit exit_degraded
-          | Svc.Invalid | Svc.Crashed -> exit exit_crashed)
-      | Ok Svc.Pong | Ok (Svc.Stats _) ->
-          Format.eprintf "rfd-sim query: unexpected response@.";
-          exit exit_crashed
-    end
   in
-  let doc = "query an rfd-simd daemon for a (cached) simulation result" in
+  Fun.protect ~finally:(fun () -> Rfd.Svc_client.close client) @@ fun () ->
+  if do_ping then begin
+    if Rfd.Svc_client.ping client then print_endline "pong"
+    else begin
+      Format.eprintf "rfd-sim query: no pong from %s@." socket;
+      exit exit_crashed
+    end
+  end
+  else if do_stats then begin
+    match Rfd.Svc_client.stats client with
+    | Ok body -> print_endline body
+    | Error e ->
+        Format.eprintf "rfd-sim query: %s@." e;
+        exit exit_crashed
+  end
+  else finish_query (Rfd.Svc_client.query ~attempts client spec)
+
+let query_fleet ~timeout ~connect_retry ~attempts ~do_ping ~do_stats sockets
+    spec =
+  let fleet =
+    match Rfd.Svc_fleet.create ~timeout ~connect_retry sockets with
+    | fleet -> fleet
+    | exception Invalid_argument msg ->
+        Format.eprintf "rfd-sim query: bad --fleet: %s@." msg;
+        exit exit_crashed
+  in
+  Fun.protect ~finally:(fun () -> Rfd.Svc_fleet.close fleet) @@ fun () ->
+  if do_ping then begin
+    let healthy = ref 0 in
+    List.iteri
+      (fun i socket ->
+        if Rfd.Svc_fleet.ping_shard fleet i then incr healthy
+        else Format.eprintf "rfd-sim query: no pong from shard %d (%s)@." i socket)
+      sockets;
+    Format.printf "pong %d/%d@." !healthy (List.length sockets);
+    if !healthy = 0 then exit exit_crashed
+    else if !healthy < List.length sockets then exit exit_degraded
+  end
+  else if do_stats then begin
+    (* One stats JSON line per shard, in shard order. *)
+    let degraded = ref false in
+    List.iter
+      (fun (socket, body) ->
+        match body with
+        | Ok body -> print_endline body
+        | Error e ->
+            degraded := true;
+            Format.eprintf "rfd-sim query: stats from %s: %s@." socket e)
+      (Rfd.Svc_fleet.stats fleet);
+    if !degraded then exit exit_degraded
+  end
+  else finish_query (Rfd.Svc_fleet.query ~attempts fleet spec)
+
+let query_cmd =
+  let action socket fleet topology damping mode policy pulses interval mrai seed
+      isp table_hint reuse_tick background flappers flaps flap_gap flap_alpha
+      flap_seed timeout connect_retry attempts do_stats do_ping =
+    let spec =
+      {
+        Svc.topology;
+        damping;
+        mode;
+        policy;
+        pulses;
+        interval;
+        mrai;
+        seed;
+        isp;
+        table_hint;
+        reuse_tick;
+        background;
+        flappers;
+        flaps;
+        flap_gap;
+        flap_alpha;
+        flap_seed;
+      }
+    in
+    match (socket, fleet) with
+    | Some _, Some _ ->
+        Format.eprintf "rfd-sim query: --socket and --fleet are exclusive@.";
+        exit exit_crashed
+    | None, None ->
+        Format.eprintf "rfd-sim query: one of --socket or --fleet is required@.";
+        exit exit_crashed
+    | Some socket, None ->
+        query_single ~timeout ~connect_retry ~attempts ~do_ping ~do_stats socket
+          spec
+    | None, Some sockets ->
+        query_fleet ~timeout ~connect_retry ~attempts ~do_ping ~do_stats sockets
+          spec
+  in
+  let doc = "query an rfd-simd daemon (or sharded fleet) for a simulation result" in
   Cmd.v
     (Cmd.info "query" ~doc ~man:query_man)
     Term.(
-      const action $ socket_arg $ svc_topology_arg $ svc_damping_arg $ mode_arg
-      $ policy_arg $ pulses_arg $ interval_arg $ mrai_arg $ seed_arg $ isp_arg
-      $ table_hint_arg $ reuse_tick_arg $ background_arg $ flappers_arg $ flaps_arg
-      $ flap_gap_arg $ flap_alpha_arg $ flap_seed_arg $ query_timeout_arg
-      $ connect_retry_arg $ attempts_arg $ stats_flag $ ping_flag)
+      const action $ socket_arg $ fleet_arg $ svc_topology_arg $ svc_damping_arg
+      $ mode_arg $ policy_arg $ pulses_arg $ interval_arg $ mrai_arg $ seed_arg
+      $ isp_arg $ table_hint_arg $ reuse_tick_arg $ background_arg $ flappers_arg
+      $ flaps_arg $ flap_gap_arg $ flap_alpha_arg $ flap_seed_arg
+      $ query_timeout_arg $ connect_retry_arg $ attempts_arg $ stats_flag
+      $ ping_flag)
 
 (* ------------------------------------------------------------------ *)
 (* journal-compact                                                     *)
 
 let journal_compact_cmd =
-  let action path =
-    match Rfd.Journal.compact path with
-    | c ->
-        Format.printf
-          "compacted %s: kept %d entr%s, dropped %d duplicate(s), %d corrupt \
-           line(s)@."
-          path c.Rfd.Journal.kept
-          (if c.Rfd.Journal.kept = 1 then "y" else "ies")
-          c.Rfd.Journal.dropped_duplicates c.Rfd.Journal.dropped_corrupt
-    | exception Failure msg ->
-        Format.eprintf "rfd-sim journal-compact: %s@." msg;
-        exit exit_crashed
-    | exception Sys_error msg ->
-        Format.eprintf "rfd-sim journal-compact: %s@." msg;
-        exit exit_crashed
+  let action check path =
+    if check then begin
+      match Rfd.Journal.check path with
+      | r ->
+          Format.printf
+            "checked %s: %d valid line(s), %d duplicate(s), %d corrupt \
+             line(s)%s@."
+            path r.Rfd.Journal.checked_valid r.Rfd.Journal.checked_duplicates
+            r.Rfd.Journal.checked_corrupt
+            (if r.Rfd.Journal.checked_torn then ", torn tail" else "");
+          if r.Rfd.Journal.checked_corrupt > 0 then exit exit_crashed
+      | exception Failure msg ->
+          Format.eprintf "rfd-sim journal-compact: %s@." msg;
+          exit exit_crashed
+      | exception Sys_error msg ->
+          Format.eprintf "rfd-sim journal-compact: %s@." msg;
+          exit exit_crashed
+    end
+    else
+      match Rfd.Journal.compact path with
+      | c ->
+          Format.printf
+            "compacted %s: kept %d entr%s, dropped %d duplicate(s), %d corrupt \
+             line(s)@."
+            path c.Rfd.Journal.kept
+            (if c.Rfd.Journal.kept = 1 then "y" else "ies")
+            c.Rfd.Journal.dropped_duplicates c.Rfd.Journal.dropped_corrupt
+      | exception Failure msg ->
+          Format.eprintf "rfd-sim journal-compact: %s@." msg;
+          exit exit_crashed
+      | exception Sys_error msg ->
+          Format.eprintf "rfd-sim journal-compact: %s@." msg;
+          exit exit_crashed
+  in
+  let check_arg =
+    let doc =
+      "Verify only — digest-check every line and report valid / duplicate / \
+       corrupt counts without writing a byte (safe on a journal a live \
+       daemon holds open). Exits 1 if any corrupt line is found; a torn \
+       unterminated tail (the benign kill -9 signature) is reported but is \
+       not corruption."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
   in
   let file_arg =
-    let doc = "The rfd-journal/1 file to compact in place." in
+    let doc = "The rfd-journal/1 file to compact (or, with --check, verify)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
   let doc =
@@ -946,10 +1041,13 @@ let journal_compact_cmd =
         "Compaction is atomic (write to a temp file, fsync, rename) and \
          byte-preserving: surviving lines are copied verbatim, so results \
          replayed from the compacted journal are identical to before. Do not \
-         run it while a daemon or sweep holds the journal open for writing.";
+         run it while a daemon or sweep holds the journal open for writing. \
+         $(b,--check) never writes and is safe at any time.";
     ]
   in
-  Cmd.v (Cmd.info "journal-compact" ~doc ~man) Term.(const action $ file_arg)
+  Cmd.v
+    (Cmd.info "journal-compact" ~doc ~man)
+    Term.(const action $ check_arg $ file_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -70,6 +70,29 @@ let no_compact_arg =
   let doc = "Skip journal compaction at startup." in
   Arg.(value & flag & info [ "no-compact" ] ~doc)
 
+let shard_id_arg =
+  let doc =
+    "This daemon's index in a sharded fleet (0-based, < $(b,--shard-count)). \
+     With sharding on, a query whose key another shard owns is refused with a \
+     $(b,wrong-shard) response instead of being served."
+  in
+  Arg.(value & opt int 0 & info [ "shard-id" ] ~docv:"I" ~doc)
+
+let shard_count_arg =
+  let doc =
+    "Number of shards in the fleet; 1 (the default) disables shard admission."
+  in
+  Arg.(value & opt int 1 & info [ "shard-count" ] ~docv:"N" ~doc)
+
+let accept_any_arg =
+  let doc =
+    "Serve keys owned by other shards too, while still reporting this \
+     daemon's shard identity in $(b,stats). This is the failover \
+     deployment: the fleet client routes each key to its owner and falls \
+     back to any accepting shard when the owner is down."
+  in
+  Arg.(value & flag & info [ "accept-any" ] ~doc)
+
 let man =
   [
     `S Manpage.s_exit_status;
@@ -87,7 +110,7 @@ let man =
   ]
 
 let main socket journal jobs deadline retries max_pending cache io_timeout
-    drain_grace no_compact =
+    drain_grace no_compact shard_id shard_count accept_any =
   let cfg =
     {
       Server.socket_path = socket;
@@ -100,6 +123,9 @@ let main socket journal jobs deadline retries max_pending cache io_timeout
       io_timeout;
       drain_grace;
       compact_on_start = not no_compact;
+      shard_id;
+      shard_count;
+      accept_any;
     }
   in
   match Server.create cfg with
@@ -132,6 +158,7 @@ let cmd =
     Term.(
       const main $ socket_arg $ journal_arg $ jobs_arg $ deadline_arg
       $ retries_arg $ max_pending_arg $ cache_arg $ io_timeout_arg
-      $ drain_grace_arg $ no_compact_arg)
+      $ drain_grace_arg $ no_compact_arg $ shard_id_arg $ shard_count_arg
+      $ accept_any_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -53,6 +53,9 @@ module Svc_protocol = Rfd_service.Protocol
 module Svc_store = Rfd_service.Store
 module Svc_server = Rfd_service.Server
 module Svc_client = Rfd_service.Client
+module Svc_shard = Rfd_service.Shard
+module Svc_fleet = Rfd_service.Fleet
+module Svc_chaos = Rfd_service.Chaos
 
 let cisco_damping_config = Config.with_damping Params.cisco Config.default
 let juniper_damping_config = Config.with_damping Params.juniper Config.default

@@ -75,6 +75,22 @@ val render_line : key:string -> outcome -> string
     newline included — lets a caller that tracks file offsets (the result
     store's index) compute an entry's extent without a [stat] race. *)
 
+type check_report = {
+  checked_valid : int;  (** lines whose digest verifies *)
+  checked_duplicates : int;  (** valid lines superseding an earlier key *)
+  checked_corrupt : int;
+      (** terminated lines that fail to parse or digest-verify *)
+  checked_torn : bool;
+      (** the file ends in an unterminated, unparsable fragment — the
+          benign signature of a SIGKILL mid-append, not corruption *)
+}
+
+val check : string -> check_report
+(** Read-only integrity verification: digest-check every line without
+    decoding payloads and without writing a byte — safe to run on a
+    journal a live daemon holds open. Raises [Failure] on a missing
+    header, [Sys_error] on an unreadable path. *)
+
 type compaction = {
   kept : int;  (** distinct keys surviving into the rewritten file *)
   dropped_duplicates : int;

@@ -1,0 +1,201 @@
+(* A deterministic fault-injecting proxy for serving-path tests.
+
+   Sits between a client and an rfd-simd socket and breaks the transport
+   in exactly the way the test asked for: the fault applied to connection
+   [i] is [plan i], a pure function, so every failure path in Client and
+   Fleet is driven reproducibly, in-process, with no real daemon crashes
+   or kernel timing in the loop — the serving-layer analogue of the
+   PR 3 fault plans.
+
+   The proxy is line-oriented (the rfd-svc/1 framing) and handles one
+   connection at a time in its own domain; a fault applies to the first
+   request/response exchange of its connection, after which the
+   connection behaves transparently. Genuine ECONNREFUSED is outside any
+   proxy's reach — point the client at a dead socket path for that. *)
+
+module Rng = Rfd_engine.Rng
+
+type fault =
+  | Pass  (* transparent forwarding *)
+  | Refuse  (* close the accepted connection before reading anything *)
+  | Close_mid_line  (* forward, then send only half the response line *)
+  | Truncate of int  (* forward, then send only the first N bytes *)
+  | Garbage  (* answer with a non-protocol line instead of forwarding *)
+  | Delay of float  (* forward, but sit on the response for N seconds *)
+
+let fault_to_string = function
+  | Pass -> "pass"
+  | Refuse -> "refuse"
+  | Close_mid_line -> "close-mid-line"
+  | Truncate n -> Printf.sprintf "truncate:%d" n
+  | Garbage -> "garbage"
+  | Delay d -> Printf.sprintf "delay:%g" d
+
+(* A deterministic plan from a seed: connection i draws the i-th value
+   of the seeded stream. Same seed, same faults, every run. *)
+let seeded_plan ~seed faults =
+  let faults = Array.of_list faults in
+  if Array.length faults = 0 then invalid_arg "Chaos.seeded_plan: no faults";
+  fun i ->
+    let rng = Rng.create (Hashtbl.hash (seed, i)) in
+    faults.(Rng.int rng (Array.length faults))
+
+(* Connection i takes faults.(i), and everything past the list passes. *)
+let script_plan faults =
+  let faults = Array.of_list faults in
+  fun i -> if i < Array.length faults then faults.(i) else Pass
+
+type t = {
+  socket : string;
+  stop_flag : bool Atomic.t;
+  accepted : int Atomic.t;
+  mutable domain : unit Domain.t option;
+}
+
+let garbage_line = "%% chaos: not an rfd-svc line %%\n"
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go pos =
+    if pos < len then
+      match Unix.write_substring fd s pos (len - pos) with
+      | n -> go (pos + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+  in
+  go 0
+
+(* Blocking '\n'-terminated read with its own carry buffer. *)
+type line_reader = { fd : Unix.file_descr; carry : Buffer.t }
+
+let reader fd = { fd; carry = Buffer.create 512 }
+
+let read_line r =
+  let buf = Bytes.create 4096 in
+  let take i =
+    let all = Buffer.contents r.carry in
+    let line = String.sub all 0 (i + 1) in
+    Buffer.clear r.carry;
+    Buffer.add_substring r.carry all (i + 1) (String.length all - i - 1);
+    line
+  in
+  let find () = String.index_opt (Buffer.contents r.carry) '\n' in
+  let rec go () =
+    match find () with
+    | Some i -> Some (take i)
+    | None -> (
+        match Unix.read r.fd buf 0 4096 with
+        | 0 -> None
+        | n ->
+            Buffer.add_subbytes r.carry buf 0 n;
+            go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error _ -> None)
+  in
+  go ()
+
+(* One proxied connection, sequential request/response roundtrips. The
+   fault fires on roundtrip 0; later roundtrips pass through. *)
+let handle_conn ~io_timeout ~upstream fault client_fd =
+  let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> () in
+  match fault with
+  | Refuse -> close_quietly client_fd
+  | _ -> (
+      let up =
+        match
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          match Unix.connect fd (Unix.ADDR_UNIX upstream) with
+          | () -> fd
+          | exception e ->
+              close_quietly fd;
+              raise e
+        with
+        | fd -> Some fd
+        | exception Unix.Unix_error _ -> None
+      in
+      match up with
+      | None -> close_quietly client_fd (* dead upstream = dead transport *)
+      | Some up_fd ->
+          Unix.setsockopt_float client_fd Unix.SO_RCVTIMEO io_timeout;
+          Unix.setsockopt_float up_fd Unix.SO_RCVTIMEO io_timeout;
+          let from_client = reader client_fd in
+          let from_up = reader up_fd in
+          let rec loop roundtrip =
+            match read_line from_client with
+            | None -> ()
+            | Some request -> (
+                write_all up_fd request;
+                match read_line from_up with
+                | None -> ()
+                | Some response -> (
+                    let fault = if roundtrip = 0 then fault else Pass in
+                    match fault with
+                    | Refuse -> ()
+                    | Pass ->
+                        write_all client_fd response;
+                        loop (roundtrip + 1)
+                    | Delay d ->
+                        Unix.sleepf d;
+                        write_all client_fd response;
+                        loop (roundtrip + 1)
+                    | Garbage ->
+                        write_all client_fd garbage_line;
+                        loop (roundtrip + 1)
+                    | Close_mid_line ->
+                        write_all client_fd
+                          (String.sub response 0 (String.length response / 2))
+                    | Truncate n ->
+                        write_all client_fd
+                          (String.sub response 0
+                             (min (max n 0) (String.length response)))))
+          in
+          (try loop 0 with Unix.Unix_error _ -> ());
+          close_quietly up_fd;
+          close_quietly client_fd)
+
+let serve_loop ~io_timeout ~upstream ~plan t listen_fd =
+  let rec loop () =
+    if not (Atomic.get t.stop_flag) then begin
+      (match Unix.select [ listen_fd ] [] [] 0.05 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+          match Unix.accept listen_fd with
+          | fd, _ ->
+              let i = Atomic.fetch_and_add t.accepted 1 in
+              handle_conn ~io_timeout ~upstream (plan i) fd
+          | exception
+              Unix.Unix_error
+                ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _) ->
+              ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ();
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  try Unix.unlink t.socket with Unix.Unix_error _ | Sys_error _ -> ()
+
+let start ?(io_timeout = 30.) ~socket ~upstream plan =
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     (try Unix.unlink socket with Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+     Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+     Unix.listen listen_fd 16
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let t =
+    { socket; stop_flag = Atomic.make false; accepted = Atomic.make 0; domain = None }
+  in
+  t.domain <-
+    Some (Domain.spawn (fun () -> serve_loop ~io_timeout ~upstream ~plan t listen_fd));
+  t
+
+let connections t = Atomic.get t.accepted
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  match t.domain with
+  | None -> ()
+  | Some d ->
+      t.domain <- None;
+      Domain.join d

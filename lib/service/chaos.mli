@@ -1,0 +1,47 @@
+(** A deterministic fault-injecting proxy for serving-path tests.
+
+    Sits between a client and an rfd-simd socket and breaks the
+    transport in exactly the way the test asked for: the fault applied
+    to connection [i] is [plan i], a pure function, so every failure
+    path in {!Client} and {!Fleet} is driven reproducibly, in-process,
+    with no real daemon crashes or kernel timing in the loop.
+
+    The proxy handles one connection at a time in its own domain; a
+    fault applies to the first request/response exchange of its
+    connection, after which the connection behaves transparently.
+    Genuine ECONNREFUSED is outside any proxy's reach — point the
+    client at a dead socket path for that. *)
+
+type fault =
+  | Pass  (** transparent forwarding *)
+  | Refuse  (** close the accepted connection before reading anything *)
+  | Close_mid_line  (** forward, then send only half the response line *)
+  | Truncate of int  (** forward, then send only the first N bytes *)
+  | Garbage  (** answer with a non-protocol line instead of forwarding *)
+  | Delay of float  (** forward, but sit on the response for N seconds *)
+
+val fault_to_string : fault -> string
+
+val seeded_plan : seed:int -> fault list -> int -> fault
+(** [seeded_plan ~seed faults] draws connection [i]'s fault from the
+    seeded stream — same seed, same fault sequence, every run, so a
+    failing schedule is a seed, not a flake. Raises [Invalid_argument]
+    on an empty fault list. *)
+
+val script_plan : fault list -> int -> fault
+(** Connection [i] takes the [i]-th listed fault; connections past the
+    end of the list pass through. *)
+
+type t
+
+val start : ?io_timeout:float -> socket:string -> upstream:string -> (int -> fault) -> t
+(** [start ~socket ~upstream plan] binds [socket], spawns the proxy
+    domain and forwards to [upstream]. [io_timeout] (default 30s)
+    bounds each read on either side. *)
+
+val connections : t -> int
+(** Connections accepted so far. *)
+
+val stop : t -> unit
+(** Stop accepting, join the proxy domain and unlink the socket.
+    Idempotent. *)

@@ -2,7 +2,10 @@ module Supervisor = Rfd_engine.Supervisor
 
 type t = {
   fd : Unix.file_descr;
-  mutable inbuf : string;  (* bytes read past the last returned line *)
+  inbuf : Buffer.t;  (* bytes read past the last returned line *)
+  scratch : Bytes.t;  (* one reusable read buffer per connection *)
+  mutable scanned : int;  (* inbuf prefix already searched for '\n' *)
+  mutable failed : bool;  (* poisoned by a transport or framing error *)
   mutable closed : bool;
 }
 
@@ -28,13 +31,30 @@ let connect ?(timeout = 60.) ?(retry_for = 0.) path =
   let fd = attempt () in
   Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
   Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
-  { fd; inbuf = ""; closed = false }
+  {
+    fd;
+    inbuf = Buffer.create 4096;
+    scratch = Bytes.create 4096;
+    scanned = 0;
+    failed = false;
+    closed = false;
+  }
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
+
+(* A transport (or framing) error leaves the connection in an unknown
+   state: a timed-out request's response may still arrive later and
+   would be mispaired with the next request. Poison the client instead —
+   every subsequent call fails fast and the caller reconnects. *)
+let poison t msg =
+  t.failed <- true;
+  Error msg
+
+let usable t = not (t.closed || t.failed)
 
 let send_all t line =
   let len = String.length line in
@@ -46,43 +66,67 @@ let send_all t line =
   in
   go 0
 
-(* Read up to (and including) the next '\n'; surplus bytes stay buffered
-   for the next call, so pipelined responses are never lost. *)
+(* Split the next '\n'-terminated line off the front of [inbuf],
+   leaving surplus bytes (pipelined responses) buffered. *)
+let take_line t i =
+  let all = Buffer.contents t.inbuf in
+  let line = String.sub all 0 i in
+  Buffer.clear t.inbuf;
+  Buffer.add_substring t.inbuf all (i + 1) (String.length all - i - 1);
+  t.scanned <- 0;
+  line
+
+(* Read up to (and including) the next '\n'. Appends into a Buffer (so a
+   long line costs amortized O(n), not O(n^2) string re-copies) and only
+   scans bytes it has not scanned before. *)
 let read_line t =
-  let buf = Bytes.create 4096 in
+  let find_newline () =
+    let len = Buffer.length t.inbuf in
+    let rec go i =
+      if i >= len then begin
+        t.scanned <- len;
+        None
+      end
+      else if Buffer.nth t.inbuf i = '\n' then Some i
+      else go (i + 1)
+    in
+    go t.scanned
+  in
   let rec go () =
-    match String.index_opt t.inbuf '\n' with
-    | Some i ->
-        let line = String.sub t.inbuf 0 i in
-        t.inbuf <-
-          String.sub t.inbuf (i + 1) (String.length t.inbuf - i - 1);
-        Ok line
+    match find_newline () with
+    | Some i -> Ok (take_line t i)
     | None -> (
-        match Unix.read t.fd buf 0 4096 with
-        | 0 -> Error "connection closed by server"
+        match Unix.read t.fd t.scratch 0 (Bytes.length t.scratch) with
+        | 0 -> poison t "connection closed by server"
         | n ->
-            t.inbuf <- t.inbuf ^ Bytes.sub_string buf 0 n;
+            Buffer.add_subbytes t.inbuf t.scratch 0 n;
             go ()
         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
           ->
-            Error "receive timeout"
+            poison t "receive timeout"
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
         | exception Unix.Unix_error (e, _, _) ->
-            Error (Unix.error_message e))
+            poison t (Unix.error_message e))
   in
   go ()
 
 let roundtrip t request =
-  if t.closed then Error "client is closed"
+  if not (usable t) then Error "client is closed"
   else
     match send_all t (Protocol.render_request request) with
     | () -> (
         match read_line t with
         | Error _ as e -> e
-        | Ok line -> Protocol.parse_response line)
+        | Ok line -> (
+            match Protocol.parse_response line with
+            | Ok _ as ok -> ok
+            | Error msg ->
+                (* An unparsable line means the framing is gone; nothing
+                   later on this connection can be trusted either. *)
+                poison t msg))
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-        Error "send timeout"
-    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+        poison t "send timeout"
+    | exception Unix.Unix_error (e, _, _) -> poison t (Unix.error_message e)
 
 let ping t = match roundtrip t Protocol.Ping with Ok Protocol.Pong -> true | _ -> false
 

@@ -1,0 +1,94 @@
+(** Fleet client: one logical rfd-svc/1 endpoint over many rfd-simd
+    shards.
+
+    Each query is keyed exactly the way the daemons key it (resolve
+    the spec, digest the (scenario, seed, pulses) triple) and routed
+    to the shard {!Shard.owner} names. Around every shard sits a
+    circuit breaker (closed → open → half-open): a transport error or
+    drain refusal counts a failure, enough consecutive failures trip
+    the breaker, and an open breaker parks the shard until a
+    deterministic deadline — delays come from
+    [Supervisor.backoff_delay] keyed by the shard's socket and trip
+    count, never from a random source.
+
+    When the owner cannot serve, the query fails over through the
+    remaining shards in ring order. That is correct, not merely
+    available: results are a pure function of the key's scenario, so
+    any daemon that answers, answers byte-identically. *)
+
+type t
+
+type breaker = Closed | Open | Half_open
+
+val breaker_to_string : breaker -> string
+
+val create :
+  ?timeout:float ->
+  ?connect_retry:float ->
+  ?breaker_threshold:int ->
+  ?backoff_base:float ->
+  ?now:(unit -> float) ->
+  string list ->
+  t
+(** [create sockets] builds a fleet client over the given shard map
+    (socket order is the map — see {!Shard.make}, whose validation
+    this inherits). [timeout] (default 300s) and [connect_retry]
+    (default 0s) are passed to each per-shard {!Client.connect};
+    connections are opened lazily and dropped on failure.
+    [breaker_threshold] (default 1) is the consecutive-failure count
+    that trips a breaker; [backoff_base] (default 0.25s) scales the
+    deterministic open intervals. [now] (default
+    [Unix.gettimeofday]) is the breaker clock — injectable so tests
+    can pin the open/half-open transitions exactly. *)
+
+val query : ?attempts:int -> t -> Protocol.spec -> (Protocol.response, string) result
+(** Route the spec's key to its owner and fail over along the ring.
+    [attempts] (default 5) is each shard's overloaded-retry budget
+    (see {!Client.query}). Classification: [wrong-shard] and
+    [overloaded] refusals fail over {e without} a breaker penalty (the
+    shard is healthy); transport errors and [shutting-down] count as
+    breaker failures; [invalid], [crashed] and [timeout] are
+    properties of the query, not the shard, and return as-is. An
+    invalid spec never reaches a socket: it is refused locally with a
+    body byte-identical to a daemon's own refusal. [Error] only when
+    no shard could serve the key at all. *)
+
+val ping : t -> bool
+(** Health-check every shard (updating breakers); [true] only when the
+    whole fleet answers. *)
+
+val ping_shard : t -> int -> bool
+
+val stats : t -> (string * (string, string) result) list
+(** Per-shard stats JSON (or the error that prevented fetching it), in
+    shard-map order. *)
+
+(** {1 Introspection} *)
+
+val shard_count : t -> int
+
+val owner : t -> string -> int
+(** The shard index owning a key, per {!Shard.owner_of_key}. *)
+
+val key_of_spec : t -> Protocol.spec -> (string, string) result
+(** The daemon-identical cache key for a spec — exposed for tests and
+    for routing audits. *)
+
+val breaker_state : t -> int -> breaker
+(** Current breaker state of shard [i]; an expired open interval is
+    observed as [Half_open]. *)
+
+type shard_info = {
+  shard_socket : string;
+  shard_breaker : breaker;
+  shard_served : int;
+  shard_failures : int;
+  shard_trips : int;
+}
+
+val info : t -> shard_info list
+(** Per-shard counters, in shard-map order. *)
+
+val close : t -> unit
+(** Close every per-shard connection. The fleet remains usable —
+    connections reopen lazily. *)

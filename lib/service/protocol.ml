@@ -404,7 +404,13 @@ let parse_request line =
 (* ------------------------------------------------------------------ *)
 (* Responses                                                           *)
 
-type error_code = Invalid | Overloaded | Crashed | Timeout | Shutting_down
+type error_code =
+  | Invalid
+  | Overloaded
+  | Crashed
+  | Timeout
+  | Shutting_down
+  | Wrong_shard
 
 let error_code_to_string = function
   | Invalid -> "invalid"
@@ -412,6 +418,7 @@ let error_code_to_string = function
   | Crashed -> "crashed"
   | Timeout -> "timeout"
   | Shutting_down -> "shutting-down"
+  | Wrong_shard -> "wrong-shard"
 
 let error_code_of_string = function
   | "invalid" -> Some Invalid
@@ -419,6 +426,7 @@ let error_code_of_string = function
   | "crashed" -> Some Crashed
   | "timeout" -> Some Timeout
   | "shutting-down" -> Some Shutting_down
+  | "wrong-shard" -> Some Wrong_shard
   | _ -> None
 
 type response =

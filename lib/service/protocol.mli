@@ -122,11 +122,19 @@ val parse_request : string -> (request, string) result
 
 (** {1 Responses} *)
 
-type error_code = Invalid | Overloaded | Crashed | Timeout | Shutting_down
+type error_code =
+  | Invalid
+  | Overloaded
+  | Crashed
+  | Timeout
+  | Shutting_down
+  | Wrong_shard
+      (** shard admission: the key's owner is another daemon in the
+          fleet — retry there (the fleet client does this itself) *)
 
 val error_code_to_string : error_code -> string
 (** ["invalid"], ["overloaded"], ["crashed"], ["timeout"],
-    ["shutting-down"]. *)
+    ["shutting-down"], ["wrong-shard"]. *)
 
 type response =
   | Result of { cached : bool; body : string }

@@ -16,6 +16,9 @@ type config = {
   io_timeout : float;
   drain_grace : float option;
   compact_on_start : bool;
+  shard_id : int;  (* this daemon's slot in the fleet's socket order *)
+  shard_count : int;  (* 1 = unsharded, admission never refuses *)
+  accept_any : bool;  (* serve keys other shards own (failover target) *)
 }
 
 let default_config ~socket_path ~journal_path =
@@ -30,6 +33,9 @@ let default_config ~socket_path ~journal_path =
     io_timeout = 10.;
     drain_grace = None;
     compact_on_start = true;
+    shard_id = 0;
+    shard_count = 1;
+    accept_any = false;
   }
 
 type stop = Drained | Forced
@@ -61,6 +67,7 @@ type stats = {
   mutable io_timeouts : int;
   mutable retries_done : int;  (* extra supervisor attempts that ran *)
   mutable cancelled : int;  (* queued jobs skipped or drain-cancelled *)
+  mutable wrong_shard : int;  (* keys refused at shard admission *)
 }
 
 type t = {
@@ -197,6 +204,7 @@ let create cfg =
   if cfg.io_timeout <= 0. then
     invalid_arg "Server.create: io_timeout must be positive";
   if cfg.retries < 0 then invalid_arg "Server.create: retries must be >= 0";
+  Shard.validate_admission ~shard_id:cfg.shard_id ~shard_count:cfg.shard_count;
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let compaction =
     (* Skip files too short to hold a header: Store.open_ recovers those
@@ -251,6 +259,7 @@ let create cfg =
           io_timeouts = 0;
           retries_done = 0;
           cancelled = 0;
+          wrong_shard = 0;
         };
       memo = Hashtbl.create 8;
       compaction;
@@ -267,8 +276,16 @@ let create cfg =
 (* Stats                                                               *)
 
 let stats_json t =
-  let hits, misses, coalesced, sheds, invalid, io_timeouts, retries, cancelled, pending
-      =
+  let ( hits,
+        misses,
+        coalesced,
+        sheds,
+        invalid,
+        io_timeouts,
+        retries,
+        cancelled,
+        wrong_shard,
+        pending ) =
     with_mu t (fun () ->
         let s = t.stats in
         ( s.hits,
@@ -279,6 +296,7 @@ let stats_json t =
           s.io_timeouts,
           s.retries_done,
           s.cancelled,
+          s.wrong_shard,
           t.pending_count ))
   in
   let compaction_fields =
@@ -296,6 +314,9 @@ let stats_json t =
       ([
          ("schema", Json.String Protocol.version);
          ("uptime", Json.Float (Unix.gettimeofday () -. t.started));
+         ("shard_id", Json.Int t.cfg.shard_id);
+         ("shard_count", Json.Int t.cfg.shard_count);
+         ("accept_any", Json.Bool t.cfg.accept_any);
          ("connections", Json.Int (Hashtbl.length t.conns));
          ("pending", Json.Int pending);
          ("max_pending", Json.Int t.cfg.max_pending);
@@ -310,6 +331,7 @@ let stats_json t =
          ("io_timeouts", Json.Int io_timeouts);
          ("retries", Json.Int retries);
          ("cancelled", Json.Int cancelled);
+         ("wrong_shard", Json.Int wrong_shard);
        ]
       @ compaction_fields)
   in
@@ -365,6 +387,26 @@ let handle_query t conn spec =
         Journal.job_key resolved ~seed:spec.Protocol.seed
           ~pulses:spec.Protocol.pulses
       in
+      if
+        t.cfg.shard_count > 1
+        && (not t.cfg.accept_any)
+        && not
+             (Shard.owns ~shard_id:t.cfg.shard_id
+                ~shard_count:t.cfg.shard_count key)
+      then begin
+        (* Shard admission: a correctly routed fleet never hits this; a
+           misconfigured client learns the owner instead of polluting
+           this shard's journal with foreign keys. *)
+        bump t (fun s -> s.wrong_shard <- s.wrong_shard + 1);
+        respond t conn
+          (refused ~key Protocol.Wrong_shard
+             (Printf.sprintf
+                "key %s belongs to shard %d of %d (this daemon is shard %d)"
+                key
+                (Shard.owner ~shard_count:t.cfg.shard_count key)
+                t.cfg.shard_count t.cfg.shard_id))
+      end
+      else
       let action =
         with_mu t (fun () ->
             match Store.find t.store key with

@@ -51,12 +51,16 @@ type config = {
       (** graceful-drain time limit; [None] = wait for the work *)
   compact_on_start : bool;
       (** run {!Rfd_experiment.Journal.compact} before opening the store *)
+  shard_id : int;  (** this daemon's index in the fleet's socket list *)
+  shard_count : int;  (** fleet size; [1] = unsharded, admission off *)
+  accept_any : bool;
+      (** serve keys owned by other shards too (failover deployments) *)
 }
 
 val default_config : socket_path:string -> journal_path:string -> config
 (** Paper-scale defaults: default worker count, 300 s deadline, 1 retry,
     64 pending, 1024 resident, 10 s I/O timeout, no drain grace,
-    compaction on. *)
+    compaction on, unsharded (shard 0 of 1). *)
 
 type t
 

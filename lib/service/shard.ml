@@ -1,0 +1,83 @@
+(* Pure shard routing for the rfd-simd fleet.
+
+   A fleet is an ordered list of daemon sockets; a result key (the
+   `Journal.job_key` MD5 hex digest) is owned by exactly one of them.
+   Ownership is a pure function of the digest prefix and the shard
+   count — no directory service, no rendezvous state — so every client,
+   every daemon and every offline audit computes the same owner from
+   the same key. Reordering the socket list is a resharding event;
+   appending is too. Journals merge trivially (newest-wins lines keyed
+   by digest), so resharding is an operational copy, never a protocol
+   change. *)
+
+type map = { sockets : string array }
+
+(* How many leading hex digits of the key participate in routing. 8
+   digits = 32 bits of the MD5, far beyond any plausible shard count,
+   while keeping the accumulator comfortably inside an int. *)
+let prefix_digits = 8
+
+let hex_value c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ ->
+      (* Keys are always MD5 hex in practice; a foreign byte still routes
+         deterministically rather than raising mid-request. *)
+      Char.code c land 0xf
+
+(* The routing function. Total and pure: same (key, shard_count) ->
+   same owner, on every host of every fleet. The numeric value is part
+   of the operational contract (journals are placed by it), so changing
+   this function is a resharding event — test_shard pins known values. *)
+let owner ~shard_count key =
+  if shard_count < 1 then
+    invalid_arg "Shard.owner: shard_count must be >= 1";
+  if String.length key = 0 then invalid_arg "Shard.owner: empty key";
+  let n = min prefix_digits (String.length key) in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := (!acc lsl 4) lor hex_value key.[i]
+  done;
+  !acc mod shard_count
+
+let owns ~shard_id ~shard_count key = owner ~shard_count key = shard_id
+
+let validate_admission ~shard_id ~shard_count =
+  if shard_count < 1 then
+    invalid_arg "Shard: shard_count must be >= 1";
+  if shard_id < 0 || shard_id >= shard_count then
+    invalid_arg
+      (Printf.sprintf "Shard: shard_id %d outside 0..%d" shard_id
+         (shard_count - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Shard maps: the ordered socket list a fleet client routes over.     *)
+
+let make sockets =
+  if sockets = [] then invalid_arg "Shard.make: empty socket list";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      if s = "" then invalid_arg "Shard.make: empty socket path";
+      if Hashtbl.mem seen s then
+        invalid_arg (Printf.sprintf "Shard.make: duplicate socket %S" s);
+      Hashtbl.add seen s ())
+    sockets;
+  { sockets = Array.of_list sockets }
+
+let shard_count map = Array.length map.sockets
+let socket map i = map.sockets.(i)
+let sockets map = Array.to_list map.sockets
+let owner_of_key map key = owner ~shard_count:(shard_count map) key
+let socket_of_key map key = map.sockets.(owner_of_key map key)
+
+(* Candidate order for failover: the owner first, then the remaining
+   shards in ring order. Any daemon can compute a miss (results are a
+   pure function of the key's scenario), so correctness survives
+   serving a key from a non-owner; only cache locality degrades. *)
+let candidates map key =
+  let n = shard_count map in
+  let first = owner_of_key map key in
+  List.init n (fun i -> (first + i) mod n)

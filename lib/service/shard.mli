@@ -1,0 +1,52 @@
+(** Pure shard routing for the rfd-simd fleet.
+
+    A fleet is an ordered list of daemon sockets; a result key (the
+    [Journal.job_key] MD5 hex digest) is owned by exactly one of them.
+    Ownership is a pure function of the digest prefix and the shard
+    count — no directory service, no rendezvous state — so every
+    client, every daemon and every offline audit computes the same
+    owner from the same key. The numeric routing function is part of
+    the operational contract (journals are placed by it): changing it,
+    reordering the socket list, or changing the shard count is a
+    resharding event. Resharding is safe — shards are caches, not
+    authorities, so a reassigned key is a miss, never wrong data. *)
+
+(** {1 The routing function} *)
+
+val owner : shard_count:int -> string -> int
+(** [owner ~shard_count key] is the shard index owning [key]: the
+    integer value of the first 8 hex digits of [key], mod
+    [shard_count]. Total and pure for non-empty keys; raises
+    [Invalid_argument] on an empty key or [shard_count < 1]. *)
+
+val owns : shard_id:int -> shard_count:int -> string -> bool
+(** [owns ~shard_id ~shard_count key] is [owner ~shard_count key =
+    shard_id] — the daemon-side admission predicate. *)
+
+val validate_admission : shard_id:int -> shard_count:int -> unit
+(** Raises [Invalid_argument] unless [0 <= shard_id < shard_count].
+    Daemons call this once at startup. *)
+
+(** {1 Shard maps}
+
+    The ordered socket list a fleet client routes over. Socket order
+    {e is} the shard map: every client of one fleet must pass the same
+    list in the same order. *)
+
+type map
+
+val make : string list -> map
+(** Raises [Invalid_argument] on an empty list, an empty socket path,
+    or a duplicate socket. *)
+
+val shard_count : map -> int
+val socket : map -> int -> string
+val sockets : map -> string list
+val owner_of_key : map -> string -> int
+val socket_of_key : map -> string -> string
+
+val candidates : map -> string -> int list
+(** Failover order for a key: the owner first, then the remaining
+    shards in ring order. Any daemon can compute a miss (results are a
+    pure function of the key's scenario), so serving a key from a
+    non-owner degrades cache locality, never correctness. *)

@@ -1,0 +1,185 @@
+(* Tests for the deterministic chaos proxy and — through it — the
+   client's failure handling. Each injected fault must surface as a
+   clean [Error] on the exact roundtrip it hits, and any transport or
+   framing error must poison the client: the next call fails fast with
+   "client is closed" instead of desynchronizing the line framing
+   (the regression this PR fixes). *)
+
+module Protocol = Rfd_service.Protocol
+module Server = Rfd_service.Server
+module Client = Rfd_service.Client
+module Chaos = Rfd_service.Chaos
+
+let tmp_path suffix = Filename.temp_file "rfd-chaos" suffix
+
+let small_spec ?(seed = 42) () =
+  {
+    Protocol.default_spec with
+    Protocol.topology = Protocol.Mesh { rows = 3; cols = 3 };
+    seed;
+    pulses = 1;
+  }
+
+(* Real daemon upstream, chaos proxy in front, client against the proxy. *)
+let with_chaos plan f =
+  let upstream = tmp_path ".sock" in
+  let proxy_sock = tmp_path ".proxy.sock" in
+  let journal = tmp_path ".journal" in
+  Sys.remove journal;
+  let cleanup () =
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ upstream; proxy_sock; journal ]
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let cfg =
+    {
+      (Server.default_config ~socket_path:upstream ~journal_path:journal) with
+      Server.jobs = Some 1;
+      deadline = Some 60.;
+      retries = 0;
+      io_timeout = 5.;
+    }
+  in
+  let t = Server.create cfg in
+  let d = Domain.spawn (fun () -> Server.serve t) in
+  let proxy = Chaos.start ~io_timeout:10. ~socket:proxy_sock ~upstream plan in
+  Fun.protect
+    ~finally:(fun () ->
+      Chaos.stop proxy;
+      Server.request_stop t;
+      ignore (Domain.join d : Server.stop))
+    (fun () -> f ~proxy_sock ~upstream ~proxy)
+
+let connect path = Client.connect ~timeout:10. ~retry_for:5. path
+
+let check_poisoned name client =
+  (* The satellite regression: after any transport/framing error every
+     subsequent call must fail fast, never reuse the broken stream. *)
+  match Client.query ~attempts:1 client (small_spec ()) with
+  | Error "client is closed" -> ()
+  | Error e ->
+      Alcotest.fail (Printf.sprintf "%s: poisoned error was %S" name e)
+  | Ok _ -> Alcotest.fail (Printf.sprintf "%s: poisoned client answered" name)
+
+let test_pass_through_is_transparent () =
+  with_chaos (Chaos.script_plan [ Chaos.Pass; Chaos.Pass ])
+  @@ fun ~proxy_sock ~upstream ~proxy ->
+  let spec = small_spec () in
+  let via_proxy = connect proxy_sock in
+  let body_proxy =
+    match Client.query ~attempts:1 via_proxy spec with
+    | Ok (Protocol.Result { body; _ }) -> body
+    | _ -> Alcotest.fail "pass-through query failed"
+  in
+  Alcotest.(check bool) "pings pass through" true (Client.ping via_proxy);
+  Client.close via_proxy;
+  let direct = connect upstream in
+  (match Client.query ~attempts:1 direct spec with
+  | Ok (Protocol.Result { body; _ }) ->
+      Alcotest.(check string) "proxied body is byte-identical" body body_proxy
+  | _ -> Alcotest.fail "direct query failed");
+  Client.close direct;
+  Alcotest.(check bool) "proxy counted its connections" true
+    (Chaos.connections proxy >= 1)
+
+let test_refuse_poisons_client () =
+  with_chaos (Chaos.script_plan [ Chaos.Refuse ])
+  @@ fun ~proxy_sock ~upstream:_ ~proxy:_ ->
+  let client = connect proxy_sock in
+  (match Client.query ~attempts:1 client (small_spec ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "refused connection answered");
+  check_poisoned "refuse" client;
+  Client.close client
+
+let test_close_mid_line_poisons_client () =
+  with_chaos (Chaos.script_plan [ Chaos.Close_mid_line ])
+  @@ fun ~proxy_sock ~upstream:_ ~proxy:_ ->
+  let client = connect proxy_sock in
+  (match Client.query ~attempts:1 client (small_spec ()) with
+  | Error e ->
+      Alcotest.(check string) "EOF mid-line reported" "connection closed by server" e
+  | Ok _ -> Alcotest.fail "half a response parsed as a response");
+  check_poisoned "close-mid-line" client;
+  Client.close client
+
+let test_truncated_response_poisons_client () =
+  with_chaos (Chaos.script_plan [ Chaos.Truncate 3 ])
+  @@ fun ~proxy_sock ~upstream:_ ~proxy:_ ->
+  let client = connect proxy_sock in
+  (match Client.ping client with
+  | false -> ()
+  | true -> Alcotest.fail "3 bytes of a response parsed as a pong");
+  check_poisoned "truncate" client;
+  Client.close client
+
+let test_garbage_line_poisons_client () =
+  with_chaos (Chaos.script_plan [ Chaos.Garbage ])
+  @@ fun ~proxy_sock ~upstream:_ ~proxy:_ ->
+  let client = connect proxy_sock in
+  (match Client.query ~attempts:1 client (small_spec ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage line parsed as a response");
+  check_poisoned "garbage" client;
+  Client.close client
+
+let test_delay_is_benign () =
+  with_chaos (Chaos.script_plan [ Chaos.Delay 0.2 ])
+  @@ fun ~proxy_sock ~upstream:_ ~proxy:_ ->
+  let client = connect proxy_sock in
+  Alcotest.(check bool) "delayed pong still a pong" true (Client.ping client);
+  Alcotest.(check bool) "client still usable after a benign delay" true
+    (Client.ping client);
+  Client.close client
+
+let test_reconnect_after_poison () =
+  (* Connection 0 gets garbage, connection 1 is clean: recovery is a
+     reconnect, exactly what Fleet does. *)
+  with_chaos (Chaos.script_plan [ Chaos.Garbage; Chaos.Pass ])
+  @@ fun ~proxy_sock ~upstream:_ ~proxy:_ ->
+  let first = connect proxy_sock in
+  (match Client.query ~attempts:1 first (small_spec ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  check_poisoned "garbage" first;
+  Client.close first;
+  let second = connect proxy_sock in
+  (match Client.query ~attempts:1 second (small_spec ()) with
+  | Ok (Protocol.Result _) -> ()
+  | _ -> Alcotest.fail "fresh connection after poison failed");
+  Client.close second
+
+let test_seeded_plan_is_deterministic () =
+  let faults = [ Chaos.Pass; Chaos.Refuse; Chaos.Garbage; Chaos.Truncate 4 ] in
+  let a = Chaos.seeded_plan ~seed:7 faults in
+  let b = Chaos.seeded_plan ~seed:7 faults in
+  let c = Chaos.seeded_plan ~seed:8 faults in
+  let draw plan = List.init 32 (fun i -> Chaos.fault_to_string (plan i)) in
+  Alcotest.(check (list string)) "same seed, same fault sequence" (draw a) (draw b);
+  Alcotest.(check bool) "different seed, different sequence" true
+    (draw a <> draw c);
+  (* Every drawn fault comes from the offered list. *)
+  let offered = List.map Chaos.fault_to_string faults in
+  List.iter
+    (fun f -> Alcotest.(check bool) "fault from the list" true (List.mem f offered))
+    (draw a)
+
+let suite =
+  [
+    Alcotest.test_case "pass-through is byte-transparent" `Quick
+      test_pass_through_is_transparent;
+    Alcotest.test_case "refuse poisons the client" `Quick
+      test_refuse_poisons_client;
+    Alcotest.test_case "close mid-line poisons the client" `Quick
+      test_close_mid_line_poisons_client;
+    Alcotest.test_case "truncated response poisons the client" `Quick
+      test_truncated_response_poisons_client;
+    Alcotest.test_case "garbage line poisons the client" `Quick
+      test_garbage_line_poisons_client;
+    Alcotest.test_case "latency alone is benign" `Quick test_delay_is_benign;
+    Alcotest.test_case "reconnect recovers after poison" `Quick
+      test_reconnect_after_poison;
+    Alcotest.test_case "seeded plans are deterministic" `Quick
+      test_seeded_plan_is_deterministic;
+  ]

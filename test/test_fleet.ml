@@ -1,0 +1,313 @@
+(* Tests for the sharded fleet client: owner routing with shard
+   admission on, wrong-shard refusal of misrouted direct clients,
+   byte-identical failover past a dead owner, and the per-shard circuit
+   breaker — driven by an injected fake clock, with open intervals
+   pinned to the supervisor's deterministic backoff. *)
+
+module Protocol = Rfd_service.Protocol
+module Server = Rfd_service.Server
+module Client = Rfd_service.Client
+module Fleet = Rfd_service.Fleet
+module Shard = Rfd_service.Shard
+module Supervisor = Rfd_engine.Supervisor
+
+let tmp_path suffix = Filename.temp_file "rfd-fleet" suffix
+
+let small_spec ?(seed = 42) () =
+  {
+    Protocol.default_spec with
+    Protocol.topology = Protocol.Mesh { rows = 3; cols = 3 };
+    seed;
+    pulses = 1;
+  }
+
+(* An n-shard fleet of real daemons. [accept_any] selects the
+   deployment: false = strict admission, true = failover-capable. *)
+let with_daemons ?(accept_any = false) n f =
+  let sockets = List.init n (fun _ -> tmp_path ".sock") in
+  let journals =
+    List.init n (fun _ ->
+        let p = tmp_path ".journal" in
+        Sys.remove p;
+        p)
+  in
+  let cleanup () =
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      (sockets @ journals)
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let servers =
+    List.mapi
+      (fun i socket ->
+        let cfg =
+          {
+            (Server.default_config ~socket_path:socket
+               ~journal_path:(List.nth journals i))
+            with
+            Server.jobs = Some 1;
+            deadline = Some 60.;
+            retries = 0;
+            io_timeout = 5.;
+            shard_id = i;
+            shard_count = n;
+            accept_any;
+          }
+        in
+        let t = Server.create cfg in
+        let stopped = ref false in
+        let d = Domain.spawn (fun () -> Server.serve t) in
+        let stop () =
+          if not !stopped then begin
+            stopped := true;
+            Server.request_stop t;
+            ignore (Domain.join d : Server.stop)
+          end
+        in
+        stop)
+      sockets
+  in
+  let stop i = List.nth servers i () in
+  Fun.protect
+    ~finally:(fun () -> List.iteri (fun i _ -> stop i) servers)
+    (fun () -> f ~sockets ~stop)
+
+let query_ok fleet spec =
+  match Fleet.query ~attempts:1 fleet spec with
+  | Ok (Protocol.Result { cached; body }) -> (cached, body)
+  | Ok (Protocol.Refused { body; _ }) ->
+      Alcotest.fail (Printf.sprintf "refused: %s" body)
+  | Ok _ -> Alcotest.fail "unexpected response"
+  | Error e -> Alcotest.fail e
+
+(* Find seeds whose keys land on given shards of a 2-fleet, so tests
+   can pick keys with known owners without depending on digest bits. *)
+let seed_owned_by fleet ~owner ~from =
+  let rec go seed =
+    if seed > from + 1000 then Alcotest.fail "no seed found for shard"
+    else
+      match Fleet.key_of_spec fleet (small_spec ~seed ()) with
+      | Ok key when Fleet.owner fleet key = owner -> seed
+      | _ -> go (seed + 1)
+  in
+  go from
+
+let test_routing_with_admission () =
+  (* Strict admission (no accept-any): every fleet query must land on
+     its owner or the daemons would refuse it — zero tolerance here. *)
+  with_daemons 2 @@ fun ~sockets ~stop:_ ->
+  let fleet = Fleet.create ~timeout:60. ~connect_retry:5. sockets in
+  Fun.protect ~finally:(fun () -> Fleet.close fleet) @@ fun () ->
+  let s0 = seed_owned_by fleet ~owner:0 ~from:500 in
+  let s1 = seed_owned_by fleet ~owner:1 ~from:600 in
+  let specs =
+    small_spec ~seed:s0 () :: small_spec ~seed:s1 ()
+    :: List.init 6 (fun i -> small_spec ~seed:(100 + i) ())
+  in
+  let bodies = List.map (fun spec -> snd (query_ok fleet spec)) specs in
+  (* Again: all hits now, byte-identical. *)
+  List.iter2
+    (fun spec body ->
+      let cached, body' = query_ok fleet spec in
+      Alcotest.(check bool) "second round is a cache hit" true cached;
+      Alcotest.(check string) "hit byte-identical to miss" body body')
+    specs bodies;
+  (* Both shards actually served work (keys spread), and neither ever
+     saw a wrong-shard query from the fleet router. *)
+  List.iter
+    (fun (socket, stats) ->
+      match stats with
+      | Ok body ->
+          let has pat =
+            let plen = String.length pat in
+            let rec find i =
+              i + plen <= String.length body
+              && (String.sub body i plen = pat || find (i + 1))
+            in
+            find 0
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s refused nothing as wrong-shard" socket)
+            true
+            (has "\"wrong_shard\":0");
+          Alcotest.(check bool)
+            (Printf.sprintf "%s served at least one miss" socket)
+            false
+            (has "\"misses\":0")
+      | Error e -> Alcotest.fail e)
+    (Fleet.stats fleet)
+
+let test_wrong_shard_refusal () =
+  with_daemons 2 @@ fun ~sockets ~stop:_ ->
+  let fleet = Fleet.create ~timeout:60. ~connect_retry:5. sockets in
+  Fun.protect ~finally:(fun () -> Fleet.close fleet) @@ fun () ->
+  let seed = seed_owned_by fleet ~owner:1 ~from:200 in
+  let spec = small_spec ~seed () in
+  (* A direct client asking shard 0 for shard 1's key is refused with
+     the explicit wrong-shard code... *)
+  let direct = Client.connect ~timeout:10. ~retry_for:5. (List.nth sockets 0) in
+  (match Client.query ~attempts:1 direct spec with
+  | Ok (Protocol.Refused { code = Protocol.Wrong_shard; body }) ->
+      Alcotest.(check bool) "refusal body names the owner" true
+        (String.length body > 0)
+  | Ok _ -> Alcotest.fail "shard 0 served a key it does not own"
+  | Error e -> Alcotest.fail e);
+  Client.close direct;
+  (* ...while the fleet, routing by owner, serves it. *)
+  ignore (query_ok fleet spec)
+
+let test_failover_byte_identity () =
+  (* accept-any deployment: kill the owner, the fleet must fail over
+     and the served body must be byte-identical to the reference the
+     owner itself produced. *)
+  with_daemons ~accept_any:true 2 @@ fun ~sockets ~stop ->
+  let fleet = Fleet.create ~timeout:60. ~connect_retry:5. sockets in
+  Fun.protect ~finally:(fun () -> Fleet.close fleet) @@ fun () ->
+  let seed = seed_owned_by fleet ~owner:0 ~from:300 in
+  let spec = small_spec ~seed () in
+  let _, reference = query_ok fleet spec in
+  stop 0;
+  (* The poisoned cached connection fails, the breaker notes it, and
+     the query lands on shard 1 — which recomputes the same answer. *)
+  let _, body = query_ok fleet spec in
+  Alcotest.(check string) "failover body byte-identical" reference body;
+  (match Fleet.info fleet with
+  | { Fleet.shard_breaker = Fleet.Open; _ } :: _ -> ()
+  | { Fleet.shard_breaker = Fleet.Half_open; _ } :: _ -> ()
+  | _ -> Alcotest.fail "dead owner's breaker did not trip");
+  (* And with the owner dead the answer keeps coming (from shard 1). *)
+  let _, body2 = query_ok fleet spec in
+  Alcotest.(check string) "repeat failover byte-identical" reference body2
+
+let test_breaker_state_machine () =
+  (* No daemons at all: drive the breaker with a fake clock against
+     dead socket paths. *)
+  let dead = [ "/tmp/rfd-fleet-dead-0.sock"; "/tmp/rfd-fleet-dead-1.sock" ] in
+  let now = ref 1000. in
+  let base = 0.25 in
+  let fleet =
+    Fleet.create ~timeout:1. ~connect_retry:0. ~breaker_threshold:1
+      ~backoff_base:base
+      ~now:(fun () -> !now)
+      dead
+  in
+  Fun.protect ~finally:(fun () -> Fleet.close fleet) @@ fun () ->
+  Alcotest.(check bool) "starts closed" true
+    (Fleet.breaker_state fleet 0 = Fleet.Closed);
+  (* First failure trips the breaker (threshold 1). *)
+  Alcotest.(check bool) "dead shard does not pong" false (Fleet.ping_shard fleet 0);
+  Alcotest.(check bool) "breaker open after first failure" true
+    (Fleet.breaker_state fleet 0 = Fleet.Open);
+  (* The open interval is the supervisor's deterministic backoff for
+     (socket, trip 1) — attempt 2 in supervisor terms. *)
+  let d1 = Supervisor.backoff_delay ~key:(List.nth dead 0) ~attempt:2 ~base in
+  Alcotest.(check bool) "first open interval is positive" true (d1 > 0.);
+  now := 1000. +. (d1 /. 2.);
+  Alcotest.(check bool) "still open before the deadline" true
+    (Fleet.breaker_state fleet 0 = Fleet.Open);
+  now := 1000. +. d1 +. 0.001;
+  Alcotest.(check bool) "half-open once the deadline passes" true
+    (Fleet.breaker_state fleet 0 = Fleet.Half_open);
+  (* A failed half-open probe re-opens immediately with the next,
+     longer deterministic interval. *)
+  let reopened_at = !now in
+  Alcotest.(check bool) "probe fails" false (Fleet.ping_shard fleet 0);
+  Alcotest.(check bool) "re-opened" true
+    (Fleet.breaker_state fleet 0 = Fleet.Open);
+  let d2 = Supervisor.backoff_delay ~key:(List.nth dead 0) ~attempt:3 ~base in
+  now := reopened_at +. d2 -. 0.001;
+  Alcotest.(check bool) "still open just before the second deadline" true
+    (Fleet.breaker_state fleet 0 = Fleet.Open);
+  now := reopened_at +. d2 +. 0.001;
+  Alcotest.(check bool) "half-open again" true
+    (Fleet.breaker_state fleet 0 = Fleet.Half_open);
+  (* With every breaker open, a query reports failure, not a hang. *)
+  (match Fleet.query ~attempts:1 fleet (small_spec ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "dead fleet answered");
+  (* Trip counters are visible for operators and tests. *)
+  match Fleet.info fleet with
+  | info0 :: _ ->
+      Alcotest.(check bool) "trips counted" true (info0.Fleet.shard_trips >= 2)
+  | [] -> Alcotest.fail "no shard info"
+
+let test_breaker_recovery_closes () =
+  (* Open the breaker on a dead socket, then start a real daemon there:
+     the half-open probe must succeed and close the breaker. *)
+  let socket = tmp_path ".sock" in
+  let journal = tmp_path ".journal" in
+  Sys.remove journal;
+  Sys.remove socket;
+  let cleanup () =
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ socket; journal ]
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let now = ref 0. in
+  let fleet =
+    Fleet.create ~timeout:10. ~connect_retry:0. ~breaker_threshold:1
+      ~now:(fun () -> !now)
+      [ socket ]
+  in
+  Fun.protect ~finally:(fun () -> Fleet.close fleet) @@ fun () ->
+  Alcotest.(check bool) "dead socket fails" false (Fleet.ping_shard fleet 0);
+  Alcotest.(check bool) "breaker opened" true
+    (Fleet.breaker_state fleet 0 = Fleet.Open);
+  let cfg =
+    {
+      (Server.default_config ~socket_path:socket ~journal_path:journal) with
+      Server.jobs = Some 1;
+      deadline = Some 60.;
+      retries = 0;
+    }
+  in
+  let t = Server.create cfg in
+  let d = Domain.spawn (fun () -> Server.serve t) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_stop t;
+      ignore (Domain.join d : Server.stop))
+    (fun () ->
+      now := 10_000.;
+      (* past any backoff *)
+      Alcotest.(check bool) "probe pongs" true (Fleet.ping_shard fleet 0);
+      Alcotest.(check bool) "breaker closed after recovery" true
+        (Fleet.breaker_state fleet 0 = Fleet.Closed);
+      ignore (query_ok fleet (small_spec ())))
+
+let test_invalid_spec_is_local_and_canonical () =
+  (* An invalid spec never costs a roundtrip and matches the daemon's
+     own refusal byte-for-byte. *)
+  with_daemons 1 @@ fun ~sockets ~stop:_ ->
+  let fleet = Fleet.create ~timeout:10. ~connect_retry:5. sockets in
+  Fun.protect ~finally:(fun () -> Fleet.close fleet) @@ fun () ->
+  let bad = { (small_spec ()) with Protocol.pulses = -1 } in
+  let fleet_body =
+    match Fleet.query fleet bad with
+    | Ok (Protocol.Refused { code = Protocol.Invalid; body }) -> body
+    | _ -> Alcotest.fail "invalid spec not refused by fleet"
+  in
+  let direct = Client.connect ~timeout:10. ~retry_for:5. (List.nth sockets 0) in
+  (match Client.query ~attempts:1 direct bad with
+  | Ok (Protocol.Refused { code = Protocol.Invalid; body }) ->
+      Alcotest.(check string) "fleet refusal matches daemon refusal" body
+        fleet_body
+  | _ -> Alcotest.fail "invalid spec not refused by daemon");
+  Client.close direct
+
+let suite =
+  [
+    Alcotest.test_case "routing with strict shard admission" `Quick
+      test_routing_with_admission;
+    Alcotest.test_case "misrouted direct client gets wrong-shard" `Quick
+      test_wrong_shard_refusal;
+    Alcotest.test_case "failover past a dead owner is byte-identical" `Quick
+      test_failover_byte_identity;
+    Alcotest.test_case "breaker: deterministic open/half-open timeline" `Quick
+      test_breaker_state_machine;
+    Alcotest.test_case "breaker: recovery probe closes" `Quick
+      test_breaker_recovery_closes;
+    Alcotest.test_case "invalid specs refused locally, canonically" `Quick
+      test_invalid_spec_is_local_and_canonical;
+  ]

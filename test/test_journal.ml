@@ -223,6 +223,43 @@ let test_compact_rejects_non_journal () =
       | exception Failure _ -> ()
       | _ -> Alcotest.fail "compact accepted a non-journal file")
 
+let test_check_clean_duplicates_corrupt_torn () =
+  with_tmp (fun path ->
+      let w = Journal.create path in
+      Journal.append w ~key:"k1" (Journal.Crashed "one");
+      Journal.append w ~key:"k2" (Journal.Crashed "two");
+      Journal.append w ~key:"k1" (Journal.Crashed "one-again");
+      Journal.close w;
+      let before = read_file path in
+      let r = Journal.check path in
+      Alcotest.(check int) "valid lines" 3 r.Journal.checked_valid;
+      Alcotest.(check int) "duplicates" 1 r.Journal.checked_duplicates;
+      Alcotest.(check int) "no corruption" 0 r.Journal.checked_corrupt;
+      Alcotest.(check bool) "no torn tail" false r.Journal.checked_torn;
+      (* Read-only: the bytes on disk are untouched. *)
+      Alcotest.(check string) "check wrote nothing" before (read_file path);
+      (* A terminated garbage line is corruption... *)
+      write_file path (before ^ "zzzz feedfacefeedfacefeedfacefeedface 00\n");
+      let r = Journal.check path in
+      Alcotest.(check int) "corrupt line counted" 1 r.Journal.checked_corrupt;
+      Alcotest.(check bool) "still not torn" false r.Journal.checked_torn;
+      Alcotest.(check int) "valid lines unaffected" 3 r.Journal.checked_valid;
+      (* ...while an unterminated trailing fragment is a torn tail, the
+         benign kill -9 signature, distinct from corruption. *)
+      write_file path (before ^ "k3 0123456789abcdef0123456789abcdef de");
+      let r = Journal.check path in
+      Alcotest.(check bool) "torn tail detected" true r.Journal.checked_torn;
+      Alcotest.(check int) "torn tail is not corruption" 0
+        r.Journal.checked_corrupt;
+      Alcotest.(check int) "valid lines unaffected" 3 r.Journal.checked_valid)
+
+let test_check_rejects_non_journal () =
+  with_tmp (fun path ->
+      write_file path "not-a-journal\nwhatever\n";
+      match Journal.check path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "check accepted a non-journal file")
+
 let suite =
   [
     Alcotest.test_case "round trip" `Quick test_round_trip;
@@ -240,4 +277,8 @@ let suite =
       test_compact_result_payload_survives;
     Alcotest.test_case "compact rejects non-journal" `Quick
       test_compact_rejects_non_journal;
+    Alcotest.test_case "check: clean, duplicate, corrupt, torn" `Quick
+      test_check_clean_duplicates_corrupt_torn;
+    Alcotest.test_case "check rejects non-journal" `Quick
+      test_check_rejects_non_journal;
   ]

@@ -305,17 +305,18 @@ let test_store_verifies_disk_reads () =
 (* ------------------------------------------------------------------ *)
 (* End-to-end daemon                                                   *)
 
-let server_cfg ?(max_pending = 8) ~socket ~journal () =
+let server_cfg ?(max_pending = 8) ?(cache = 1024) ~socket ~journal () =
   {
     (Server.default_config ~socket_path:socket ~journal_path:journal) with
     Server.jobs = Some 2;
     deadline = Some 60.;
     retries = 0;
     max_pending;
+    cache;
     io_timeout = 5.;
   }
 
-let with_server ?max_pending f =
+let with_server ?max_pending ?cache f =
   let socket = tmp_path ".sock" in
   let journal = tmp_path ".journal" in
   Sys.remove journal;
@@ -325,7 +326,7 @@ let with_server ?max_pending f =
       [ socket; journal ]
   in
   Fun.protect ~finally:cleanup @@ fun () ->
-  let cfg = server_cfg ?max_pending ~socket ~journal () in
+  let cfg = server_cfg ?max_pending ?cache ~socket ~journal () in
   let t = Server.create cfg in
   let d = Domain.spawn (fun () -> Server.serve t) in
   let stopped = ref false in
@@ -545,6 +546,105 @@ let test_client_retries_after_shed () =
   | Error e -> Alcotest.fail e);
   Alcotest.(check int) "exactly two sheds before success" 3 (Domain.join served)
 
+let test_store_concurrent_evicted_reread () =
+  (* Two domains hammer an LRU-evicted key at once: every answer must
+     come back, byte-identical, through the offset re-read path. *)
+  let path = tmp_path ".journal" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let s = Store.open_ ~cache:1 path in
+  Store.put s ~key:"a" (Journal.Crashed "alpha");
+  Store.put s ~key:"b" (Journal.Crashed "beta");
+  (* cache 1: at most one of a/b is resident, so concurrent readers
+     alternating keys keep evicting each other's entry. *)
+  let reader key expected =
+    Domain.spawn (fun () ->
+        let ok = ref true in
+        for _ = 1 to 200 do
+          (match Store.find s key with
+          | Some (Journal.Crashed msg) -> if msg <> expected then ok := false
+          | _ -> ok := false);
+          Domain.cpu_relax ()
+        done;
+        !ok)
+  in
+  let r1 = reader "a" "alpha" in
+  let r2 = reader "b" "beta" in
+  let r3 = reader "a" "alpha" in
+  Alcotest.(check bool) "reader 1 saw only correct bytes" true (Domain.join r1);
+  Alcotest.(check bool) "reader 2 saw only correct bytes" true (Domain.join r2);
+  Alcotest.(check bool) "reader 3 saw only correct bytes" true (Domain.join r3);
+  Alcotest.(check bool) "evictions actually happened" true (Store.disk_reads s > 0);
+  Alcotest.(check int) "residency still bounded" 1 (Store.resident s);
+  Store.close s
+
+let test_e2e_evicted_key_concurrent_clients () =
+  (* End-to-end flavour of the same property: a daemon with a 1-entry
+     resident cache, an evicted key, two clients asking for it at the
+     same instant — both answers byte-identical to the original miss. *)
+  with_server ~cache:1 @@ fun ~socket ~journal:_ ~cfg:_ ~stop ->
+  let a = small_spec ~seed:11 () in
+  let b = small_spec ~seed:22 () in
+  let _, body_a = query_body socket a in
+  let _, _ = query_body socket b in
+  (* b's result is now resident; a's lives only in the journal. *)
+  let asker = Domain.spawn (fun () -> query_body socket a) in
+  let cached2, body2 = query_body socket a in
+  let cached1, body1 = Domain.join asker in
+  Alcotest.(check bool) "first concurrent read is a hit" true cached1;
+  Alcotest.(check bool) "second concurrent read is a hit" true cached2;
+  Alcotest.(check string) "client 1 got the original bytes" body_a body1;
+  Alcotest.(check string) "client 2 got the original bytes" body_a body2;
+  Alcotest.(check bool) "drained cleanly" true (stop () = Server.Drained)
+
+let test_client_buffered_pipelined_lines () =
+  (* A server that sends two response lines in one packet — the second
+     line (200 kB, far beyond one read) must be spliced off the client's
+     buffer on the next call without any fresh socket data. This is the
+     regression surface of the O(n^2) read_line rewrite. *)
+  let socket = tmp_path ".sock" in
+  Sys.remove socket;
+  let listen = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen (Unix.ADDR_UNIX socket);
+  Unix.listen listen 1;
+  let big_body = "{\"big\":\"" ^ String.make 200_000 'x' ^ "\"}" in
+  let both =
+    Protocol.render_response Protocol.Pong
+    ^ Protocol.render_response (Protocol.Stats big_body)
+  in
+  let server =
+    Domain.spawn (fun () ->
+        let fd, _ = Unix.accept listen in
+        let buf = Bytes.create 4096 in
+        (* First request arrives; answer it AND pre-send the second
+           response in the same write. *)
+        ignore (Unix.read fd buf 0 4096);
+        let pos = ref 0 in
+        while !pos < String.length both do
+          pos :=
+            !pos + Unix.write_substring fd both !pos (String.length both - !pos)
+        done;
+        (* Drain the second request but send nothing for it. *)
+        ignore (Unix.read fd buf 0 4096);
+        (* Hold the connection open until the client is done; closing
+           now could race the client's reads. *)
+        ignore (Unix.read fd buf 0 4096);
+        Unix.close fd;
+        Unix.close listen)
+  in
+  let client = Client.connect ~timeout:10. socket in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close client;
+      (try Sys.remove socket with Sys_error _ -> ());
+      Domain.join server)
+  @@ fun () ->
+  Alcotest.(check bool) "first roundtrip is the pong" true (Client.ping client);
+  match Client.stats client with
+  | Ok body ->
+      Alcotest.(check string) "huge buffered line returned intact" big_body body
+  | Error e -> Alcotest.fail e
+
 let suite =
   [
     Alcotest.test_case "protocol: request round trip" `Quick
@@ -575,4 +675,10 @@ let suite =
       test_e2e_invalid_and_ping;
     Alcotest.test_case "client: retries after shed with backoff" `Quick
       test_client_retries_after_shed;
+    Alcotest.test_case "store: concurrent readers of an evicted key" `Quick
+      test_store_concurrent_evicted_reread;
+    Alcotest.test_case "e2e: evicted key, two clients, identical bytes" `Quick
+      test_e2e_evicted_key_concurrent_clients;
+    Alcotest.test_case "client: pipelined and oversized buffered lines" `Quick
+      test_client_buffered_pipelined_lines;
   ]

@@ -1,0 +1,133 @@
+(* Tests for the pure shard-routing layer: pinned owner values (the
+   routing function is an operational contract — journals are placed by
+   it, so an accidental change is a silent resharding event), range and
+   determinism properties, candidate ring order, and admission
+   validation. *)
+
+module Shard = Rfd_service.Shard
+module Journal = Rfd_experiment.Journal
+
+let keys =
+  [
+    "deadbeef00112233445566778899aabb";
+    "0123456789abcdef0123456789abcdef";
+    "cafef00dcafef00dcafef00dcafef00d";
+    "00000000ffffffffffffffffffffffff";
+  ]
+
+(* key prefix -> owner for shard counts 1..5, computed independently.
+   If these move, the routing function changed and every deployed
+   fleet's journal placement is invalidated — that must be a loud,
+   deliberate event, not a refactor. *)
+let pinned =
+  [
+    ("deadbeef00112233445566778899aabb", [ 0; 1; 2; 3; 4 ]);
+    ("0123456789abcdef0123456789abcdef", [ 0; 1; 1; 3; 3 ]);
+    ("cafef00dcafef00dcafef00dcafef00d", [ 0; 1; 1; 1; 4 ]);
+    ("00000000ffffffffffffffffffffffff", [ 0; 0; 0; 0; 0 ]);
+  ]
+
+let test_pinned_owners () =
+  List.iter
+    (fun (key, owners) ->
+      List.iteri
+        (fun i expected ->
+          Alcotest.(check int)
+            (Printf.sprintf "owner of %s with %d shard(s)" key (i + 1))
+            expected
+            (Shard.owner ~shard_count:(i + 1) key))
+        owners)
+    pinned
+
+let test_owner_range_and_determinism () =
+  (* Real job keys, as produced by the journal layer. *)
+  let scenario seed =
+    Rfd_experiment.Scenario.make
+      ~name:(Printf.sprintf "shard-%d" seed)
+      ~config:{ Rfd_bgp.Config.default with Rfd_bgp.Config.seed }
+      (Rfd_experiment.Scenario.Mesh { rows = 3; cols = 3 })
+  in
+  let job_keys =
+    List.init 64 (fun i -> Journal.job_key (scenario i) ~seed:i ~pulses:1)
+  in
+  List.iter
+    (fun key ->
+      List.iter
+        (fun shard_count ->
+          let o = Shard.owner ~shard_count key in
+          Alcotest.(check bool) "owner in range" true (o >= 0 && o < shard_count);
+          Alcotest.(check int) "owner is deterministic" o
+            (Shard.owner ~shard_count key);
+          Alcotest.(check bool) "owns agrees with owner" true
+            (Shard.owns ~shard_id:o ~shard_count key))
+        [ 1; 2; 3; 7 ])
+    (keys @ job_keys);
+  (* 64 keys over 2 shards: both shards must own something — a routing
+     function that collapses to one shard would still pass the range
+     checks above. *)
+  let owners2 = List.map (fun k -> Shard.owner ~shard_count:2 k) job_keys in
+  Alcotest.(check bool) "shard 0 owns some keys" true (List.mem 0 owners2);
+  Alcotest.(check bool) "shard 1 owns some keys" true (List.mem 1 owners2)
+
+let test_case_insensitive_hex () =
+  List.iter
+    (fun key ->
+      Alcotest.(check int) "upper and lower hex route identically"
+        (Shard.owner ~shard_count:5 key)
+        (Shard.owner ~shard_count:5 (String.uppercase_ascii key)))
+    keys
+
+let test_validation () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "shard_count 0 rejected" true
+    (raises (fun () -> Shard.owner ~shard_count:0 "ab"));
+  Alcotest.(check bool) "empty key rejected" true
+    (raises (fun () -> Shard.owner ~shard_count:2 ""));
+  Alcotest.(check bool) "admission: id >= count rejected" true
+    (raises (fun () -> Shard.validate_admission ~shard_id:2 ~shard_count:2));
+  Alcotest.(check bool) "admission: negative id rejected" true
+    (raises (fun () -> Shard.validate_admission ~shard_id:(-1) ~shard_count:1));
+  Shard.validate_admission ~shard_id:1 ~shard_count:3;
+  Alcotest.(check bool) "empty socket list rejected" true
+    (raises (fun () -> Shard.make []));
+  Alcotest.(check bool) "duplicate socket rejected" true
+    (raises (fun () -> Shard.make [ "a.sock"; "a.sock" ]));
+  Alcotest.(check bool) "empty socket path rejected" true
+    (raises (fun () -> Shard.make [ "a.sock"; "" ]))
+
+let test_map_and_candidates () =
+  let map = Shard.make [ "a.sock"; "b.sock"; "c.sock" ] in
+  Alcotest.(check int) "shard_count" 3 (Shard.shard_count map);
+  Alcotest.(check (list string)) "sockets round-trip"
+    [ "a.sock"; "b.sock"; "c.sock" ] (Shard.sockets map);
+  List.iter
+    (fun key ->
+      let o = Shard.owner_of_key map key in
+      Alcotest.(check string) "socket_of_key is the owner's socket"
+        (Shard.socket map o)
+        (Shard.socket_of_key map key);
+      let cs = Shard.candidates map key in
+      Alcotest.(check int) "candidates cover every shard" 3 (List.length cs);
+      Alcotest.(check (list int)) "owner first, then ring order"
+        [ o; (o + 1) mod 3; (o + 2) mod 3 ]
+        cs)
+    keys;
+  (* Pinned end-to-end: 0xdeadbeef mod 3 = 2 -> candidates [2; 0; 1]. *)
+  Alcotest.(check (list int)) "pinned candidate order" [ 2; 0; 1 ]
+    (Shard.candidates map "deadbeef00112233445566778899aabb")
+
+let suite =
+  [
+    Alcotest.test_case "pinned owner values (resharding guard)" `Quick
+      test_pinned_owners;
+    Alcotest.test_case "owner range, determinism, spread" `Quick
+      test_owner_range_and_determinism;
+    Alcotest.test_case "hex case-insensitivity" `Quick test_case_insensitive_hex;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "maps and failover candidates" `Quick
+      test_map_and_candidates;
+  ]
